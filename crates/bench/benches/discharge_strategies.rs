@@ -1,0 +1,59 @@
+//! (C-3) discharge strategies compared: plain DFS cycle search, Taktak-style
+//! SCC extraction, the closed-form ranking certificate, and the Dally–Seitz
+//! channel-level graph, across mesh sizes up to 32×32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genoc_bench::xy_mesh;
+use genoc_depgraph::build::xy_mesh_dependency_graph;
+use genoc_depgraph::channel_graph::channel_dependency_graph;
+use genoc_depgraph::cycle::find_cycle;
+use genoc_depgraph::ranking::{verify_ranking, xy_mesh_ranking};
+use genoc_depgraph::scc::is_cyclic_by_scc;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discharge");
+    group.sample_size(10);
+    for size in [8usize, 16, 32] {
+        let (mesh, routing) = xy_mesh(size, 1);
+        let graph = xy_mesh_dependency_graph(&mesh);
+        let rank = xy_mesh_ranking(&mesh);
+        group.bench_with_input(BenchmarkId::new("dfs", size), &graph, |b, g| {
+            b.iter(|| {
+                assert!(find_cycle(g).is_none());
+                black_box(g.edge_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scc", size), &graph, |b, g| {
+            b.iter(|| {
+                assert!(!is_cyclic_by_scc(g));
+                black_box(g.edge_count())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ranking", size),
+            &(graph.clone(), rank),
+            |b, (g, rank)| {
+                b.iter(|| {
+                    assert!(verify_ranking(g, rank).is_ok());
+                    black_box(g.edge_count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("channel-graph", size),
+            &(mesh, routing),
+            |b, (mesh, routing)| {
+                b.iter(|| {
+                    let cg = channel_dependency_graph(mesh, routing);
+                    assert!(find_cycle(&cg.graph).is_none());
+                    black_box(cg.channels.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Theorem 2 at scale: full GeNoC runs to evacuation, swept over mesh size,
+//! message count, worm length, and buffer depth. Evacuation steps are
+//! asserted inside the measured closure, so the bench doubles as a soak
+//! test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genoc_bench::{uniform, xy_mesh};
+use genoc_core::config::Config;
+use genoc_core::injection::IdentityInjection;
+use genoc_core::interpreter::{run, Outcome, RunOptions};
+use genoc_switching::wormhole::WormholePolicy;
+use std::hint::black_box;
+
+fn bench_mesh_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evacuation/mesh-size");
+    group.sample_size(10);
+    for size in [2usize, 4, 8] {
+        let (mesh, routing) = xy_mesh(size, 2);
+        let specs = uniform(size * size, 4 * size * size, 4, 11);
+        group.throughput(Throughput::Elements(specs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &(mesh, routing, specs),
+            |b, (mesh, routing, specs)| {
+                b.iter(|| {
+                    let cfg = Config::from_specs(mesh, routing, specs).unwrap();
+                    let r = run(
+                        mesh,
+                        &IdentityInjection,
+                        &mut WormholePolicy::default(),
+                        cfg,
+                        &RunOptions::default(),
+                    )
+                    .unwrap();
+                    assert_eq!(r.outcome, Outcome::Evacuated);
+                    black_box(r.steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_message_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evacuation/messages");
+    group.sample_size(10);
+    let (mesh, routing) = xy_mesh(4, 2);
+    for count in [16usize, 64, 256] {
+        let specs = uniform(16, count, 4, 13);
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &specs,
+            |b, specs| {
+                b.iter(|| {
+                    let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
+                    let r = run(
+                        &mesh,
+                        &IdentityInjection,
+                        &mut WormholePolicy::default(),
+                        cfg,
+                        &RunOptions::default(),
+                    )
+                    .unwrap();
+                    assert_eq!(r.outcome, Outcome::Evacuated);
+                    black_box(r.steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_worm_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evacuation/flits");
+    group.sample_size(10);
+    let (mesh, routing) = xy_mesh(4, 1);
+    for flits in [1usize, 4, 16] {
+        let specs = uniform(16, 32, flits, 17);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(flits),
+            &specs,
+            |b, specs| {
+                b.iter(|| {
+                    let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
+                    let r = run(
+                        &mesh,
+                        &IdentityInjection,
+                        &mut WormholePolicy::default(),
+                        cfg,
+                        &RunOptions::default(),
+                    )
+                    .unwrap();
+                    assert_eq!(r.outcome, Outcome::Evacuated);
+                    black_box(r.steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_buffer_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evacuation/buffers");
+    group.sample_size(10);
+    for capacity in [1u32, 2, 4] {
+        let (mesh, routing) = xy_mesh(4, capacity);
+        let specs = uniform(16, 64, 4, 19);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &(mesh, routing, specs),
+            |b, (mesh, routing, specs)| {
+                b.iter(|| {
+                    let cfg = Config::from_specs(mesh, routing, specs).unwrap();
+                    let r = run(
+                        mesh,
+                        &IdentityInjection,
+                        &mut WormholePolicy::default(),
+                        cfg,
+                        &RunOptions::default(),
+                    )
+                    .unwrap();
+                    assert_eq!(r.outcome, Outcome::Evacuated);
+                    black_box(r.steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mesh_sizes,
+    bench_message_counts,
+    bench_worm_lengths,
+    bench_buffer_depths
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 3: constructing the port dependency graph — the paper's closed-form
+//! `E^xy_dep` against the exhaustive routing-induced construction, across
+//! mesh sizes, plus the DOT export of the 2×2 instance the figure draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genoc_bench::xy_mesh;
+use genoc_depgraph::build::{port_dependency_graph, xy_mesh_dependency_graph};
+use genoc_depgraph::dot::to_dot;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/construction");
+    group.sample_size(10);
+    for size in [2usize, 4, 8, 16] {
+        let (mesh, routing) = xy_mesh(size, 1);
+        group.bench_with_input(
+            BenchmarkId::new("closed-form", size),
+            &mesh,
+            |b, mesh| b.iter(|| black_box(xy_mesh_dependency_graph(mesh)).edge_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", size),
+            &(mesh.clone(), routing),
+            |b, (mesh, routing)| {
+                b.iter(|| black_box(port_dependency_graph(mesh, routing)).edge_count())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dot_export(c: &mut Criterion) {
+    let (mesh, _) = xy_mesh(2, 1);
+    let graph = xy_mesh_dependency_graph(&mesh);
+    c.bench_function("fig3/dot-export-2x2", |b| {
+        b.iter(|| black_box(to_dot(&mesh, &graph, "fig3")).len())
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_dot_export);
+criterion_main!(benches);

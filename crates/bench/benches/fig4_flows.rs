@@ -1,0 +1,53 @@
+//! Fig. 4: the flows argument, executably — checking the flow escape lemmas
+//! and the closed-form ranking certificate against plain cycle search, across
+//! mesh sizes. The certificate is the `O(E)` counterpart of the paper's
+//! parametric (C-3) proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genoc_bench::xy_mesh;
+use genoc_depgraph::build::xy_mesh_dependency_graph;
+use genoc_depgraph::cycle::find_cycle;
+use genoc_depgraph::flows::check_flow_escapes;
+use genoc_depgraph::ranking::{verify_ranking, xy_mesh_ranking};
+use std::hint::black_box;
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+    for size in [4usize, 8, 16] {
+        let (mesh, _) = xy_mesh(size, 1);
+        let graph = xy_mesh_dependency_graph(&mesh);
+        let rank = xy_mesh_ranking(&mesh);
+        group.bench_with_input(
+            BenchmarkId::new("flow-escapes", size),
+            &(mesh.clone(), graph.clone()),
+            |b, (mesh, graph)| {
+                b.iter(|| {
+                    let violations = check_flow_escapes(mesh, graph);
+                    assert!(violations.is_empty());
+                    black_box(violations.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ranking-certificate", size),
+            &(graph.clone(), rank),
+            |b, (graph, rank)| {
+                b.iter(|| {
+                    assert!(verify_ranking(graph, rank).is_ok());
+                    black_box(rank.len())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dfs-search", size), &graph, |b, graph| {
+            b.iter(|| {
+                assert!(find_cycle(graph).is_none());
+                black_box(graph.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Switching-policy ablation: wormhole vs virtual cut-through vs
+//! store-and-forward on the same mesh and workload. Wormhole/VCT pipeline
+//! (steps ≈ hops + flits); store-and-forward serialises
+//! (steps ≈ hops × flits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genoc_bench::xy_mesh;
+use genoc_core::config::Config;
+use genoc_core::injection::IdentityInjection;
+use genoc_core::interpreter::{run, Outcome, RunOptions};
+use genoc_core::switching::SwitchingPolicy;
+use genoc_switching::{StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switching");
+    group.sample_size(10);
+    // Buffers sized so every policy can run (SAF/VCT need whole packets).
+    let (mesh, routing) = xy_mesh(4, 4);
+    let specs = genoc_sim::workload::transpose(&mesh, 4);
+    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn SwitchingPolicy>>)> = vec![
+        ("wormhole", Box::new(|| Box::new(WormholePolicy::default()))),
+        ("virtual-cut-through", Box::new(|| Box::new(VirtualCutThroughPolicy::new()))),
+        ("store-and-forward", Box::new(|| Box::new(StoreForwardPolicy::new()))),
+    ];
+    for (name, make) in &policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &specs, |b, specs| {
+            b.iter(|| {
+                let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
+                let mut policy = make();
+                let r = run(
+                    &mesh,
+                    &IdentityInjection,
+                    policy.as_mut(),
+                    cfg,
+                    &RunOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(r.outcome, Outcome::Evacuated);
+                black_box(r.steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

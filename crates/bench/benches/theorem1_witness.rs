@@ -1,0 +1,91 @@
+//! Theorem 1, both constructive directions, timed: cycle search, compiling a
+//! cycle into a deadlock configuration (sufficiency), and decompiling a live
+//! deadlock back into a cycle (necessity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genoc_depgraph::build::{port_dependency_graph, RoutingAnalysis};
+use genoc_depgraph::cycle::find_cycle;
+use genoc_depgraph::witness::{cycle_from_deadlock, deadlock_from_cycle_with};
+use genoc_routing::mixed::MixedXyYxRouting;
+use genoc_routing::ring::RingShortestRouting;
+use genoc_switching::wormhole::WormholePolicy;
+use genoc_topology::mesh::Mesh;
+use genoc_topology::ring::Ring;
+use std::hint::black_box;
+
+fn bench_sufficiency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1/sufficiency");
+    // Mixed router on a 3x3 mesh.
+    let mesh = Mesh::new(3, 3, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let analysis = RoutingAnalysis::new(&mesh, &routing);
+    let cycle = find_cycle(&analysis.graph).expect("cyclic");
+    group.bench_function("mesh-3x3-mixed", |b| {
+        b.iter(|| {
+            let w = deadlock_from_cycle_with(&mesh, &routing, &analysis, &cycle).unwrap();
+            assert!(!w.config.any_move_possible());
+            black_box(w.config.travels().len())
+        })
+    });
+    // Shortest-path ring.
+    let ring = Ring::new(8, 2);
+    let ring_routing = RingShortestRouting::new(&ring);
+    let ring_analysis = RoutingAnalysis::new(&ring, &ring_routing);
+    let ring_cycle = find_cycle(&ring_analysis.graph).expect("cyclic");
+    group.bench_function("ring-8-shortest", |b| {
+        b.iter(|| {
+            let w =
+                deadlock_from_cycle_with(&ring, &ring_routing, &ring_analysis, &ring_cycle)
+                    .unwrap();
+            assert!(!w.config.any_move_possible());
+            black_box(w.config.travels().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_necessity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1/necessity");
+    group.sample_size(10);
+    // Reach a live deadlock once, then time the extraction.
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc_sim::workload::bit_complement(&mesh, 4);
+    let hunt = genoc_sim::deadlock_hunt::hunt_workload(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        &specs,
+        0,
+        10_000,
+    )
+    .unwrap()
+    .expect("corner storm deadlocks");
+    let graph = port_dependency_graph(&mesh, &routing);
+    group.bench_function("extract-cycle-2x2", |b| {
+        b.iter(|| {
+            let cycle = cycle_from_deadlock(&mesh, &hunt.config).unwrap();
+            assert!(genoc_depgraph::cycle::is_cycle_of(&graph, &cycle));
+            black_box(cycle.len())
+        })
+    });
+    // And time reaching the deadlock itself.
+    group.bench_function("reach-live-deadlock-2x2", |b| {
+        b.iter(|| {
+            let h = genoc_sim::deadlock_hunt::hunt_workload(
+                &mesh,
+                &routing,
+                &mut WormholePolicy::default(),
+                &specs,
+                0,
+                10_000,
+            )
+            .unwrap();
+            black_box(h.expect("deadlock").steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sufficiency, bench_necessity);
+criterion_main!(benches);

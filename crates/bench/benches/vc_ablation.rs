@@ -1,0 +1,105 @@
+//! Virtual-channel ablation: the cost of the dateline repair. Dependency
+//! analysis and evacuation on the plain (deadlock-prone) versus two-VC
+//! (deadlock-free) ring and torus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genoc_core::config::Config;
+use genoc_core::injection::IdentityInjection;
+use genoc_core::interpreter::{run, Outcome, RunOptions};
+use genoc_depgraph::build::port_dependency_graph;
+use genoc_depgraph::cycle::find_cycle;
+use genoc_routing::ring::{RingDatelineRouting, RingShortestRouting};
+use genoc_routing::torus::{TorusDorDatelineRouting, TorusDorRouting};
+use genoc_switching::wormhole::WormholePolicy;
+use genoc_topology::ring::Ring;
+use genoc_topology::torus::Torus;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc-ablation/analysis");
+    for nodes in [8usize, 16, 32] {
+        let plain = Ring::new(nodes, 1);
+        let plain_routing = RingShortestRouting::new(&plain);
+        group.bench_with_input(
+            BenchmarkId::new("ring-plain", nodes),
+            &(plain, plain_routing),
+            |b, (net, routing)| {
+                b.iter(|| {
+                    let g = port_dependency_graph(net, routing);
+                    assert!(find_cycle(&g).is_some());
+                    black_box(g.edge_count())
+                })
+            },
+        );
+        let vc = Ring::with_vcs(nodes, 2, 1);
+        let vc_routing = RingDatelineRouting::new(&vc);
+        group.bench_with_input(
+            BenchmarkId::new("ring-dateline", nodes),
+            &(vc, vc_routing),
+            |b, (net, routing)| {
+                b.iter(|| {
+                    let g = port_dependency_graph(net, routing);
+                    assert!(find_cycle(&g).is_none());
+                    black_box(g.edge_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evacuation_with_vcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc-ablation/evacuation");
+    group.sample_size(10);
+    // Torus with datelines: safe under row pressure that deadlocks the
+    // plain torus.
+    let torus = Torus::with_vcs(4, 4, 2, 1);
+    let routing = TorusDorDatelineRouting::new(&torus);
+    let specs: Vec<_> = (0..16)
+        .map(|i| {
+            let (x, y) = (i % 4, i / 4);
+            genoc_core::spec::MessageSpec::new(
+                genoc_core::NodeId::from_index(i),
+                genoc_core::NodeId::from_index(y * 4 + (x + 2) % 4),
+                4,
+            )
+        })
+        .collect();
+    group.bench_function("torus-4x4-dateline-row-pressure", |b| {
+        b.iter(|| {
+            let cfg = Config::from_specs(&torus, &routing, &specs).unwrap();
+            let r = run(
+                &torus,
+                &IdentityInjection,
+                &mut WormholePolicy::default(),
+                cfg,
+                &RunOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(r.outcome, Outcome::Evacuated);
+            black_box(r.steps)
+        })
+    });
+    // The plain torus reaches its deadlock quickly; time that too.
+    let plain = Torus::new(4, 4, 1);
+    let plain_routing = TorusDorRouting::new(&plain);
+    group.bench_function("torus-4x4-plain-deadlocks", |b| {
+        b.iter(|| {
+            let cfg = Config::from_specs(&plain, &plain_routing, &specs).unwrap();
+            let r = run(
+                &plain,
+                &IdentityInjection,
+                &mut WormholePolicy::default(),
+                cfg,
+                &RunOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(r.outcome, Outcome::Deadlock);
+            black_box(r.steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_evacuation_with_vcs);
+criterion_main!(benches);

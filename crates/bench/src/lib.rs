@@ -1,0 +1,45 @@
+//! # genoc-bench
+//!
+//! Shared fixtures for the Criterion benches that regenerate the paper's
+//! table and figures. Each bench file in `benches/` maps to one experiment
+//! of EXPERIMENTS.md:
+//!
+//! * `table1_obligations` — Table I (per-obligation discharge effort);
+//! * `fig3_depgraph` — Fig. 3 (dependency-graph construction);
+//! * `fig4_flows` — Fig. 4 (flow/ranking certificates vs cycle search);
+//! * `theorem1_witness` — Theorem 1 (witness compilation both ways);
+//! * `evacuation` — Theorem 2 (GeNoC runs to evacuation);
+//! * `switching_compare` — wormhole vs cut-through vs store-and-forward;
+//! * `vc_ablation` — dateline virtual channels on ring/torus;
+//! * `discharge_strategies` — DFS vs SCC vs ranking for (C-3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use genoc_core::spec::MessageSpec;
+use genoc_routing::xy::XyRouting;
+use genoc_topology::mesh::Mesh;
+
+/// A square HERMES mesh with XY routing, the paper's instantiation.
+pub fn xy_mesh(size: usize, capacity: u32) -> (Mesh, XyRouting) {
+    let mesh = Mesh::new(size, size, capacity);
+    let routing = XyRouting::new(&mesh);
+    (mesh, routing)
+}
+
+/// A reproducible uniform workload over an `n`-node network.
+pub fn uniform(nodes: usize, messages: usize, flits: usize, seed: u64) -> Vec<MessageSpec> {
+    genoc_sim::workload::uniform_random(nodes, messages, 1..=flits, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (mesh, _) = xy_mesh(4, 1);
+        assert_eq!(genoc_core::network::Network::node_count(&mesh), 16);
+        assert_eq!(uniform(16, 10, 3, 0).len(), 10);
+    }
+}

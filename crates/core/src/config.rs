@@ -1,0 +1,541 @@
+//! Configurations `σ = ⟨T, ST, A⟩` and the flit-movement primitives shared by
+//! all switching policies.
+//!
+//! A configuration bundles the in-flight travel list `T`, the network state
+//! `ST`, and the arrived list `A`. The movement primitives (`enter_flit`,
+//! `advance_flit`, `eject_flit`) keep `T` and `ST` consistent; switching
+//! policies differ only in *which* admissible moves they perform per step.
+
+use crate::error::{Error, Result};
+use crate::ids::MsgId;
+use crate::network::Network;
+use crate::routing::RoutingFunction;
+use crate::spec::MessageSpec;
+use crate::state::NetworkState;
+use crate::travel::{FlitPos, Travel};
+
+/// A network configuration `σ = ⟨T, ST, A⟩`.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::line::{LineNetwork, LineRouting};
+/// use genoc_core::spec::MessageSpec;
+/// use genoc_core::config::Config;
+/// use genoc_core::NodeId;
+///
+/// # fn main() -> Result<(), genoc_core::Error> {
+/// let net = LineNetwork::new(3, 1);
+/// let routing = LineRouting::new(&net);
+/// let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2)];
+/// let cfg = Config::from_specs(&net, &routing, &specs)?;
+/// assert_eq!(cfg.travels().len(), 1);
+/// assert!(cfg.arrived().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Config {
+    travels: Vec<Travel>,
+    state: NetworkState,
+    arrived: Vec<Travel>,
+}
+
+impl Config {
+    /// Builds the initial configuration for a workload: every message of
+    /// `specs` becomes a travel with a pre-computed route and all flits
+    /// pending at the source IP core (all messages are present at time 0, so
+    /// the identity injection method satisfies (C-4)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification and route-computation errors.
+    pub fn from_specs(
+        net: &dyn Network,
+        routing: &dyn RoutingFunction,
+        specs: &[MessageSpec],
+    ) -> Result<Self> {
+        let travels = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Travel::from_spec(net, routing, MsgId::from_index(i), spec))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Config {
+            travels,
+            state: NetworkState::for_network(net),
+            arrived: Vec::new(),
+        })
+    }
+
+    /// Builds a configuration from explicit (possibly mid-flight) travels,
+    /// reconstructing buffer occupancy and ownership from the flit positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] or [`Error::CapacityExceeded`] if two
+    /// travels claim the same port or a port is over-subscribed, and
+    /// propagates worm-shape violations.
+    pub fn from_travels(net: &dyn Network, travels: Vec<Travel>) -> Result<Self> {
+        let mut state = NetworkState::for_network(net);
+        for t in &travels {
+            t.check_invariants()?;
+            for pos in t.flit_positions() {
+                if let FlitPos::InNetwork(k) = pos {
+                    state.enter(t.route()[k], t.id())?;
+                }
+            }
+            if let Some((lo, hi)) = t.owned_route_range() {
+                for k in lo..=hi {
+                    state.claim(t.route()[k], t.id())?;
+                }
+            }
+        }
+        let (arrived, travels) = travels.into_iter().partition(|t| t.is_arrived());
+        Ok(Config { travels, state, arrived })
+    }
+
+    /// The in-flight travel list `T`.
+    pub fn travels(&self) -> &[Travel] {
+        &self.travels
+    }
+
+    /// Appends a travel to `T`, registering any in-network flits and owned
+    /// ports with the network state. Used by non-identity injection methods
+    /// (the paper's future-work extension) to release messages into the
+    /// configuration after time 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the travel violates the worm-shape
+    /// invariant or conflicts with resident packets.
+    pub fn push_travel(&mut self, travel: Travel) -> Result<()> {
+        travel.check_invariants()?;
+        if self.travels.iter().chain(self.arrived.iter()).any(|t| t.id() == travel.id()) {
+            return Err(Error::Invariant(format!(
+                "travel {} already present in configuration",
+                travel.id()
+            )));
+        }
+        for pos in travel.flit_positions() {
+            if let FlitPos::InNetwork(k) = pos {
+                self.state.enter(travel.route()[k], travel.id())?;
+            }
+        }
+        if let Some((lo, hi)) = travel.owned_route_range() {
+            for k in lo..=hi {
+                self.state.claim(travel.route()[k], travel.id())?;
+            }
+        }
+        self.travels.push(travel);
+        Ok(())
+    }
+
+    /// The arrived travel list `A`.
+    pub fn arrived(&self) -> &[Travel] {
+        &self.arrived
+    }
+
+    /// The network state `ST`.
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Travel at index `i` of `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn travel(&self, i: usize) -> &Travel {
+        &self.travels[i]
+    }
+
+    /// Finds an in-flight travel by identifier.
+    pub fn travel_by_id(&self, id: MsgId) -> Option<&Travel> {
+        self.travels.iter().find(|t| t.id() == id)
+    }
+
+    /// Whether every message has arrived (`T = ∅`), the first termination
+    /// case of the `GeNoC` function.
+    pub fn is_evacuated(&self) -> bool {
+        self.travels.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Movement primitives
+    // ------------------------------------------------------------------
+
+    /// Whether flit `flit` of travel `i` may enter the network at `route[0]`
+    /// under wormhole admission rules.
+    pub fn can_enter_flit(&self, i: usize, flit: usize) -> bool {
+        let t = &self.travels[i];
+        if t.flit_pos(flit) != FlitPos::Pending {
+            return false;
+        }
+        // A non-head flit may only enter once its predecessor has.
+        if flit > 0 && t.flit_pos(flit - 1) == FlitPos::Pending {
+            return false;
+        }
+        self.state.can_enter(t.route()[0], t.id(), flit == 0)
+    }
+
+    /// Moves flit `flit` of travel `i` from the source IP core into
+    /// `route[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the move is not admissible.
+    pub fn enter_flit(&mut self, i: usize, flit: usize) -> Result<()> {
+        if !self.can_enter_flit(i, flit) {
+            return Err(Error::Invariant(format!(
+                "inadmissible entry of flit {flit} of travel index {i}"
+            )));
+        }
+        let (port, id) = {
+            let t = &self.travels[i];
+            (t.route()[0], t.id())
+        };
+        self.state.enter(port, id)?;
+        self.travels[i].set_flit_pos(flit, FlitPos::InNetwork(0));
+        Ok(())
+    }
+
+    /// Whether flit `flit` of travel `i` may advance one hop along its route
+    /// under wormhole admission rules: the target port has a free buffer, the
+    /// ownership rules admit the flit, and the flit does not pass its
+    /// predecessor.
+    pub fn can_advance_flit(&self, i: usize, flit: usize) -> bool {
+        let t = &self.travels[i];
+        let k = match t.flit_pos(flit) {
+            FlitPos::InNetwork(k) => k,
+            _ => return false,
+        };
+        if k + 1 >= t.route().len() {
+            return false; // at the destination port; the only move left is ejection
+        }
+        if flit > 0 {
+            match t.flit_pos(flit - 1) {
+                FlitPos::Delivered => {}
+                FlitPos::InNetwork(pk) if pk >= k + 1 => {}
+                _ => return false,
+            }
+        }
+        self.state.can_enter(t.route()[k + 1], t.id(), flit == 0)
+    }
+
+    /// Advances flit `flit` of travel `i` one hop along its route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the move is not admissible.
+    pub fn advance_flit(&mut self, i: usize, flit: usize) -> Result<()> {
+        if !self.can_advance_flit(i, flit) {
+            return Err(Error::Invariant(format!(
+                "inadmissible advance of flit {flit} of travel index {i}"
+            )));
+        }
+        let (from, to, id, is_tail) = {
+            let t = &self.travels[i];
+            let k = match t.flit_pos(flit) {
+                FlitPos::InNetwork(k) => k,
+                _ => unreachable!("checked by can_advance_flit"),
+            };
+            (t.route()[k], t.route()[k + 1], t.id(), t.is_tail(flit))
+        };
+        self.state.enter(to, id)?;
+        self.state.leave(from, id, is_tail)?;
+        let t = &mut self.travels[i];
+        let k = match t.flit_pos(flit) {
+            FlitPos::InNetwork(k) => k,
+            _ => unreachable!(),
+        };
+        t.set_flit_pos(flit, FlitPos::InNetwork(k + 1));
+        Ok(())
+    }
+
+    /// Whether flit `flit` of travel `i` may eject into the destination IP
+    /// core: it resides in the destination port and every flit ahead of it
+    /// has been delivered (flits leave in order).
+    pub fn can_eject_flit(&self, i: usize, flit: usize) -> bool {
+        let t = &self.travels[i];
+        let k = match t.flit_pos(flit) {
+            FlitPos::InNetwork(k) => k,
+            _ => return false,
+        };
+        if k + 1 != t.route().len() {
+            return false;
+        }
+        flit == 0 || t.flit_pos(flit - 1) == FlitPos::Delivered
+    }
+
+    /// Ejects flit `flit` of travel `i` into the destination IP core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the move is not admissible.
+    pub fn eject_flit(&mut self, i: usize, flit: usize) -> Result<()> {
+        if !self.can_eject_flit(i, flit) {
+            return Err(Error::Invariant(format!(
+                "inadmissible ejection of flit {flit} of travel index {i}"
+            )));
+        }
+        let (port, id, is_tail) = {
+            let t = &self.travels[i];
+            (t.dest(), t.id(), t.is_tail(flit))
+        };
+        self.state.leave(port, id, is_tail)?;
+        self.travels[i].set_flit_pos(flit, FlitPos::Delivered);
+        Ok(())
+    }
+
+    /// Moves every fully-delivered travel from `T` to `A`, preserving order.
+    /// Returns the identifiers of the newly arrived travels.
+    pub fn drain_arrived(&mut self) -> Vec<MsgId> {
+        let mut newly = Vec::new();
+        let mut i = 0;
+        while i < self.travels.len() {
+            if self.travels[i].is_arrived() {
+                let t = self.travels.remove(i);
+                newly.push(t.id());
+                self.arrived.push(t);
+            } else {
+                i += 1;
+            }
+        }
+        newly
+    }
+
+    // ------------------------------------------------------------------
+    // Global predicates and measures
+    // ------------------------------------------------------------------
+
+    /// Whether any flit of any in-flight travel can move under wormhole
+    /// admission rules. The deadlock predicate `Ω(σ)` of the paper is the
+    /// negation of this (for non-empty `T`).
+    pub fn any_move_possible(&self) -> bool {
+        (0..self.travels.len()).any(|i| self.travel_can_progress(i))
+    }
+
+    /// Whether travel `i` can make progression: some flit of it can enter,
+    /// advance, or eject.
+    pub fn travel_can_progress(&self, i: usize) -> bool {
+        let flits = self.travels[i].flit_count();
+        (0..flits).any(|f| {
+            self.can_enter_flit(i, f) || self.can_advance_flit(i, f) || self.can_eject_flit(i, f)
+        })
+    }
+
+    /// The paper's termination measure `μxy(σ) = Σ |m.r|` over the in-flight
+    /// travels: total remaining header route length.
+    pub fn route_length_measure(&self) -> u64 {
+        self.travels.iter().map(|t| t.remaining_route() as u64).sum()
+    }
+
+    /// The refined, strictly-decreasing measure: total number of flit moves
+    /// still needed to deliver every in-flight message.
+    pub fn progress_measure(&self) -> u64 {
+        self.travels.iter().map(Travel::progress_potential).sum()
+    }
+
+    /// Verifies the cross-structure invariants: worm shapes, buffer
+    /// occupancy matching flit positions, and ownership matching the owned
+    /// route ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] describing the first violation found.
+    pub fn validate(&self, net: &dyn Network) -> Result<()> {
+        let mut expected = NetworkState::for_network(net);
+        for t in self.travels.iter().chain(self.arrived.iter()) {
+            t.check_invariants()?;
+            for pos in t.flit_positions() {
+                if let FlitPos::InNetwork(k) = pos {
+                    expected.enter(t.route()[k], t.id())?;
+                }
+            }
+            if let Some((lo, hi)) = t.owned_route_range() {
+                for k in lo..=hi {
+                    expected.claim(t.route()[k], t.id())?;
+                }
+            }
+        }
+        for p in net.ports() {
+            let got = self.state.port(p);
+            let want = expected.port(p);
+            if got != want {
+                return Err(Error::Invariant(format!(
+                    "port {p}: state {got:?} but flit positions imply {want:?}"
+                )));
+            }
+        }
+        for t in &self.arrived {
+            if !t.is_arrived() {
+                return Err(Error::Invariant(format!(
+                    "travel {} in A but not fully delivered",
+                    t.id()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::line::{LineNetwork, LineRouting};
+
+    fn setup(nodes: usize, capacity: u32, specs: &[MessageSpec]) -> (LineNetwork, Config) {
+        let net = LineNetwork::new(nodes, capacity);
+        let routing = LineRouting::new(&net);
+        let cfg = Config::from_specs(&net, &routing, specs).unwrap();
+        (net, cfg)
+    }
+
+    fn spec(s: usize, d: usize, flits: usize) -> MessageSpec {
+        MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), flits)
+    }
+
+    #[test]
+    fn single_flit_message_walks_its_route() {
+        let (net, mut cfg) = setup(3, 1, &[spec(0, 2, 1)]);
+        cfg.validate(&net).unwrap();
+        assert!(cfg.can_enter_flit(0, 0));
+        cfg.enter_flit(0, 0).unwrap();
+        cfg.validate(&net).unwrap();
+        let hops = cfg.travel(0).route().len() - 1;
+        for _ in 0..hops {
+            assert!(cfg.can_advance_flit(0, 0));
+            cfg.advance_flit(0, 0).unwrap();
+            cfg.validate(&net).unwrap();
+        }
+        assert!(!cfg.can_advance_flit(0, 0), "at destination only ejection remains");
+        assert!(cfg.can_eject_flit(0, 0));
+        cfg.eject_flit(0, 0).unwrap();
+        cfg.validate(&net).unwrap();
+        assert_eq!(cfg.drain_arrived().len(), 1);
+        assert!(cfg.is_evacuated());
+        // Every port released.
+        assert!(cfg.state().ports().all(|p| p.available()));
+    }
+
+    #[test]
+    fn body_flit_cannot_enter_before_head() {
+        let (_, cfg) = setup(3, 2, &[spec(0, 2, 2)]);
+        assert!(cfg.can_enter_flit(0, 0));
+        assert!(!cfg.can_enter_flit(0, 1));
+    }
+
+    #[test]
+    fn body_flit_follows_head_into_same_port() {
+        let (net, mut cfg) = setup(3, 2, &[spec(0, 2, 2)]);
+        cfg.enter_flit(0, 0).unwrap();
+        assert!(cfg.can_enter_flit(0, 1), "capacity 2 admits the body flit too");
+        cfg.enter_flit(0, 1).unwrap();
+        cfg.validate(&net).unwrap();
+        assert_eq!(cfg.state().port(cfg.travel(0).route()[0]).occupied(), 2);
+    }
+
+    #[test]
+    fn capacity_one_serialises_the_worm() {
+        let (net, mut cfg) = setup(3, 1, &[spec(0, 2, 2)]);
+        cfg.enter_flit(0, 0).unwrap();
+        assert!(!cfg.can_enter_flit(0, 1), "port full");
+        cfg.advance_flit(0, 0).unwrap();
+        assert!(cfg.can_enter_flit(0, 1), "vacated and still owned by the worm");
+        cfg.enter_flit(0, 1).unwrap();
+        cfg.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn competing_header_is_blocked_by_ownership() {
+        let (net, mut cfg) = setup(3, 2, &[spec(0, 2, 2), spec(0, 1, 1)]);
+        cfg.enter_flit(0, 0).unwrap();
+        assert!(
+            !cfg.can_enter_flit(1, 0),
+            "local in-port owned by travel 0 until its tail passes"
+        );
+        // Walk travel 0's head forward; ownership of the in-port persists
+        // until the tail flit leaves it.
+        cfg.advance_flit(0, 0).unwrap();
+        assert!(!cfg.can_enter_flit(1, 0));
+        cfg.enter_flit(0, 1).unwrap(); // tail enters
+        cfg.advance_flit(0, 0).unwrap();
+        cfg.advance_flit(0, 1).unwrap(); // tail leaves route[0]
+        assert!(cfg.can_enter_flit(1, 0), "ownership released after tail passed");
+        cfg.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn flits_eject_in_order() {
+        let (net, mut cfg) = setup(2, 2, &[spec(0, 1, 2)]);
+        cfg.enter_flit(0, 0).unwrap();
+        cfg.enter_flit(0, 1).unwrap();
+        let hops = cfg.travel(0).route().len() - 1;
+        for _ in 0..hops {
+            cfg.advance_flit(0, 0).unwrap();
+            cfg.advance_flit(0, 1).unwrap();
+        }
+        assert!(!cfg.can_eject_flit(0, 1), "tail must wait for the head");
+        cfg.eject_flit(0, 0).unwrap();
+        assert!(cfg.can_eject_flit(0, 1));
+        cfg.eject_flit(0, 1).unwrap();
+        cfg.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn measures_decrease_with_each_move() {
+        let (_, mut cfg) = setup(3, 1, &[spec(0, 2, 1)]);
+        let mut last = cfg.progress_measure();
+        cfg.enter_flit(0, 0).unwrap();
+        assert_eq!(cfg.progress_measure(), last - 1);
+        last = cfg.progress_measure();
+        cfg.advance_flit(0, 0).unwrap();
+        assert_eq!(cfg.progress_measure(), last - 1);
+    }
+
+    #[test]
+    fn route_length_measure_matches_paper_definition() {
+        let (_, mut cfg) = setup(3, 1, &[spec(0, 2, 1), spec(1, 2, 1)]);
+        let expected: u64 = cfg
+            .travels()
+            .iter()
+            .map(|t| (t.route().len() - 1) as u64)
+            .sum();
+        assert_eq!(cfg.route_length_measure(), expected);
+        cfg.enter_flit(0, 0).unwrap();
+        assert_eq!(cfg.route_length_measure(), expected, "entry does not shorten |m.r|");
+        cfg.advance_flit(0, 0).unwrap();
+        assert_eq!(cfg.route_length_measure(), expected - 1);
+    }
+
+    #[test]
+    fn from_travels_reconstructs_state() {
+        let (net, mut cfg) = setup(3, 2, &[spec(0, 2, 2)]);
+        cfg.enter_flit(0, 0).unwrap();
+        cfg.enter_flit(0, 1).unwrap();
+        cfg.advance_flit(0, 0).unwrap();
+        let rebuilt = Config::from_travels(&net, cfg.travels().to_vec()).unwrap();
+        assert_eq!(rebuilt.state(), cfg.state());
+    }
+
+    #[test]
+    fn from_travels_rejects_conflicting_ownership() {
+        let (net, cfg) = setup(3, 2, &[spec(0, 2, 1), spec(0, 1, 1)]);
+        let mut t0 = cfg.travel(0).clone();
+        let mut t1 = cfg.travel(1).clone();
+        // Both claim route[0] (the shared local in-port of node 0).
+        t0.set_flit_pos(0, FlitPos::InNetwork(0));
+        t1.set_flit_pos(0, FlitPos::InNetwork(0));
+        assert!(Config::from_travels(&net, vec![t0, t1]).is_err());
+    }
+
+    #[test]
+    fn progress_predicates_match_moves() {
+        let (_, mut cfg) = setup(3, 1, &[spec(0, 2, 1)]);
+        assert!(cfg.any_move_possible());
+        assert!(cfg.travel_can_progress(0));
+        cfg.enter_flit(0, 0).unwrap();
+        assert!(cfg.any_move_possible());
+    }
+}

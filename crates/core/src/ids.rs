@@ -1,0 +1,152 @@
+//! Dense identifier newtypes used across the GeNoC model.
+//!
+//! All identifiers are dense indices into per-instance tables, so they can be
+//! used directly to index vectors without hashing. They are deliberately
+//! opaque: the meaning of a [`PortId`] (its coordinates, cardinal name,
+//! direction, …) is owned by the network instance that issued it and can be
+//! recovered through [`crate::network::Network::attrs`] and
+//! [`crate::network::Network::port_label`].
+
+use std::fmt;
+
+/// Identifier of a port in a fixed network instance.
+///
+/// Ports are numbered densely from `0..`[`port_count`], so a `PortId` doubles
+/// as an index into per-port tables such as the network state or a dependency
+/// graph.
+///
+/// [`port_count`]: crate::network::Network::port_count
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::PortId;
+///
+/// let p = PortId::from_index(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PortId(u32);
+
+impl PortId {
+    /// Creates a port identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        PortId(u32::try_from(index).expect("port index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this port.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a processing node (an IP core plus its switch).
+///
+/// Nodes are numbered densely from `0..`[`node_count`].
+///
+/// [`node_count`]: crate::network::Network::node_count
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unique identifier of a travel (a message in flight), the `id` component of
+/// the paper's travel triple `⟨id, c, d⟩`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MsgId(u32);
+
+impl MsgId {
+    /// Creates a message identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        MsgId(u32::try_from(index).expect("message index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this message.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_id_round_trips_through_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(PortId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        assert_eq!(NodeId::from_index(42).index(), 42);
+    }
+
+    #[test]
+    fn msg_id_round_trips_through_index() {
+        assert_eq!(MsgId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PortId::from_index(1) < PortId::from_index(2));
+        assert!(NodeId::from_index(0) < NodeId::from_index(9));
+        assert!(MsgId::from_index(3) < MsgId::from_index(4));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PortId::from_index(5).to_string(), "p5");
+        assert_eq!(NodeId::from_index(5).to_string(), "n5");
+        assert_eq!(MsgId::from_index(5).to_string(), "m5");
+    }
+
+    #[test]
+    fn ids_default_to_zero() {
+        assert_eq!(PortId::default().index(), 0);
+        assert_eq!(NodeId::default().index(), 0);
+        assert_eq!(MsgId::default().index(), 0);
+    }
+}

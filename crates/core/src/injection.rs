@@ -1,0 +1,230 @@
+//! The [`InjectionMethod`] abstraction, the paper's identity injection, and
+//! the scheduled-injection extension from its future-work discussion.
+
+use std::cell::RefCell;
+
+use crate::config::Config;
+use crate::error::Result;
+use crate::network::Network;
+use crate::travel::Travel;
+
+/// An injection method: the constituent `I` of the GeNoC triple.
+///
+/// Given a configuration, it decides which travels are ready for departure
+/// and moves them into the network. The instances verified in the paper
+/// assume all messages are injected at time 0, so the method is the identity
+/// (proof obligation (C-4): `I(σ) = σ`); [`IdentityInjection`] implements
+/// exactly that.
+pub trait InjectionMethod {
+    /// Human-readable name, e.g. `"identity"`.
+    fn name(&self) -> String;
+
+    /// Injects ready travels into the network state.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error only on internal invariant violations.
+    fn inject(&self, net: &dyn Network, cfg: &mut Config) -> Result<()>;
+}
+
+/// The identity injection `Iid` of the paper: all messages are already part
+/// of the initial travel list, so injection changes nothing.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::injection::{IdentityInjection, InjectionMethod};
+/// use genoc_core::line::{LineNetwork, LineRouting};
+/// use genoc_core::spec::MessageSpec;
+/// use genoc_core::config::Config;
+/// use genoc_core::NodeId;
+///
+/// # fn main() -> Result<(), genoc_core::Error> {
+/// let net = LineNetwork::new(2, 1);
+/// let routing = LineRouting::new(&net);
+/// let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 1)];
+/// let mut cfg = Config::from_specs(&net, &routing, &specs)?;
+/// let before = cfg.clone();
+/// IdentityInjection.inject(&net, &mut cfg)?;
+/// assert_eq!(before, cfg); // (C-4)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IdentityInjection;
+
+impl InjectionMethod for IdentityInjection {
+    fn name(&self) -> String {
+        "identity".into()
+    }
+
+    fn inject(&self, _net: &dyn Network, _cfg: &mut Config) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Scheduled injection: the future-work extension sketched in Section IX of
+/// the paper, where messages are not all present at time 0 but released into
+/// the travel list over time.
+///
+/// Each travel carries a release step; on every interpreter iteration the
+/// method moves the due travels into `σ.T`. If the travel list drains while
+/// releases remain, the schedule fast-forwards to the next release (idle
+/// network time is skipped), so the interpreter's `σ.T = ∅` termination
+/// test remains correct.
+///
+/// The paper's constraint (C-4) obviously does not hold for this method —
+/// it exists to demonstrate the *rephrased* evacuation theorem: every
+/// message that is eventually injected eventually leaves the network.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::injection::ScheduledInjection;
+/// use genoc_core::line::{LineNetwork, LineRouting, LineSwitching};
+/// use genoc_core::interpreter::{run, Outcome, RunOptions};
+/// use genoc_core::spec::MessageSpec;
+/// use genoc_core::travel::Travel;
+/// use genoc_core::config::Config;
+/// use genoc_core::{MsgId, NodeId};
+///
+/// # fn main() -> Result<(), genoc_core::Error> {
+/// let net = LineNetwork::new(3, 1);
+/// let routing = LineRouting::new(&net);
+/// let spec = MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2);
+/// let late = Travel::from_spec(&net, &routing, MsgId::from_index(0), &spec)?;
+/// let injection = ScheduledInjection::new(vec![(5, late)]);
+/// let cfg = Config::from_specs(&net, &routing, &[])?;
+/// let result = run(&net, &injection, &mut LineSwitching::default(), cfg,
+///                  &RunOptions::default())?;
+/// assert_eq!(result.outcome, Outcome::Evacuated);
+/// assert_eq!(result.config.arrived().len(), 1);
+/// assert_eq!(injection.remaining(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScheduledInjection {
+    /// `(release step, travel)` pairs, earliest release last (kept sorted so
+    /// releases pop off the back). Interior mutability because the
+    /// interpreter drives injection through a shared reference.
+    schedule: RefCell<Vec<(u64, Travel)>>,
+    step: RefCell<u64>,
+}
+
+impl ScheduledInjection {
+    /// Creates a scheduled injection from `(release step, travel)` pairs.
+    pub fn new(mut schedule: Vec<(u64, Travel)>) -> Self {
+        // Latest release first, so due items pop from the back.
+        schedule.sort_by(|a, b| b.0.cmp(&a.0));
+        ScheduledInjection { schedule: RefCell::new(schedule), step: RefCell::new(0) }
+    }
+
+    /// Number of travels not yet released.
+    pub fn remaining(&self) -> usize {
+        self.schedule.borrow().len()
+    }
+}
+
+impl InjectionMethod for ScheduledInjection {
+    fn name(&self) -> String {
+        "scheduled".into()
+    }
+
+    fn inject(&self, _net: &dyn Network, cfg: &mut Config) -> Result<()> {
+        let mut schedule = self.schedule.borrow_mut();
+        let mut now = self.step.borrow_mut();
+        // Fast-forward across idle gaps so `σ.T = ∅` keeps meaning "done".
+        if cfg.is_evacuated() {
+            if let Some(&(release, _)) = schedule.last() {
+                *now = (*now).max(release);
+            }
+        }
+        while schedule.last().is_some_and(|&(release, _)| release <= *now) {
+            let (_, travel) = schedule.pop().expect("checked non-empty");
+            cfg.push_travel(travel)?;
+        }
+        *now += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MsgId, NodeId};
+    use crate::line::{LineNetwork, LineRouting, LineSwitching};
+    use crate::spec::MessageSpec;
+
+    #[test]
+    fn identity_injection_is_identity() {
+        let net = LineNetwork::new(3, 1);
+        let routing = LineRouting::new(&net);
+        let specs = [
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2),
+            MessageSpec::new(NodeId::from_index(2), NodeId::from_index(0), 1),
+        ];
+        let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        let before = cfg.clone();
+        IdentityInjection.inject(&net, &mut cfg).unwrap();
+        assert_eq!(before, cfg);
+    }
+
+    fn travel(net: &LineNetwork, routing: &LineRouting, id: usize, s: usize, d: usize) -> Travel {
+        let spec = MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), 2);
+        Travel::from_spec(net, routing, MsgId::from_index(id), &spec).unwrap()
+    }
+
+    #[test]
+    fn scheduled_injection_releases_in_order() {
+        let net = LineNetwork::new(3, 1);
+        let routing = LineRouting::new(&net);
+        let injection = ScheduledInjection::new(vec![
+            (2, travel(&net, &routing, 1, 1, 2)),
+            (0, travel(&net, &routing, 0, 0, 2)),
+        ]);
+        let mut cfg = Config::from_specs(&net, &routing, &[]).unwrap();
+        injection.inject(&net, &mut cfg).unwrap(); // step 0: releases id 0
+        assert_eq!(cfg.travels().len(), 1);
+        assert_eq!(injection.remaining(), 1);
+        injection.inject(&net, &mut cfg).unwrap(); // step 1: nothing due
+        assert_eq!(cfg.travels().len(), 1);
+        injection.inject(&net, &mut cfg).unwrap(); // step 2: releases id 1
+        assert_eq!(cfg.travels().len(), 2);
+        assert_eq!(injection.remaining(), 0);
+    }
+
+    #[test]
+    fn scheduled_injection_fast_forwards_idle_gaps() {
+        let net = LineNetwork::new(3, 1);
+        let routing = LineRouting::new(&net);
+        let injection =
+            ScheduledInjection::new(vec![(1000, travel(&net, &routing, 0, 0, 2))]);
+        let mut cfg = Config::from_specs(&net, &routing, &[]).unwrap();
+        injection.inject(&net, &mut cfg).unwrap();
+        assert_eq!(cfg.travels().len(), 1, "empty travel list warps to the next release");
+    }
+
+    #[test]
+    fn scheduled_run_evacuates_every_release() {
+        let net = LineNetwork::new(4, 1);
+        let routing = LineRouting::new(&net);
+        let injection = ScheduledInjection::new(vec![
+            (0, travel(&net, &routing, 0, 0, 3)),
+            (3, travel(&net, &routing, 1, 3, 0)),
+            (40, travel(&net, &routing, 2, 2, 0)),
+        ]);
+        let cfg = Config::from_specs(&net, &routing, &[]).unwrap();
+        let result = crate::interpreter::run(
+            &net,
+            &injection,
+            &mut LineSwitching::default(),
+            cfg,
+            &crate::interpreter::RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.outcome, crate::interpreter::Outcome::Evacuated);
+        assert_eq!(result.config.arrived().len(), 3);
+        assert_eq!(injection.remaining(), 0);
+    }
+}

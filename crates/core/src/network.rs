@@ -1,0 +1,248 @@
+//! The [`Network`] abstraction: a fixed interconnection-network instance.
+//!
+//! A network is a set of *ports* grouped into *nodes*, wired together by
+//! unidirectional links. This is the port-level view of the paper: every
+//! switch port (cardinal in/out ports plus the local injection/ejection
+//! ports) is an individual vertex of the model, and the routing function is
+//! defined *between ports* rather than between nodes. Buffering is attached
+//! to ports: each port owns `capacity` one-flit buffers (Fig. 1b of the
+//! paper).
+
+use crate::ids::{NodeId, PortId};
+
+/// Direction of a port relative to its switch.
+///
+/// `In` ports receive flits from a link (or from the local IP core for the
+/// injection port); `Out` ports feed a link (or the local IP core for the
+/// ejection port).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Direction {
+    /// Port receiving flits into the switch.
+    In,
+    /// Port emitting flits out of the switch.
+    Out,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        match self {
+            Direction::In => Direction::Out,
+            Direction::Out => Direction::In,
+        }
+    }
+}
+
+/// Static attributes of a port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortAttrs {
+    /// Node (IP core + switch) this port belongs to.
+    pub node: NodeId,
+    /// Whether the port faces into or out of the switch.
+    pub direction: Direction,
+    /// Whether this is a *local* port, i.e. the interface to the IP core
+    /// (the injection port when `direction == In`, the ejection port when
+    /// `direction == Out`).
+    pub local: bool,
+    /// Number of one-flit buffers attached to the port.
+    pub capacity: u32,
+}
+
+impl PortAttrs {
+    /// Returns `true` for the local ejection port of a node — the only kind
+    /// of port a message may have as destination.
+    pub fn is_local_out(&self) -> bool {
+        self.local && self.direction == Direction::Out
+    }
+
+    /// Returns `true` for the local injection port of a node.
+    pub fn is_local_in(&self) -> bool {
+        self.local && self.direction == Direction::In
+    }
+}
+
+/// A fixed interconnection-network instance.
+///
+/// Implementations enumerate their ports densely (`0..port_count()`) and
+/// their nodes densely (`0..node_count()`), describe every port through
+/// [`attrs`](Network::attrs), and wire out-ports to in-ports through
+/// [`next_in`](Network::next_in) (the function `next_in` of the paper).
+///
+/// The trait is object-safe; all analysis code accepts `&dyn Network`.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::line::LineNetwork;
+/// use genoc_core::network::Network;
+///
+/// let net = LineNetwork::new(3, 2);
+/// assert_eq!(net.node_count(), 3);
+/// // Interior node: local in/out + forward in/out + backward in/out.
+/// assert!(net.port_count() > 6);
+/// let d = net.local_out(genoc_core::NodeId::from_index(2));
+/// assert!(net.attrs(d).is_local_out());
+/// ```
+pub trait Network {
+    /// Number of ports in the instance.
+    fn port_count(&self) -> usize;
+
+    /// Number of processing nodes in the instance.
+    fn node_count(&self) -> usize;
+
+    /// Static attributes of port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `p` is out of range.
+    fn attrs(&self, p: PortId) -> PortAttrs;
+
+    /// The in-port at the other end of the link driven by out-port `p`
+    /// (e.g. `next_in(⟨0,0,E,Out⟩) = ⟨1,0,W,In⟩` on a mesh).
+    ///
+    /// Returns `None` for in-ports and for local ejection ports, which do not
+    /// drive a link.
+    fn next_in(&self, p: PortId) -> Option<PortId>;
+
+    /// The local injection port of node `n`.
+    fn local_in(&self, n: NodeId) -> PortId;
+
+    /// The local ejection port of node `n`.
+    fn local_out(&self, n: NodeId) -> PortId;
+
+    /// Human-readable label for a port, e.g. `"(1,0) W in"`.
+    fn port_label(&self, p: PortId) -> String;
+
+    /// Human-readable name of the topology, e.g. `"mesh 4x4"`.
+    fn topology_name(&self) -> String;
+
+    /// Iterates over all port identifiers.
+    fn ports(&self) -> PortIdRange {
+        PortIdRange { next: 0, end: self.port_count() }
+    }
+
+    /// Iterates over all node identifiers.
+    fn nodes(&self) -> NodeIdRange {
+        NodeIdRange { next: 0, end: self.node_count() }
+    }
+
+    /// All valid destination ports (the local ejection ports), in node order.
+    fn destinations(&self) -> Vec<PortId> {
+        self.nodes().map(|n| self.local_out(n)).collect()
+    }
+
+    /// The reachability relation `s R d` of the paper: destination `d` is
+    /// reachable from a port `s` holding a message.
+    ///
+    /// The default definition matches the instances of the paper: `d` must be
+    /// a local ejection port, `s` must not itself be a local ejection port
+    /// (messages in an ejection port have arrived and are no longer routed),
+    /// and `s ≠ d`.
+    fn reachable(&self, s: PortId, d: PortId) -> bool {
+        s != d && self.attrs(d).is_local_out() && !self.attrs(s).is_local_out()
+    }
+}
+
+/// Iterator over all [`PortId`]s of a network, produced by
+/// [`Network::ports`].
+#[derive(Clone, Debug)]
+pub struct PortIdRange {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for PortIdRange {
+    type Item = PortId;
+
+    fn next(&mut self) -> Option<PortId> {
+        if self.next < self.end {
+            let p = PortId::from_index(self.next);
+            self.next += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PortIdRange {}
+
+/// Iterator over all [`NodeId`]s of a network, produced by
+/// [`Network::nodes`].
+#[derive(Clone, Debug)]
+pub struct NodeIdRange {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for NodeIdRange {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let n = NodeId::from_index(self.next);
+            self.next += 1;
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NodeIdRange {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineNetwork;
+
+    #[test]
+    fn direction_opposite_involutes() {
+        assert_eq!(Direction::In.opposite(), Direction::Out);
+        assert_eq!(Direction::Out.opposite().opposite(), Direction::Out);
+    }
+
+    #[test]
+    fn ports_iterator_is_dense_and_sized() {
+        let net = LineNetwork::new(4, 1);
+        let ports: Vec<_> = net.ports().collect();
+        assert_eq!(ports.len(), net.port_count());
+        assert_eq!(net.ports().len(), net.port_count());
+        for (i, p) in ports.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn destinations_are_local_outs() {
+        let net = LineNetwork::new(3, 1);
+        let dests = net.destinations();
+        assert_eq!(dests.len(), 3);
+        for d in dests {
+            assert!(net.attrs(d).is_local_out());
+        }
+    }
+
+    #[test]
+    fn reachable_excludes_local_out_sources_and_self() {
+        let net = LineNetwork::new(3, 1);
+        let d0 = net.local_out(NodeId::from_index(0));
+        let d1 = net.local_out(NodeId::from_index(1));
+        let s = net.local_in(NodeId::from_index(0));
+        assert!(net.reachable(s, d1));
+        assert!(!net.reachable(d0, d1), "messages in an ejection port are not routed");
+        assert!(!net.reachable(d1, d1), "a port cannot be its own destination");
+        assert!(!net.reachable(s, net.local_in(NodeId::from_index(1))), "destinations are ejection ports");
+    }
+}

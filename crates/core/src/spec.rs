@@ -1,0 +1,49 @@
+//! Message specifications: the user-facing description of a workload.
+
+use crate::ids::NodeId;
+
+/// A message to be sent across the network: the static part of a travel.
+///
+/// The paper leaves the number of messages and their sizes uninterpreted;
+/// a workload is any list of `MessageSpec`s. All messages are injected at
+/// time 0 (constraint (C-4)): the injection method is the identity and the
+/// initial travel list already contains every message.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::spec::MessageSpec;
+/// use genoc_core::NodeId;
+///
+/// let spec = MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 4);
+/// assert_eq!(spec.flits, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MessageSpec {
+    /// Source node (the message is injected at this node's local in-port).
+    pub source: NodeId,
+    /// Destination node (the message leaves at this node's local out-port).
+    pub dest: NodeId,
+    /// Number of flits: one header plus `flits - 1` body/tail flits.
+    /// Must be at least 1.
+    pub flits: usize,
+}
+
+impl MessageSpec {
+    /// Creates a message specification.
+    pub fn new(source: NodeId, dest: NodeId, flits: usize) -> Self {
+        MessageSpec { source, dest, flits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_plain_data() {
+        let a = MessageSpec::new(NodeId::from_index(1), NodeId::from_index(2), 3);
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,201 @@
+//! The canonical greedy wormhole step, shared by concrete switching
+//! policies.
+//!
+//! One step processes every in-flight travel in a given priority order and
+//! every flit head-to-tail, performing each admissible move. Link bandwidth
+//! is modelled by allowing at most one flit to enter a given port per step
+//! and at most one flit to eject from a given port per step. Because the
+//! first admissible move encountered is always performed, a step moves at
+//! least one flit whenever the configuration is not a deadlock — the
+//! progress half of proof obligation (C-5).
+
+use crate::config::Config;
+use crate::error::Result;
+use crate::ids::PortId;
+use crate::switching::StepReport;
+use crate::trace::{Trace, Zone};
+
+/// Per-step scratch state: which ports already accepted/ejected a flit.
+///
+/// Reusable across steps to avoid reallocation; see [`StepScratch::reset`].
+#[derive(Clone, Debug, Default)]
+pub struct StepScratch {
+    entered: Vec<bool>,
+    ejected: Vec<bool>,
+}
+
+impl StepScratch {
+    /// Creates scratch space for a network with `port_count` ports.
+    pub fn new(port_count: usize) -> Self {
+        StepScratch {
+            entered: vec![false; port_count],
+            ejected: vec![false; port_count],
+        }
+    }
+
+    /// Clears the per-step flags, resizing if the port count changed.
+    pub fn reset(&mut self, port_count: usize) {
+        self.entered.clear();
+        self.entered.resize(port_count, false);
+        self.ejected.clear();
+        self.ejected.resize(port_count, false);
+    }
+
+    /// Whether no flit has entered `p` during the current step.
+    pub fn may_enter(&self, p: PortId) -> bool {
+        !self.entered[p.index()]
+    }
+
+    /// Records that a flit entered `p` during the current step.
+    pub fn mark_entered(&mut self, p: PortId) {
+        self.entered[p.index()] = true;
+    }
+
+    /// Whether no flit has ejected from `p` during the current step.
+    pub fn may_eject(&self, p: PortId) -> bool {
+        !self.ejected[p.index()]
+    }
+
+    /// Records that a flit ejected from `p` during the current step.
+    pub fn mark_ejected(&mut self, p: PortId) {
+        self.ejected[p.index()] = true;
+    }
+}
+
+/// Performs all admissible moves for travel `i`, head to tail, honouring the
+/// per-step bandwidth flags in `scratch`. Returns the number of
+/// (entries, advances, ejections) performed.
+///
+/// # Errors
+///
+/// Propagates invariant violations from the movement primitives (these
+/// indicate a bug: every move is guarded by its `can_*` predicate).
+pub fn step_travel(
+    cfg: &mut Config,
+    i: usize,
+    scratch: &mut StepScratch,
+    trace: &mut Trace,
+) -> Result<StepReport> {
+    let mut report = StepReport::default();
+    let flit_count = cfg.travel(i).flit_count();
+    let id = cfg.travel(i).id();
+    for f in 0..flit_count {
+        if cfg.can_eject_flit(i, f) {
+            let port = cfg.travel(i).dest();
+            if scratch.may_eject(port) {
+                cfg.eject_flit(i, f)?;
+                scratch.mark_ejected(port);
+                trace.record(id, f, Zone::Port(port), Zone::Delivered);
+                report.ejections += 1;
+            }
+            continue;
+        }
+        if cfg.can_advance_flit(i, f) {
+            let t = cfg.travel(i);
+            let k = match t.flit_pos(f) {
+                crate::travel::FlitPos::InNetwork(k) => k,
+                _ => unreachable!("can_advance_flit implies in-network"),
+            };
+            let from = t.route()[k];
+            let to = t.route()[k + 1];
+            if scratch.may_enter(to) {
+                cfg.advance_flit(i, f)?;
+                scratch.mark_entered(to);
+                trace.record(id, f, Zone::Port(from), Zone::Port(to));
+                report.advances += 1;
+            }
+            continue;
+        }
+        if cfg.can_enter_flit(i, f) {
+            let port = cfg.travel(i).route()[0];
+            if scratch.may_enter(port) {
+                cfg.enter_flit(i, f)?;
+                scratch.mark_entered(port);
+                trace.record(id, f, Zone::Source, Zone::Port(port));
+                report.entries += 1;
+            }
+            continue;
+        }
+    }
+    Ok(report)
+}
+
+/// One greedy wormhole step over every travel, in the order given by
+/// `order` (indices into `cfg.travels()`).
+///
+/// # Errors
+///
+/// Propagates invariant violations from the movement primitives.
+///
+/// # Panics
+///
+/// Panics if `order` contains an out-of-range travel index.
+pub fn step_all(
+    cfg: &mut Config,
+    order: &[usize],
+    scratch: &mut StepScratch,
+    trace: &mut Trace,
+) -> Result<StepReport> {
+    let mut total = StepReport::default();
+    for &i in order {
+        let r = step_travel(cfg, i, scratch, trace)?;
+        total.entries += r.entries;
+        total.advances += r.advances;
+        total.ejections += r.ejections;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::ids::NodeId;
+    use crate::line::{LineNetwork, LineRouting};
+    use crate::network::Network;
+    use crate::spec::MessageSpec;
+
+    #[test]
+    fn step_moves_the_whole_worm_pipelined() {
+        let net = LineNetwork::new(4, 1);
+        let routing = LineRouting::new(&net);
+        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 3)];
+        let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        let mut scratch = StepScratch::new(net.port_count());
+        let mut trace = Trace::new(false);
+        // Step 1: only the head can enter (capacity-1 ports).
+        scratch.reset(net.port_count());
+        let r = step_all(&mut cfg, &[0], &mut scratch, &mut trace).unwrap();
+        assert_eq!(r.entries, 1);
+        assert_eq!(r.advances, 0);
+        // Step 2: head advances, first body flit enters behind it.
+        scratch.reset(net.port_count());
+        let r = step_all(&mut cfg, &[0], &mut scratch, &mut trace).unwrap();
+        assert_eq!((r.entries, r.advances), (1, 1));
+        cfg.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn one_entry_per_port_per_step() {
+        let net = LineNetwork::new(3, 4);
+        let routing = LineRouting::new(&net);
+        // Two flits could both enter the roomy local in-port, but link
+        // bandwidth admits one per step.
+        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2)];
+        let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        let mut scratch = StepScratch::new(net.port_count());
+        let mut trace = Trace::new(false);
+        scratch.reset(net.port_count());
+        let r = step_all(&mut cfg, &[0], &mut scratch, &mut trace).unwrap();
+        assert_eq!(r.entries, 1, "second flit must wait for the next step");
+    }
+
+    #[test]
+    fn scratch_reset_resizes() {
+        let mut s = StepScratch::new(2);
+        s.mark_entered(PortId::from_index(1));
+        s.reset(4);
+        assert!(s.may_enter(PortId::from_index(1)));
+        assert!(s.may_enter(PortId::from_index(3)));
+    }
+}

@@ -1,0 +1,71 @@
+//! The [`SwitchingPolicy`] abstraction.
+//!
+//! The switching policy `S : Σ → Σ` computes the configuration after one
+//! switching step, "after each message that can make progression has advanced
+//! by at most one hop". Concrete policies (wormhole, store-and-forward,
+//! virtual cut-through) live in the `genoc-switching` crate; this module
+//! defines the interface the interpreter drives.
+
+use crate::config::Config;
+use crate::error::Result;
+use crate::network::Network;
+use crate::trace::Trace;
+
+/// What a switching step did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StepReport {
+    /// Flits that entered the network from a source IP core.
+    pub entries: usize,
+    /// Flits that advanced one hop.
+    pub advances: usize,
+    /// Flits ejected into a destination IP core.
+    pub ejections: usize,
+}
+
+impl StepReport {
+    /// Total number of flit moves in the step.
+    pub fn moves(&self) -> usize {
+        self.entries + self.advances + self.ejections
+    }
+}
+
+/// A switching policy: the constituent `S` of the GeNoC triple.
+///
+/// The policy must satisfy the contract behind proof obligation (C-5): if
+/// [`is_deadlock`](SwitchingPolicy::is_deadlock) returns `false` on a
+/// configuration with a non-empty travel list, then
+/// [`step`](SwitchingPolicy::step) must perform at least one flit move on it.
+/// The interpreter enforces this contract at run time.
+pub trait SwitchingPolicy {
+    /// Human-readable name, e.g. `"wormhole"`.
+    fn name(&self) -> String;
+
+    /// Advances the configuration by one switching step, recording flit
+    /// movements into `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error only on internal invariant violations
+    /// (which indicate a bug, not a property of the workload).
+    fn step(&mut self, net: &dyn Network, cfg: &mut Config, trace: &mut Trace)
+        -> Result<StepReport>;
+
+    /// The deadlock predicate `Ω(σ)`: no in-flight message can make
+    /// progression under this policy's admission rules.
+    ///
+    /// Must be `false` when `cfg.travels()` is empty (an evacuated
+    /// configuration is terminal, not deadlocked).
+    fn is_deadlock(&self, net: &dyn Network, cfg: &Config) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_report_sums_moves() {
+        let r = StepReport { entries: 1, advances: 2, ejections: 3 };
+        assert_eq!(r.moves(), 6);
+        assert_eq!(StepReport::default().moves(), 0);
+    }
+}

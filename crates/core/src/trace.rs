@@ -1,0 +1,144 @@
+//! Execution traces: per-flit movement events recorded during a run.
+//!
+//! Traces are consumed by the executable correctness theorem, which checks
+//! that every arrived message was emitted at a valid source, was destined to
+//! the node it arrived at, and followed a valid route (the original GeNoC
+//! `CorrThm`).
+
+use crate::ids::{MsgId, PortId};
+
+/// Where a flit is, as seen by the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Zone {
+    /// Queued in the source IP core.
+    Source,
+    /// Resident in a port buffer.
+    Port(PortId),
+    /// Ejected into the destination IP core.
+    Delivered,
+}
+
+/// A single flit movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Switching step during which the move happened.
+    pub step: u64,
+    /// Message the flit belongs to.
+    pub msg: MsgId,
+    /// Flit index within the message (0 is the header).
+    pub flit: u32,
+    /// Where the flit moved from.
+    pub from: Zone,
+    /// Where the flit moved to.
+    pub to: Zone,
+}
+
+/// An append-only movement log.
+///
+/// A disabled trace records nothing, so switching policies can
+/// unconditionally call [`Trace::record`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    step: u64,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates a trace; a disabled trace drops all events.
+    pub fn new(enabled: bool) -> Self {
+        Trace { enabled, step: 0, events: Vec::new() }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the step number stamped on subsequent events.
+    pub fn begin_step(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    /// Records one flit movement (no-op when disabled).
+    pub fn record(&mut self, msg: MsgId, flit: usize, from: Zone, to: Zone) {
+        if self.enabled {
+            self.events.push(Event {
+                step: self.step,
+                msg,
+                flit: flit as u32,
+                from,
+                to,
+            });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The port path followed by one flit of one message, reconstructed from
+    /// the trace: every port it entered, in order.
+    pub fn flit_path(&self, msg: MsgId, flit: u32) -> Vec<PortId> {
+        self.events
+            .iter()
+            .filter(|e| e.msg == msg && e.flit == flit)
+            .filter_map(|e| match e.to {
+                Zone::Port(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the given flit was delivered according to the trace.
+    pub fn flit_delivered(&self, msg: MsgId, flit: u32) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.msg == msg && e.flit == flit && e.to == Zone::Delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: usize) -> MsgId {
+        MsgId::from_index(i)
+    }
+    fn p(i: usize) -> PortId {
+        PortId::from_index(i)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.record(m(0), 0, Zone::Source, Zone::Port(p(0)));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn flit_path_reconstructs_port_sequence() {
+        let mut t = Trace::new(true);
+        t.begin_step(0);
+        t.record(m(0), 0, Zone::Source, Zone::Port(p(0)));
+        t.begin_step(1);
+        t.record(m(0), 0, Zone::Port(p(0)), Zone::Port(p(1)));
+        t.record(m(1), 0, Zone::Source, Zone::Port(p(5)));
+        t.begin_step(2);
+        t.record(m(0), 0, Zone::Port(p(1)), Zone::Delivered);
+        assert_eq!(t.flit_path(m(0), 0), vec![p(0), p(1)]);
+        assert_eq!(t.flit_path(m(1), 0), vec![p(5)]);
+        assert!(t.flit_delivered(m(0), 0));
+        assert!(!t.flit_delivered(m(1), 0));
+    }
+
+    #[test]
+    fn events_carry_step_numbers() {
+        let mut t = Trace::new(true);
+        t.begin_step(7);
+        t.record(m(0), 1, Zone::Source, Zone::Port(p(0)));
+        assert_eq!(t.events()[0].step, 7);
+        assert_eq!(t.events()[0].flit, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Cycle detection with witness extraction.
+//!
+//! Proof obligation (C-3) demands the absence of cycles in the port
+//! dependency graph. For a fixed instance the paper notes a linear-time
+//! search suffices; [`find_cycle`] is that search (iterative
+//! depth-first), and it returns the cycle itself so that the sufficiency
+//! direction of Theorem 1 can compile it into a deadlock configuration.
+
+use genoc_core::PortId;
+
+use crate::graph::DiGraph;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Gray,
+    Black,
+}
+
+/// Finds a cycle in `g`, returned as the sequence of vertices
+/// `[v0, v1, …, vk]` with edges `v0→v1→…→vk→v0`, or `None` if the graph is
+/// acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::PortId;
+/// use genoc_depgraph::graph::DiGraph;
+/// use genoc_depgraph::cycle::find_cycle;
+///
+/// let mut g = DiGraph::new(3);
+/// let p = |i| PortId::from_index(i);
+/// g.add_edge(p(0), p(1));
+/// g.add_edge(p(1), p(2));
+/// assert!(find_cycle(&g).is_none());
+/// g.add_edge(p(2), p(0));
+/// let cycle = find_cycle(&g).unwrap();
+/// assert_eq!(cycle.len(), 3);
+/// ```
+pub fn find_cycle(g: &DiGraph) -> Option<Vec<PortId>> {
+    let n = g.vertex_count();
+    let mut color = vec![Color::White; n];
+    // Explicit DFS stack of (vertex, iterator offset); `path` mirrors the
+    // gray vertices in stack order.
+    let mut path: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Gray;
+        path.push(start);
+        while let Some(&(u, next)) = stack.last() {
+            let successor = g.successors(PortId::from_index(u)).nth(next);
+            match successor {
+                Some(vp) => {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    let v = vp.index();
+                    match color[v] {
+                        Color::Gray => {
+                            // Found a back edge; the cycle is the path suffix
+                            // starting at v.
+                            let pos =
+                                path.iter().position(|&w| w == v).expect("gray is on path");
+                            return Some(
+                                path[pos..].iter().map(|&w| PortId::from_index(w)).collect(),
+                            );
+                        }
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            path.push(v);
+                            stack.push((v, 0));
+                        }
+                        Color::Black => {}
+                    }
+                }
+                None => {
+                    color[u] = Color::Black;
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `cycle` really is a cycle of `g` (every consecutive pair and the
+/// closing pair are edges, and the vertices are distinct).
+pub fn is_cycle_of(g: &DiGraph, cycle: &[PortId]) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    for i in 0..cycle.len() {
+        let u = cycle[i];
+        let v = cycle[(i + 1) % cycle.len()];
+        if !g.has_edge(u, v) {
+            return false;
+        }
+    }
+    let mut seen: Vec<usize> = cycle.iter().map(|p| p.index()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() == cycle.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PortId {
+        PortId::from_index(i)
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        assert!(find_cycle(&DiGraph::new(0)).is_none());
+        assert!(find_cycle(&DiGraph::new(5)).is_none());
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let mut g = DiGraph::new(6);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)] {
+            g.add_edge(p(u), p(v));
+        }
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(p(1), p(1));
+        let c = find_cycle(&g).unwrap();
+        assert_eq!(c, vec![p(1)]);
+        assert!(is_cycle_of(&g, &c));
+    }
+
+    #[test]
+    fn finds_cycle_behind_a_dag_prefix() {
+        let mut g = DiGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(p(u), p(v));
+        }
+        let c = find_cycle(&g).unwrap();
+        assert!(is_cycle_of(&g, &c));
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&p(3)) && c.contains(&p(4)) && c.contains(&p(5)));
+    }
+
+    #[test]
+    fn witness_validation_rejects_non_cycles() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(2));
+        assert!(!is_cycle_of(&g, &[p(0), p(1)]));
+        assert!(!is_cycle_of(&g, &[]));
+        assert!(!is_cycle_of(&g, &[p(0), p(1), p(0), p(1)]));
+    }
+
+    #[test]
+    fn two_cycles_one_found_and_valid() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(0));
+        g.add_edge(p(2), p(3));
+        g.add_edge(p(3), p(2));
+        let c = find_cycle(&g).unwrap();
+        assert!(is_cycle_of(&g, &c));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! A compact directed graph over ports.
+
+use genoc_core::PortId;
+
+/// A directed graph whose vertices are the ports `0..n` of a network
+/// instance. Edges are deduplicated and kept in insertion-sorted adjacency
+/// lists.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::PortId;
+/// use genoc_depgraph::graph::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// let (a, b) = (PortId::from_index(0), PortId::from_index(1));
+/// assert!(g.add_edge(a, b));
+/// assert!(!g.add_edge(a, b), "duplicate edges are ignored");
+/// assert!(g.has_edge(a, b));
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiGraph {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the edge `u -> v`; returns `false` if it was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: PortId, v: PortId) -> bool {
+        assert!(v.index() < self.adj.len(), "target vertex out of range");
+        let list = &mut self.adj[u.index()];
+        match list.binary_search(&(v.index() as u32)) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, v.index() as u32);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether the edge `u -> v` is present.
+    pub fn has_edge(&self, u: PortId, v: PortId) -> bool {
+        self.adj[u.index()].binary_search(&(v.index() as u32)).is_ok()
+    }
+
+    /// Successors of `u`, in ascending order.
+    pub fn successors(&self, u: PortId) -> impl Iterator<Item = PortId> + '_ {
+        self.adj[u.index()].iter().map(|&v| PortId::from_index(v as usize))
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: PortId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Iterates over every edge `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (PortId, PortId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .map(move |&v| (PortId::from_index(u), PortId::from_index(v as usize)))
+        })
+    }
+
+    /// Whether every edge of `self` is also an edge of `other`.
+    pub fn is_subgraph_of(&self, other: &DiGraph) -> bool {
+        self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    /// Edges of `self` that are missing from `other`.
+    pub fn difference(&self, other: &DiGraph) -> Vec<(PortId, PortId)> {
+        self.edges().filter(|&(u, v)| !other.has_edge(u, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PortId {
+        PortId::from_index(i)
+    }
+
+    #[test]
+    fn edges_enumerate_in_order() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(p(2), p(0));
+        g.add_edge(p(0), p(3));
+        g.add_edge(p(0), p(1));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(p(0), p(1)), (p(0), p(3)), (p(2), p(0))]);
+    }
+
+    #[test]
+    fn out_degree_counts_successors() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(0), p(2));
+        assert_eq!(g.out_degree(p(0)), 2);
+        assert_eq!(g.out_degree(p(1)), 0);
+        let succ: Vec<_> = g.successors(p(0)).collect();
+        assert_eq!(succ, vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn subgraph_and_difference() {
+        let mut small = DiGraph::new(3);
+        small.add_edge(p(0), p(1));
+        let mut big = small.clone();
+        big.add_edge(p(1), p(2));
+        assert!(small.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&small));
+        assert_eq!(big.difference(&small), vec![(p(1), p(2))]);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g = DiGraph::new(1);
+        assert!(g.add_edge(p(0), p(0)));
+        assert!(g.has_edge(p(0), p(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let mut g = DiGraph::new(1);
+        g.add_edge(p(0), p(5));
+    }
+}

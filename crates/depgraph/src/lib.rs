@@ -1,0 +1,44 @@
+//! # genoc-depgraph
+//!
+//! Dependency-graph machinery for GeNoC-rs: everything needed to state and
+//! discharge the deadlock theorem of the paper.
+//!
+//! * [`graph::DiGraph`] — compact digraph over ports;
+//! * [`build`] — exhaustive port dependency graphs for any routing function,
+//!   plus the paper's closed-form `E^xy_dep` for meshes;
+//! * [`cycle`] — DFS cycle search with witness extraction (the fixed-size
+//!   discharge of (C-3));
+//! * [`scc`] — Tarjan SCCs, the Taktak-style alternative discharge;
+//! * [`ranking`] — closed-form acyclicity certificates (the executable
+//!   counterpart of the paper's parametric flows proof);
+//! * [`flows`] — the flow decomposition of Fig. 4 with its escape lemmas;
+//! * [`channel_graph`] — the classical Dally–Seitz channel dependency graph
+//!   as a comparator;
+//! * [`witness`] — both constructive directions of Theorem 1
+//!   (cycle → deadlock configuration, deadlock → cycle);
+//! * [`dot`] — Graphviz export (Fig. 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+#[cfg(test)]
+mod proptests;
+pub mod channel_graph;
+pub mod cycle;
+pub mod dot;
+pub mod flows;
+pub mod graph;
+pub mod ranking;
+pub mod scc;
+pub mod witness;
+
+pub use crate::build::{port_dependency_graph, xy_mesh_dependency_graph};
+pub use crate::channel_graph::{channel_dependency_graph, ChannelGraph};
+pub use crate::cycle::{find_cycle, is_cycle_of};
+pub use crate::dot::to_dot;
+pub use crate::flows::{check_flow_escapes, classify, Flow};
+pub use crate::graph::DiGraph;
+pub use crate::ranking::{verify_ranking, xy_mesh_ranking};
+pub use crate::scc::{is_cyclic_by_scc, strongly_connected_components};
+pub use crate::witness::{cycle_from_deadlock, deadlock_from_cycle, DeadlockWitness};

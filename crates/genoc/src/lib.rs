@@ -1,0 +1,99 @@
+//! # GeNoC-rs
+//!
+//! An executable, generic model of networks-on-chips with machine-checked
+//! deadlock-freedom and evacuation, reproducing *"Formal Specification of
+//! Networks-on-Chips: Deadlock and Evacuation"* (F. Verbeek and J. Schmaltz,
+//! DATE 2010).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the generic GeNoC model: configurations
+//!   `σ = ⟨T, ST, A⟩`, the interpreter with its deadlock predicate `Ω`,
+//!   termination measures, traces, executable theorem statements;
+//! * [`topology`] — HERMES mesh, torus, ring, Spidergon
+//!   (virtual channels modelled as extra ports);
+//! * [`routing`] — the paper's `Rxy` plus YX, turn models,
+//!   dimension-order with datelines, Spidergon across-first, and
+//!   deliberately deadlock-prone comparators;
+//! * [`switching`] — wormhole `Swh`, virtual cut-through,
+//!   store-and-forward;
+//! * [`depgraph`] — port/channel dependency graphs, cycle
+//!   search, SCCs, ranking certificates, flows, Theorem 1 witnesses;
+//! * [`sim`] — workloads, statistics, deadlock hunting;
+//! * [`verif`] — the obligation-discharge engine and the
+//!   Table I effort analogue.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use genoc::prelude::*;
+//!
+//! # fn main() -> Result<(), genoc_core::Error> {
+//! // The paper's instance: XY routing on a HERMES mesh.
+//! let mesh = Mesh::new(3, 3, 1);
+//! let routing = XyRouting::new(&mesh);
+//!
+//! // Discharge (C-3): the port dependency graph is acyclic.
+//! let graph = port_dependency_graph(&mesh, &routing);
+//! assert!(find_cycle(&graph).is_none());
+//!
+//! // Run a workload and check the evacuation theorem.
+//! let specs = [MessageSpec::new(mesh.node(0, 0), mesh.node(2, 2), 4)];
+//! let cfg = Config::from_specs(&mesh, &routing, &specs)?;
+//! let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+//! let result = run(&mesh, &IdentityInjection, &mut WormholePolicy::default(), cfg,
+//!                  &RunOptions::default())?;
+//! assert!(check_evacuation(&injected, &result).holds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use genoc_core as core;
+pub use genoc_depgraph as depgraph;
+pub use genoc_routing as routing;
+pub use genoc_sim as sim;
+pub use genoc_switching as switching;
+pub use genoc_topology as topology;
+pub use genoc_verif as verif;
+
+/// The most commonly used items of every crate, for glob import.
+pub mod prelude {
+    pub use genoc_core::config::Config;
+    pub use genoc_core::ids::{MsgId, NodeId, PortId};
+    pub use genoc_core::injection::{IdentityInjection, InjectionMethod, ScheduledInjection};
+    pub use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
+    pub use genoc_core::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
+    pub use genoc_core::network::{Direction, Network, PortAttrs};
+    pub use genoc_core::obligations::{ObligationId, ObligationReport};
+    pub use genoc_core::routing::{compute_route, RoutingFunction};
+    pub use genoc_core::spec::MessageSpec;
+    pub use genoc_core::switching::{StepReport, SwitchingPolicy};
+    pub use genoc_core::theorems::{check_correctness, check_evacuation};
+    pub use genoc_core::travel::{FlitPos, Travel};
+    pub use genoc_depgraph::{
+        channel_dependency_graph, check_flow_escapes, cycle_from_deadlock, deadlock_from_cycle,
+        find_cycle, is_cyclic_by_scc, port_dependency_graph, to_dot, verify_ranking,
+        xy_mesh_dependency_graph, xy_mesh_ranking, DiGraph,
+    };
+    pub use genoc_routing::{
+        AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting,
+        MixedXyYxRouting, RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting,
+        TorusDorRouting, TurnModel, TurnModelRouting, XyRouting, YxRouting,
+    };
+    pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes};
+    pub use genoc_sim::{
+        hunt_random, hunt_workload, simulate, Hunt, HuntOptions, LatencySummary, SimOptions,
+        SimResult,
+    };
+    pub use genoc_switching::{
+        Arbitration, StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy,
+    };
+    pub use genoc_topology::{Cardinal, Fabric, Mesh, Ring, RingDir, Spidergon, Torus};
+    pub use genoc_verif::{
+        check_all, check_theorem1, check_theorem2, effort_table, render_effort_table, Instance,
+        TextTable,
+    };
+}

@@ -1,0 +1,104 @@
+//! Fully adaptive minimal routing — the classical *unsound* baseline.
+//!
+//! Offering every minimal direction performs all eight mesh turns, so the
+//! port dependency graph is cyclic on any mesh of at least 2×2. The checker
+//! in `genoc-verif` flags it; the paper's Theorem 1 equivalence does not
+//! apply (the router is not deterministic), but the cyclic graph correctly
+//! withdraws the deadlock-freedom *guarantee* — which is the point of the
+//! baseline.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::{Cardinal, Mesh};
+
+/// Fully adaptive minimal routing on a [`Mesh`]: every direction that
+/// reduces the Manhattan distance is offered.
+#[derive(Clone, Debug)]
+pub struct MinimalAdaptiveRouting {
+    mesh: Mesh,
+}
+
+impl MinimalAdaptiveRouting {
+    /// Builds the fully adaptive router for a mesh instance.
+    pub fn new(mesh: &Mesh) -> Self {
+        MinimalAdaptiveRouting { mesh: mesh.clone() }
+    }
+}
+
+impl RoutingFunction for MinimalAdaptiveRouting {
+    fn name(&self) -> String {
+        "minimal-adaptive".into()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.mesh.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.mesh.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.mesh.info(dest);
+        let mut push = |card: Cardinal| {
+            if let Some(hop) = self.mesh.trans(from, card, Direction::Out) {
+                out.push(hop);
+            }
+        };
+        if d.x == p.x && d.y == p.y {
+            push(Cardinal::Local);
+            return;
+        }
+        if d.x > p.x {
+            push(Cardinal::East);
+        }
+        if d.x < p.x {
+            push(Cardinal::West);
+        }
+        if d.y < p.y {
+            push(Cardinal::North);
+        }
+        if d.y > p.y {
+            push(Cardinal::South);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_both_minimal_directions_on_a_diagonal() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = MinimalAdaptiveRouting::new(&mesh);
+        let mut out = Vec::new();
+        r.next_hops(
+            mesh.local_in(mesh.node(0, 0)),
+            mesh.local_out(mesh.node(2, 2)),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn single_direction_when_aligned() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = MinimalAdaptiveRouting::new(&mesh);
+        let mut out = Vec::new();
+        r.next_hops(
+            mesh.local_in(mesh.node(0, 1)),
+            mesh.local_out(mesh.node(2, 1)),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(mesh.info(out[0]).card, Cardinal::East);
+    }
+}

@@ -1,0 +1,44 @@
+//! # genoc-routing
+//!
+//! Port-level routing functions for GeNoC-rs.
+//!
+//! The centerpiece is [`xy::XyRouting`], the paper's `Rxy` on the HERMES
+//! mesh. Around it:
+//!
+//! * [`yx::YxRouting`] — the axis-swapped twin (also deadlock-free);
+//! * [`mixed::MixedXyYxRouting`] — a deterministic, deliberately
+//!   deadlock-prone XY/YX mixture (the negative instance for Theorem 1);
+//! * [`turn_model::TurnModelRouting`] — west-first / north-last /
+//!   negative-first adaptive turn models (the paper's future-work frontier);
+//! * [`adaptive::MinimalAdaptiveRouting`] — fully adaptive minimal routing
+//!   (cyclic dependency graph, the classical unsound baseline);
+//! * [`ring::RingShortestRouting`] / [`ring::RingDatelineRouting`] — the
+//!   textbook deadlock-prone ring and its dateline repair;
+//! * [`torus::TorusDorRouting`] / [`torus::TorusDorDatelineRouting`] —
+//!   dimension-order torus routing, plain and repaired;
+//! * [`spidergon::AcrossFirstRouting`] /
+//!   [`spidergon::AcrossFirstDatelineRouting`] — the Spidergon case study.
+//!
+//! All functions implement [`genoc_core::routing::RoutingFunction`] and are
+//! analysed by the dependency-graph machinery in `genoc-depgraph`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod mixed;
+pub mod ring;
+pub mod spidergon;
+pub mod torus;
+pub mod turn_model;
+pub mod xy;
+pub mod yx;
+
+pub use crate::adaptive::MinimalAdaptiveRouting;
+pub use crate::mixed::MixedXyYxRouting;
+pub use crate::ring::{RingDatelineRouting, RingShortestRouting};
+pub use crate::spidergon::{AcrossFirstDatelineRouting, AcrossFirstRouting};
+pub use crate::torus::{TorusDorDatelineRouting, TorusDorRouting};
+pub use crate::turn_model::{TurnModel, TurnModelRouting};
+pub use crate::xy::XyRouting;
+pub use crate::yx::YxRouting;

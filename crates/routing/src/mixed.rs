@@ -1,0 +1,113 @@
+//! A deliberately deadlock-prone deterministic router: XY or YX depending on
+//! the destination.
+//!
+//! Messages to destinations with even `x(d) + y(d)` are routed XY; the rest
+//! YX. The union of the two disciplines performs all eight mesh turns, so the
+//! port dependency graph contains cycles on any mesh of at least 2×2 — the
+//! negative instance for the deadlock theorem: `genoc-verif` finds the cycle,
+//! compiles it into a concrete deadlock configuration (Theorem 1,
+//! sufficiency), and the simulator exhibits a live deadlock on an adversarial
+//! workload.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::{Cardinal, Mesh};
+
+/// Per-destination XY/YX mixture on a [`Mesh`]. Deterministic, minimal, and
+/// *not* deadlock-free.
+#[derive(Clone, Debug)]
+pub struct MixedXyYxRouting {
+    mesh: Mesh,
+}
+
+impl MixedXyYxRouting {
+    /// Builds the mixed routing function for a mesh instance.
+    pub fn new(mesh: &Mesh) -> Self {
+        MixedXyYxRouting { mesh: mesh.clone() }
+    }
+
+    fn xy_first(&self, dest: PortId) -> bool {
+        let d = self.mesh.info(dest);
+        (d.x + d.y) % 2 == 0
+    }
+}
+
+impl RoutingFunction for MixedXyYxRouting {
+    fn name(&self) -> String {
+        "xy-yx-mixed".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.mesh.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.mesh.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.mesh.info(dest);
+        let horizontal = if d.x < p.x {
+            Some(Cardinal::West)
+        } else if d.x > p.x {
+            Some(Cardinal::East)
+        } else {
+            None
+        };
+        let vertical = if d.y < p.y {
+            Some(Cardinal::North)
+        } else if d.y > p.y {
+            Some(Cardinal::South)
+        } else {
+            None
+        };
+        let card = if self.xy_first(dest) {
+            horizontal.or(vertical)
+        } else {
+            vertical.or(horizontal)
+        }
+        .unwrap_or(Cardinal::Local);
+        if let Some(hop) = self.mesh.trans(from, card, Direction::Out) {
+            out.push(hop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+
+    #[test]
+    fn discipline_depends_on_destination_parity() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let src = mesh.local_in(mesh.node(0, 0));
+        // (2,0)+(2,0): parity of 2+2=4 -> XY toward (2,2)? (2+2)%2==0: XY.
+        let route_xy =
+            compute_route(&mesh, &routing, src, mesh.local_out(mesh.node(2, 2))).unwrap();
+        assert_eq!(mesh.info(route_xy[1]).card, Cardinal::East);
+        // (1,2): parity 1 -> YX.
+        let route_yx =
+            compute_route(&mesh, &routing, src, mesh.local_out(mesh.node(1, 2))).unwrap();
+        assert_eq!(mesh.info(route_yx[1]).card, Cardinal::South);
+    }
+
+    #[test]
+    fn routes_remain_minimal_and_terminate() {
+        let mesh = Mesh::new(4, 4, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let (sx, sy) = mesh.node_coords(s);
+                let (dx, dy) = mesh.node_coords(d);
+                let route =
+                    compute_route(&mesh, &routing, mesh.local_in(s), mesh.local_out(d)).unwrap();
+                assert_eq!(route.len(), 2 + 2 * (sx.abs_diff(dx) + sy.abs_diff(dy)));
+            }
+        }
+    }
+}

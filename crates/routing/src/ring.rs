@@ -1,0 +1,231 @@
+//! Ring routing: shortest-path (deadlock-prone) and its dateline repair.
+//!
+//! Shortest-path routing on a ring of five or more nodes chains port
+//! dependencies all the way around each direction, so its port dependency
+//! graph is cyclic — the textbook deadlock-prone instance. The dateline
+//! repair runs two virtual channels per direction: messages start on channel
+//! 0 and switch to channel 1 when crossing the *dateline* (the link from the
+//! last node back to node 0, respectively the reverse link for
+//! counter-clockwise traffic). Since a minimal route crosses the dateline at
+//! most once, the channel-0 and channel-1 chains are both acyclic.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::ring::{Ring, RingDir, RingPortKind};
+
+/// Deterministic shortest-path routing on a [`Ring`] (clockwise wins ties).
+/// Stays on virtual channel 0; *not* deadlock-free.
+#[derive(Clone, Debug)]
+pub struct RingShortestRouting {
+    ring: Ring,
+}
+
+impl RingShortestRouting {
+    /// Builds the shortest-path router for a ring instance.
+    pub fn new(ring: &Ring) -> Self {
+        RingShortestRouting { ring: ring.clone() }
+    }
+}
+
+/// Picks the travel direction for the remaining distance (clockwise wins
+/// ties) or `None` when already at the destination node.
+fn choose_dir(nodes: usize, cw_distance: usize) -> Option<RingDir> {
+    if cw_distance == 0 {
+        None
+    } else if cw_distance <= nodes - cw_distance {
+        Some(RingDir::Cw)
+    } else {
+        Some(RingDir::Ccw)
+    }
+}
+
+impl RoutingFunction for RingShortestRouting {
+    fn name(&self) -> String {
+        "ring-shortest".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.ring.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.ring.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.ring.info(dest);
+        let here = p.node;
+        match choose_dir(self.ring.node_count(), self.ring.cw_distance(here, d.node)) {
+            None => out.push(self.ring.local_out(genoc_core::NodeId::from_index(here))),
+            Some(dir) => out.push(self.ring.ring_port(here, dir, 0, Direction::Out)),
+        }
+    }
+}
+
+/// Dateline routing on a [`Ring`] built with at least two virtual channels:
+/// shortest-path direction selection with a channel switch at the dateline.
+/// Deadlock-free; the `genoc-verif` checkers confirm the acyclic graph.
+#[derive(Clone, Debug)]
+pub struct RingDatelineRouting {
+    ring: Ring,
+}
+
+impl RingDatelineRouting {
+    /// Builds the dateline router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has fewer than two virtual channels.
+    pub fn new(ring: &Ring) -> Self {
+        assert!(ring.vc_count() >= 2, "dateline routing needs two virtual channels");
+        RingDatelineRouting { ring: ring.clone() }
+    }
+
+    /// Channel for the next hop: switch to channel 1 when the hop crosses
+    /// the dateline, otherwise keep the current channel.
+    fn next_vc(&self, current_vc: usize, here: usize, dir: RingDir) -> usize {
+        let n = self.ring.node_count();
+        let crossing = match dir {
+            RingDir::Cw => here == n - 1,
+            RingDir::Ccw => here == 0,
+        };
+        if crossing {
+            1
+        } else {
+            current_vc
+        }
+    }
+}
+
+impl RoutingFunction for RingDatelineRouting {
+    fn name(&self) -> String {
+        "ring-dateline".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.ring.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.ring.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.ring.info(dest);
+        let here = p.node;
+        let current_vc = match p.kind {
+            RingPortKind::Ring { vc, .. } => vc,
+            _ => 0,
+        };
+        match choose_dir(self.ring.node_count(), self.ring.cw_distance(here, d.node)) {
+            None => out.push(self.ring.local_out(genoc_core::NodeId::from_index(here))),
+            Some(dir) => {
+                let vc = self.next_vc(current_vc, here, dir);
+                out.push(self.ring.ring_port(here, dir, vc, Direction::Out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+    use genoc_core::NodeId;
+
+    #[test]
+    fn shortest_path_picks_the_short_side() {
+        let ring = Ring::new(6, 1);
+        let r = RingShortestRouting::new(&ring);
+        let from = ring.local_in(NodeId::from_index(0));
+        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(2))).unwrap();
+        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
+        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(5))).unwrap();
+        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Ccw, vc: 0 });
+    }
+
+    #[test]
+    fn ties_go_clockwise() {
+        let ring = Ring::new(6, 1);
+        let r = RingShortestRouting::new(&ring);
+        let from = ring.local_in(NodeId::from_index(1));
+        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(4))).unwrap();
+        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
+    }
+
+    #[test]
+    fn all_pairs_route_minimally() {
+        let ring = Ring::new(7, 1);
+        let r = RingShortestRouting::new(&ring);
+        for s in 0..7usize {
+            for d in 0..7usize {
+                let route = compute_route(
+                    &ring,
+                    &r,
+                    ring.local_in(NodeId::from_index(s)),
+                    ring.local_out(NodeId::from_index(d)),
+                )
+                .unwrap();
+                let dist = ring.cw_distance(s, d).min(ring.cw_distance(d, s));
+                assert_eq!(route.len(), 2 + 2 * dist);
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_switches_channel_exactly_at_the_dateline() {
+        let ring = Ring::with_vcs(6, 2, 1);
+        let r = RingDatelineRouting::new(&ring);
+        // 4 -> 1 clockwise crosses the 5 -> 0 link.
+        let route = compute_route(
+            &ring,
+            &r,
+            ring.local_in(NodeId::from_index(4)),
+            ring.local_out(NodeId::from_index(1)),
+        )
+        .unwrap();
+        let vcs: Vec<Option<usize>> = route
+            .iter()
+            .map(|&p| match ring.info(p).kind {
+                RingPortKind::Ring { vc, .. } => Some(vc),
+                _ => None,
+            })
+            .collect();
+        // Ports at nodes 4,5 on vc0; after crossing the 5 -> 0 link, vc1.
+        assert_eq!(
+            vcs,
+            vec![None, Some(0), Some(0), Some(1), Some(1), Some(1), Some(1), None],
+            "route: {route:?}"
+        );
+    }
+
+    #[test]
+    fn dateline_routes_without_crossing_stay_on_vc0() {
+        let ring = Ring::with_vcs(6, 2, 1);
+        let r = RingDatelineRouting::new(&ring);
+        let route = compute_route(
+            &ring,
+            &r,
+            ring.local_in(NodeId::from_index(1)),
+            ring.local_out(NodeId::from_index(3)),
+        )
+        .unwrap();
+        for &p in &route {
+            if let RingPortKind::Ring { vc, .. } = ring.info(p).kind {
+                assert_eq!(vc, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two virtual channels")]
+    fn dateline_requires_vcs() {
+        let ring = Ring::new(4, 1);
+        let _ = RingDatelineRouting::new(&ring);
+    }
+}

@@ -1,0 +1,238 @@
+//! Spidergon across-first routing, plain and with dateline virtual channels.
+//!
+//! Across-first takes the chord to the antipodal node when the ring distance
+//! exceeds a quarter of the ring, then finishes along the ring. The chord is
+//! only ever the *first* hop, so across links never participate in
+//! dependency cycles; the ring segments, however, chain around the ring
+//! exactly as on a plain [`Ring`](genoc_topology::ring::Ring), so the plain
+//! variant is deadlock-prone and the dateline variant (two ring virtual
+//! channels) is deadlock-free.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::{NodeId, PortId};
+use genoc_topology::ring::RingDir;
+use genoc_topology::spidergon::{Spidergon, SpidergonPortKind};
+
+/// Routing decision at a node: which kind of hop to take.
+fn across_first_step(size: usize, cw: usize, from_local_in: bool) -> SpidergonStep {
+    let quarter = size / 4;
+    if cw == 0 {
+        SpidergonStep::Local
+    } else if cw <= quarter {
+        SpidergonStep::Ring(RingDir::Cw)
+    } else if size - cw <= quarter {
+        SpidergonStep::Ring(RingDir::Ccw)
+    } else if from_local_in {
+        SpidergonStep::Across
+    } else {
+        // Defensive fallback: finish along the shorter ring side. Reachable
+        // only if a message is placed mid-ring with a far destination.
+        if cw <= size - cw {
+            SpidergonStep::Ring(RingDir::Cw)
+        } else {
+            SpidergonStep::Ring(RingDir::Ccw)
+        }
+    }
+}
+
+enum SpidergonStep {
+    Local,
+    Ring(RingDir),
+    Across,
+}
+
+/// Across-first routing on a [`Spidergon`], staying on ring channel 0.
+/// Deterministic; *not* deadlock-free without virtual channels.
+#[derive(Clone, Debug)]
+pub struct AcrossFirstRouting {
+    spidergon: Spidergon,
+}
+
+impl AcrossFirstRouting {
+    /// Builds the across-first router for a Spidergon instance.
+    pub fn new(spidergon: &Spidergon) -> Self {
+        AcrossFirstRouting { spidergon: spidergon.clone() }
+    }
+}
+
+impl RoutingFunction for AcrossFirstRouting {
+    fn name(&self) -> String {
+        "spidergon-across-first".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let s = &self.spidergon;
+        let p = s.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = s.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = s.info(dest);
+        let cw = s.cw_distance(p.node, d.node);
+        let from_local_in = p.kind == SpidergonPortKind::Local;
+        match across_first_step(s.size(), cw, from_local_in) {
+            SpidergonStep::Local => out.push(s.local_out(NodeId::from_index(p.node))),
+            SpidergonStep::Ring(dir) => out.push(s.ring_port(p.node, dir, 0, Direction::Out)),
+            SpidergonStep::Across => out.push(s.across_port(p.node, Direction::Out)),
+        }
+    }
+}
+
+/// Across-first routing with dateline virtual channels on the ring links.
+/// Deadlock-free.
+#[derive(Clone, Debug)]
+pub struct AcrossFirstDatelineRouting {
+    spidergon: Spidergon,
+}
+
+impl AcrossFirstDatelineRouting {
+    /// Builds the dateline router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Spidergon has fewer than two ring virtual channels.
+    pub fn new(spidergon: &Spidergon) -> Self {
+        assert!(
+            spidergon.vc_count() >= 2,
+            "dateline routing needs two virtual channels"
+        );
+        AcrossFirstDatelineRouting { spidergon: spidergon.clone() }
+    }
+}
+
+impl RoutingFunction for AcrossFirstDatelineRouting {
+    fn name(&self) -> String {
+        "spidergon-across-first-dateline".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let s = &self.spidergon;
+        let p = s.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = s.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = s.info(dest);
+        let cw = s.cw_distance(p.node, d.node);
+        let from_local_in = p.kind == SpidergonPortKind::Local;
+        match across_first_step(s.size(), cw, from_local_in) {
+            SpidergonStep::Local => out.push(s.local_out(NodeId::from_index(p.node))),
+            SpidergonStep::Across => out.push(s.across_port(p.node, Direction::Out)),
+            SpidergonStep::Ring(dir) => {
+                let current_vc = match p.kind {
+                    SpidergonPortKind::Ring { vc, .. } => vc,
+                    _ => 0,
+                };
+                let n = s.size();
+                let crossing = match dir {
+                    RingDir::Cw => p.node == n - 1,
+                    RingDir::Ccw => p.node == 0,
+                };
+                let vc = if crossing { 1 } else { current_vc };
+                out.push(s.ring_port(p.node, dir, vc, Direction::Out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+
+    #[test]
+    fn near_destinations_use_the_ring() {
+        let s = Spidergon::new(8, 1);
+        let r = AcrossFirstRouting::new(&s);
+        let from = s.local_in(NodeId::from_index(0));
+        let hop = r.next_hop(from, s.local_out(NodeId::from_index(2))).unwrap();
+        assert_eq!(s.info(hop).kind, SpidergonPortKind::Ring { dir: RingDir::Cw, vc: 0 });
+        let hop = r.next_hop(from, s.local_out(NodeId::from_index(6))).unwrap();
+        assert_eq!(s.info(hop).kind, SpidergonPortKind::Ring { dir: RingDir::Ccw, vc: 0 });
+    }
+
+    #[test]
+    fn far_destinations_take_the_chord_first() {
+        let s = Spidergon::new(8, 1);
+        let r = AcrossFirstRouting::new(&s);
+        let from = s.local_in(NodeId::from_index(0));
+        let hop = r.next_hop(from, s.local_out(NodeId::from_index(4))).unwrap();
+        assert_eq!(s.info(hop).kind, SpidergonPortKind::Across);
+        let hop = r.next_hop(from, s.local_out(NodeId::from_index(3))).unwrap();
+        assert_eq!(s.info(hop).kind, SpidergonPortKind::Across, "3 hops > N/4 = 2");
+    }
+
+    #[test]
+    fn all_pairs_terminate_within_quarter_plus_chord() {
+        for size in [4usize, 6, 8, 12] {
+            let s = Spidergon::new(size, 1);
+            let r = AcrossFirstRouting::new(&s);
+            for a in 0..size {
+                for b in 0..size {
+                    let route = compute_route(
+                        &s,
+                        &r,
+                        s.local_in(NodeId::from_index(a)),
+                        s.local_out(NodeId::from_index(b)),
+                    )
+                    .unwrap();
+                    let hops = (route.len() - 2) / 2;
+                    assert!(
+                        hops <= size / 4 + 1,
+                        "{size}: {a}->{b} took {hops} hops"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn across_is_never_taken_twice() {
+        let s = Spidergon::new(12, 1);
+        let r = AcrossFirstRouting::new(&s);
+        for a in 0..12 {
+            for b in 0..12 {
+                let route = compute_route(
+                    &s,
+                    &r,
+                    s.local_in(NodeId::from_index(a)),
+                    s.local_out(NodeId::from_index(b)),
+                )
+                .unwrap();
+                let across_hops = route
+                    .iter()
+                    .filter(|&&p| s.info(p).kind == SpidergonPortKind::Across)
+                    .count();
+                assert!(across_hops <= 2, "in+out of one chord at most");
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_variant_terminates_everywhere() {
+        let s = Spidergon::with_vcs(8, 2, 1);
+        let r = AcrossFirstDatelineRouting::new(&s);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert!(compute_route(
+                    &s,
+                    &r,
+                    s.local_in(NodeId::from_index(a)),
+                    s.local_out(NodeId::from_index(b)),
+                )
+                .is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Torus dimension-order routing (deadlock-prone) and its per-dimension
+//! dateline repair.
+//!
+//! Dimension-order routing corrects x before y, taking the shorter way
+//! around each dimension. The wrap links close every row and column into a
+//! ring, so without virtual channels each dimension contributes dependency
+//! cycles. The dateline repair applies the ring fix per dimension and
+//! direction: start on channel 0, switch to channel 1 when crossing the wrap
+//! link.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::Cardinal;
+use genoc_topology::torus::Torus;
+
+/// Shared direction selection: `(cardinal, crossing)` for the next hop of
+/// dimension-order routing from `(x, y)` toward `(dx, dy)`, or `None` when
+/// already at the destination node. `crossing` is true when the hop uses a
+/// wrap link.
+fn dor_step(
+    width: usize,
+    height: usize,
+    x: usize,
+    y: usize,
+    dx: usize,
+    dy: usize,
+) -> Option<(Cardinal, bool)> {
+    if x != dx {
+        let east = (dx + width - x) % width;
+        let west = (x + width - dx) % width;
+        if east <= west {
+            Some((Cardinal::East, x == width - 1))
+        } else {
+            Some((Cardinal::West, x == 0))
+        }
+    } else if y != dy {
+        let south = (dy + height - y) % height;
+        let north = (y + height - dy) % height;
+        if south <= north {
+            Some((Cardinal::South, y == height - 1))
+        } else {
+            Some((Cardinal::North, y == 0))
+        }
+    } else {
+        None
+    }
+}
+
+/// Deterministic dimension-order routing on a [`Torus`], staying on virtual
+/// channel 0. *Not* deadlock-free: each wrapped row/column is a dependency
+/// ring.
+#[derive(Clone, Debug)]
+pub struct TorusDorRouting {
+    torus: Torus,
+}
+
+impl TorusDorRouting {
+    /// Builds the dimension-order router for a torus instance.
+    pub fn new(torus: &Torus) -> Self {
+        TorusDorRouting { torus: torus.clone() }
+    }
+}
+
+impl RoutingFunction for TorusDorRouting {
+    fn name(&self) -> String {
+        "torus-dor".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.torus.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.torus.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.torus.info(dest);
+        let hop = match dor_step(self.torus.width(), self.torus.height(), p.x, p.y, d.x, d.y) {
+            None => self.torus.port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
+            Some((card, _)) => self.torus.port(p.x, p.y, card, 0, Direction::Out),
+        };
+        if let Some(hop) = hop {
+            out.push(hop);
+        }
+    }
+}
+
+/// Dimension-order routing with per-dimension datelines on a [`Torus`] built
+/// with at least two virtual channels. Deadlock-free.
+#[derive(Clone, Debug)]
+pub struct TorusDorDatelineRouting {
+    torus: Torus,
+}
+
+impl TorusDorDatelineRouting {
+    /// Builds the dateline router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus has fewer than two virtual channels.
+    pub fn new(torus: &Torus) -> Self {
+        assert!(torus.vc_count() >= 2, "dateline routing needs two virtual channels");
+        TorusDorDatelineRouting { torus: torus.clone() }
+    }
+}
+
+impl RoutingFunction for TorusDorDatelineRouting {
+    fn name(&self) -> String {
+        "torus-dor-dateline".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.torus.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.torus.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.torus.info(dest);
+        let hop = match dor_step(self.torus.width(), self.torus.height(), p.x, p.y, d.x, d.y) {
+            None => self.torus.port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
+            Some((card, crossing)) => {
+                // Keep the current channel while traveling within the same
+                // axis; reset on turns; switch to channel 1 at the dateline.
+                let same_axis = matches!(
+                    (p.card, card),
+                    (Cardinal::East | Cardinal::West, Cardinal::East | Cardinal::West)
+                        | (Cardinal::North | Cardinal::South, Cardinal::North | Cardinal::South)
+                );
+                let current_vc = if same_axis { p.vc } else { 0 };
+                let vc = if crossing { 1 } else { current_vc };
+                self.torus.port(p.x, p.y, card, vc, Direction::Out)
+            }
+        };
+        if let Some(hop) = hop {
+            out.push(hop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+    use genoc_core::Error;
+
+    fn wrap_dist(n: usize, a: usize, b: usize) -> usize {
+        let d = (b + n - a) % n;
+        d.min(n - d)
+    }
+
+    #[test]
+    fn routes_take_the_short_way_around() {
+        let torus = Torus::new(5, 4, 1);
+        let r = TorusDorRouting::new(&torus);
+        for s in torus.nodes() {
+            for d in torus.nodes() {
+                let (sx, sy) = torus.node_coords(s);
+                let (dx, dy) = torus.node_coords(d);
+                let route =
+                    compute_route(&torus, &r, torus.local_in(s), torus.local_out(d)).unwrap();
+                let hops = wrap_dist(5, sx, dx) + wrap_dist(4, sy, dy);
+                assert_eq!(route.len(), 2 + 2 * hops);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_link_is_used_when_shorter() {
+        let torus = Torus::new(5, 3, 1);
+        let r = TorusDorRouting::new(&torus);
+        let from = torus.local_in(torus.node(4, 0));
+        let hop = r.next_hop(from, torus.local_out(torus.node(1, 0))).unwrap();
+        assert_eq!(torus.info(hop).card, Cardinal::East, "4 -> 1 wraps east in 2 hops");
+    }
+
+    #[test]
+    fn dateline_switches_channels_on_wrap() {
+        let torus = Torus::with_vcs(4, 4, 2, 1);
+        let r = TorusDorDatelineRouting::new(&torus);
+        let route = compute_route(
+            &torus,
+            &r,
+            torus.local_in(torus.node(3, 0)),
+            torus.local_out(torus.node(1, 0)),
+        )
+        .unwrap();
+        let vcs: Vec<usize> = route
+            .iter()
+            .map(|&p| torus.info(p))
+            .filter(|i| i.card != Cardinal::Local)
+            .map(|i| i.vc)
+            .collect();
+        assert_eq!(vcs, vec![1, 1, 1, 1], "first hop already crosses x = 3 -> 0");
+    }
+
+    #[test]
+    fn dateline_resets_channel_on_axis_turn() {
+        let torus = Torus::with_vcs(4, 4, 2, 1);
+        let r = TorusDorDatelineRouting::new(&torus);
+        // Wrap in x (vc1), then travel in y without wrap (vc0).
+        let route = compute_route(
+            &torus,
+            &r,
+            torus.local_in(torus.node(3, 0)),
+            torus.local_out(torus.node(0, 2)),
+        )
+        .unwrap();
+        let infos: Vec<_> = route
+            .iter()
+            .map(|&p| torus.info(p))
+            .filter(|i| i.card != Cardinal::Local)
+            .collect();
+        assert_eq!(infos[0].vc, 1, "x wrap");
+        let first_vertical = infos.iter().position(|i| i.card == Cardinal::South).unwrap();
+        assert_eq!(infos[first_vertical].vc, 0, "y leg starts on vc0");
+    }
+
+    #[test]
+    fn all_pairs_terminate_with_dateline() {
+        let torus = Torus::with_vcs(4, 3, 2, 1);
+        let r = TorusDorDatelineRouting::new(&torus);
+        for s in torus.nodes() {
+            for d in torus.nodes() {
+                let result: Result<_, Error> =
+                    compute_route(&torus, &r, torus.local_in(s), torus.local_out(d));
+                assert!(result.is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Turn-model routers: west-first, north-last, and negative-first.
+//!
+//! Turn-model routing (Glass & Ni) forbids just enough turns to break both
+//! abstract cycles of the mesh, leaving *adaptive* — multi-hop — freedom
+//! elsewhere. The paper's Theorem 1 is stated for deterministic routing, and
+//! its future-work section names adaptive routing as the next target; these
+//! routers exercise exactly that frontier: the acyclicity check on their port
+//! dependency graphs remains *sufficient* for deadlock-freedom, and the
+//! `genoc-verif` checkers confirm the graphs are indeed acyclic.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::{Cardinal, Mesh};
+
+/// Which turn model a [`TurnModelRouting`] implements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TurnModel {
+    /// Route west first: a packet needing to go west must complete all its
+    /// westward hops before anything else; the remaining moves are fully
+    /// adaptive among {East, North, South}.
+    WestFirst,
+    /// Route north last: northward hops are only allowed once no other
+    /// displacement remains.
+    NorthLast,
+    /// Route the negative directions (West, North) first, adaptively, then
+    /// the positive directions (East, South), adaptively.
+    NegativeFirst,
+}
+
+impl TurnModel {
+    /// Short name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TurnModel::WestFirst => "west-first",
+            TurnModel::NorthLast => "north-last",
+            TurnModel::NegativeFirst => "negative-first",
+        }
+    }
+}
+
+/// Minimal adaptive turn-model routing on a [`Mesh`].
+#[derive(Clone, Debug)]
+pub struct TurnModelRouting {
+    mesh: Mesh,
+    model: TurnModel,
+}
+
+impl TurnModelRouting {
+    /// Builds a turn-model router for a mesh instance.
+    pub fn new(mesh: &Mesh, model: TurnModel) -> Self {
+        TurnModelRouting { mesh: mesh.clone(), model }
+    }
+
+    /// The turn model in force.
+    pub fn model(&self) -> TurnModel {
+        self.model
+    }
+}
+
+impl RoutingFunction for TurnModelRouting {
+    fn name(&self) -> String {
+        self.model.label().into()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.mesh.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.mesh.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.mesh.info(dest);
+        let west = d.x < p.x;
+        let east = d.x > p.x;
+        let north = d.y < p.y;
+        let south = d.y > p.y;
+        let push = |card: Cardinal, out: &mut Vec<PortId>| {
+            if let Some(hop) = self.mesh.trans(from, card, Direction::Out) {
+                out.push(hop);
+            }
+        };
+        if !west && !east && !north && !south {
+            push(Cardinal::Local, out);
+            return;
+        }
+        match self.model {
+            TurnModel::WestFirst => {
+                if west {
+                    push(Cardinal::West, out);
+                } else {
+                    if east {
+                        push(Cardinal::East, out);
+                    }
+                    if north {
+                        push(Cardinal::North, out);
+                    }
+                    if south {
+                        push(Cardinal::South, out);
+                    }
+                }
+            }
+            TurnModel::NorthLast => {
+                if east {
+                    push(Cardinal::East, out);
+                }
+                if west {
+                    push(Cardinal::West, out);
+                }
+                if south {
+                    push(Cardinal::South, out);
+                }
+                if out.is_empty() && north {
+                    // North only when it is the sole remaining displacement.
+                    push(Cardinal::North, out);
+                }
+            }
+            TurnModel::NegativeFirst => {
+                if west {
+                    push(Cardinal::West, out);
+                }
+                if north {
+                    push(Cardinal::North, out);
+                }
+                if out.is_empty() {
+                    if east {
+                        push(Cardinal::East, out);
+                    }
+                    if south {
+                        push(Cardinal::South, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hops(routing: &TurnModelRouting, mesh: &Mesh, from: PortId, dest: PortId) -> Vec<Cardinal> {
+        let mut out = Vec::new();
+        routing.next_hops(from, dest, &mut out);
+        out.iter().map(|&p| mesh.info(p).card).collect()
+    }
+
+    #[test]
+    fn west_first_forces_west() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = TurnModelRouting::new(&mesh, TurnModel::WestFirst);
+        let from = mesh.local_in(mesh.node(2, 0));
+        let dest = mesh.local_out(mesh.node(0, 2)); // west + south
+        assert_eq!(hops(&r, &mesh, from, dest), vec![Cardinal::West]);
+    }
+
+    #[test]
+    fn west_first_is_adaptive_otherwise() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = TurnModelRouting::new(&mesh, TurnModel::WestFirst);
+        let from = mesh.local_in(mesh.node(0, 0));
+        let dest = mesh.local_out(mesh.node(2, 2)); // east + south
+        let set = hops(&r, &mesh, from, dest);
+        assert!(set.contains(&Cardinal::East) && set.contains(&Cardinal::South));
+    }
+
+    #[test]
+    fn north_last_defers_north() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = TurnModelRouting::new(&mesh, TurnModel::NorthLast);
+        let from = mesh.local_in(mesh.node(0, 2));
+        let dest = mesh.local_out(mesh.node(2, 0)); // east + north
+        assert_eq!(hops(&r, &mesh, from, dest), vec![Cardinal::East]);
+        let pure_north = mesh.local_out(mesh.node(0, 0));
+        assert_eq!(hops(&r, &mesh, from, pure_north), vec![Cardinal::North]);
+    }
+
+    #[test]
+    fn negative_first_orders_phases() {
+        let mesh = Mesh::new(3, 3, 1);
+        let r = TurnModelRouting::new(&mesh, TurnModel::NegativeFirst);
+        let from = mesh.local_in(mesh.node(1, 1));
+        // Needs west (negative) and south (positive): only west allowed now.
+        let dest = mesh.local_out(mesh.node(0, 2));
+        assert_eq!(hops(&r, &mesh, from, dest), vec![Cardinal::West]);
+        // Purely positive: adaptive between east and south.
+        let dest = mesh.local_out(mesh.node(2, 2));
+        let set = hops(&r, &mesh, from, dest);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn arrived_packets_go_local() {
+        let mesh = Mesh::new(2, 2, 1);
+        for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+            let r = TurnModelRouting::new(&mesh, model);
+            let from = mesh.local_in(mesh.node(1, 1));
+            let dest = mesh.local_out(mesh.node(1, 1));
+            assert_eq!(hops(&r, &mesh, from, dest), vec![Cardinal::Local], "{model:?}");
+        }
+    }
+
+    #[test]
+    fn all_hops_are_minimal() {
+        let mesh = Mesh::new(3, 3, 1);
+        for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+            let r = TurnModelRouting::new(&mesh, model);
+            for s in mesh.ports() {
+                for dnode in mesh.nodes() {
+                    let dest = mesh.local_out(dnode);
+                    if !mesh.reachable(s, dest) {
+                        continue;
+                    }
+                    let p = mesh.info(s);
+                    if p.dir == Direction::Out {
+                        continue;
+                    }
+                    let d = mesh.info(dest);
+                    for hop in hops(&r, &mesh, s, dest) {
+                        // Every offered hop reduces the Manhattan distance.
+                        let closer = match hop {
+                            Cardinal::East => d.x > p.x,
+                            Cardinal::West => d.x < p.x,
+                            Cardinal::North => d.y < p.y,
+                            Cardinal::South => d.y > p.y,
+                            Cardinal::Local => d.x == p.x && d.y == p.y,
+                        };
+                        assert!(closer, "{model:?} offered a detour");
+                    }
+                }
+            }
+        }
+    }
+}

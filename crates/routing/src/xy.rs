@@ -1,0 +1,191 @@
+//! The paper's routing function `Rxy`: deterministic, minimal XY routing on
+//! the HERMES mesh.
+//!
+//! ```text
+//! Rxy(p, d) = next_in(p)      if dir(p) = OUT
+//!           = trans(p, W,Out) if x(d) < x(p)
+//!           = trans(p, E,Out) if x(d) > x(p)
+//!           = trans(p, N,Out) if y(d) < y(p)
+//!           = trans(p, S,Out) if y(d) > y(p)
+//!           = trans(p, L,Out) otherwise
+//! ```
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::{Cardinal, Mesh};
+
+/// XY routing on a [`Mesh`]: packets correct the x coordinate first, then the
+/// y coordinate, then leave through the local port.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::network::Network;
+/// use genoc_core::routing::{compute_route, RoutingFunction};
+/// use genoc_topology::mesh::Mesh;
+/// use genoc_routing::xy::XyRouting;
+///
+/// # fn main() -> Result<(), genoc_core::Error> {
+/// let mesh = Mesh::new(3, 3, 1);
+/// let routing = XyRouting::new(&mesh);
+/// let src = mesh.local_in(mesh.node(0, 0));
+/// let dst = mesh.local_out(mesh.node(2, 2));
+/// let route = compute_route(&mesh, &routing, src, dst)?;
+/// // L-in + 4 links (2 east, 2 south) at 2 ports each + L-out.
+/// assert_eq!(route.len(), 2 + 2 * 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct XyRouting {
+    mesh: Mesh,
+}
+
+impl XyRouting {
+    /// Builds the XY routing function for a mesh instance.
+    pub fn new(mesh: &Mesh) -> Self {
+        XyRouting { mesh: mesh.clone() }
+    }
+
+    /// The mesh this function routes on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+}
+
+impl RoutingFunction for XyRouting {
+    fn name(&self) -> String {
+        "xy".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.mesh.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.mesh.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.mesh.info(dest);
+        let hop = if d.x < p.x {
+            self.mesh.trans(from, Cardinal::West, Direction::Out)
+        } else if d.x > p.x {
+            self.mesh.trans(from, Cardinal::East, Direction::Out)
+        } else if d.y < p.y {
+            self.mesh.trans(from, Cardinal::North, Direction::Out)
+        } else if d.y > p.y {
+            self.mesh.trans(from, Cardinal::South, Direction::Out)
+        } else {
+            self.mesh.trans(from, Cardinal::Local, Direction::Out)
+        };
+        if let Some(hop) = hop {
+            out.push(hop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+
+    #[test]
+    fn routes_are_minimal_for_all_pairs() {
+        let mesh = Mesh::new(4, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let (sx, sy) = mesh.node_coords(s);
+                let (dx, dy) = mesh.node_coords(d);
+                let route =
+                    compute_route(&mesh, &routing, mesh.local_in(s), mesh.local_out(d)).unwrap();
+                let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+                assert_eq!(route.len(), 2 + 2 * manhattan, "{sx},{sy} -> {dx},{dy}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        let route = compute_route(
+            &mesh,
+            &routing,
+            mesh.local_in(mesh.node(0, 0)),
+            mesh.local_out(mesh.node(2, 2)),
+        )
+        .unwrap();
+        let cards: Vec<Cardinal> = route.iter().map(|&p| mesh.info(p).card).collect();
+        // Eastward travel alternates E-out/W-in ports; once a vertical port
+        // appears, no horizontal port may follow.
+        let first_vertical = cards
+            .iter()
+            .position(|&c| matches!(c, Cardinal::North | Cardinal::South))
+            .unwrap();
+        assert!(cards[1..first_vertical]
+            .iter()
+            .all(|&c| matches!(c, Cardinal::East | Cardinal::West)));
+        assert!(cards[first_vertical..]
+            .iter()
+            .all(|&c| matches!(c, Cardinal::North | Cardinal::South | Cardinal::Local)));
+    }
+
+    #[test]
+    fn north_decreases_y() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let from = mesh.local_in(mesh.node(0, 1));
+        let dest = mesh.local_out(mesh.node(0, 0));
+        let hop = routing.next_hop(from, dest).unwrap();
+        let info = mesh.info(hop);
+        assert_eq!((info.card, info.dir), (Cardinal::North, Direction::Out));
+    }
+
+    #[test]
+    fn arrived_packet_gets_no_hop() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let d = mesh.local_out(mesh.node(1, 1));
+        assert_eq!(routing.next_hop(d, d), None);
+    }
+
+    #[test]
+    fn same_node_goes_local() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let from = mesh.local_in(mesh.node(1, 0));
+        let dest = mesh.local_out(mesh.node(1, 0));
+        assert_eq!(routing.next_hop(from, dest), Some(dest));
+    }
+
+    #[test]
+    fn out_ports_forward_across_the_link() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let e_out = mesh.port(0, 0, Cardinal::East, Direction::Out).unwrap();
+        let dest = mesh.local_out(mesh.node(1, 1));
+        assert_eq!(routing.next_hop(e_out, dest), mesh.next_in(e_out));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        assert!(routing.is_deterministic());
+        let mut hops = Vec::new();
+        for s in mesh.ports() {
+            for d in mesh.destinations() {
+                if mesh.reachable(s, d) {
+                    hops.clear();
+                    routing.next_hops(s, d, &mut hops);
+                    assert!(hops.len() <= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! YX routing: the y coordinate is corrected before the x coordinate.
+//!
+//! YX is deadlock-free for the same reason XY is (its port dependency graph
+//! is acyclic — the flows argument with the roles of the axes swapped), and
+//! serves as the second half of the deliberately deadlock-prone
+//! [mixed router](crate::mixed::MixedXyYxRouting).
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::routing::RoutingFunction;
+use genoc_core::PortId;
+use genoc_topology::mesh::{Cardinal, Mesh};
+
+/// YX routing on a [`Mesh`].
+#[derive(Clone, Debug)]
+pub struct YxRouting {
+    mesh: Mesh,
+}
+
+impl YxRouting {
+    /// Builds the YX routing function for a mesh instance.
+    pub fn new(mesh: &Mesh) -> Self {
+        YxRouting { mesh: mesh.clone() }
+    }
+}
+
+impl RoutingFunction for YxRouting {
+    fn name(&self) -> String {
+        "yx".into()
+    }
+
+    fn next_hops(&self, from: PortId, dest: PortId, out: &mut Vec<PortId>) {
+        if from == dest {
+            return;
+        }
+        let p = self.mesh.info(from);
+        if p.dir == Direction::Out {
+            if let Some(next) = self.mesh.next_in(from) {
+                out.push(next);
+            }
+            return;
+        }
+        let d = self.mesh.info(dest);
+        let hop = if d.y < p.y {
+            self.mesh.trans(from, Cardinal::North, Direction::Out)
+        } else if d.y > p.y {
+            self.mesh.trans(from, Cardinal::South, Direction::Out)
+        } else if d.x < p.x {
+            self.mesh.trans(from, Cardinal::West, Direction::Out)
+        } else if d.x > p.x {
+            self.mesh.trans(from, Cardinal::East, Direction::Out)
+        } else {
+            self.mesh.trans(from, Cardinal::Local, Direction::Out)
+        };
+        if let Some(hop) = hop {
+            out.push(hop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::routing::compute_route;
+
+    #[test]
+    fn y_is_corrected_before_x() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = YxRouting::new(&mesh);
+        let route = compute_route(
+            &mesh,
+            &routing,
+            mesh.local_in(mesh.node(0, 0)),
+            mesh.local_out(mesh.node(2, 2)),
+        )
+        .unwrap();
+        let cards: Vec<Cardinal> = route.iter().map(|&p| mesh.info(p).card).collect();
+        // Southward travel alternates S-out/N-in ports; once a horizontal
+        // port appears, no vertical port may follow.
+        let first_horizontal = cards
+            .iter()
+            .position(|&c| matches!(c, Cardinal::East | Cardinal::West))
+            .unwrap();
+        assert!(cards[1..first_horizontal]
+            .iter()
+            .all(|&c| matches!(c, Cardinal::North | Cardinal::South)));
+        assert!(cards[first_horizontal..]
+            .iter()
+            .all(|&c| matches!(c, Cardinal::East | Cardinal::West | Cardinal::Local)));
+    }
+
+    #[test]
+    fn routes_are_minimal() {
+        let mesh = Mesh::new(3, 4, 1);
+        let routing = YxRouting::new(&mesh);
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let (sx, sy) = mesh.node_coords(s);
+                let (dx, dy) = mesh.node_coords(d);
+                let route =
+                    compute_route(&mesh, &routing, mesh.local_in(s), mesh.local_out(d)).unwrap();
+                assert_eq!(route.len(), 2 + 2 * (sx.abs_diff(dx) + sy.abs_diff(dy)));
+            }
+        }
+    }
+}

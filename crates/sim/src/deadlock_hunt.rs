@@ -1,0 +1,178 @@
+//! Randomised deadlock hunting.
+//!
+//! The necessity direction of Theorem 1 needs *live* deadlocks: deadlocked
+//! configurations actually reached by the switching policy. The hunter runs
+//! randomized or adversarial workloads until the interpreter reports `Ω`,
+//! then hands the deadlocked configuration to
+//! `genoc_depgraph::witness::cycle_from_deadlock` for cycle extraction. A
+//! hunt that comes up empty on an acyclic router (and it always does — see
+//! `tests/theorem1_equivalence.rs`) is the bounded empirical reading of the
+//! sufficiency direction.
+
+use genoc_core::config::Config;
+use genoc_core::error::Result;
+use genoc_core::interpreter::Outcome;
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_core::spec::MessageSpec;
+use genoc_core::switching::SwitchingPolicy;
+
+use crate::runner::{simulate, SimOptions};
+use crate::workload::uniform_random;
+
+/// A deadlock found by the hunter.
+#[derive(Clone, Debug)]
+pub struct Hunt {
+    /// Seed of the workload that deadlocked.
+    pub seed: u64,
+    /// The workload itself.
+    pub specs: Vec<MessageSpec>,
+    /// Steps until `Ω` held.
+    pub steps: u64,
+    /// The deadlocked configuration.
+    pub config: Config,
+}
+
+/// Hunting parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HuntOptions {
+    /// Number of random workloads to try.
+    pub attempts: u64,
+    /// First seed (seeds are consecutive).
+    pub first_seed: u64,
+    /// Messages per workload.
+    pub messages: usize,
+    /// Flits per message (longer worms deadlock more easily).
+    pub flits: usize,
+    /// Step limit per attempt.
+    pub max_steps: u64,
+}
+
+impl Default for HuntOptions {
+    fn default() -> Self {
+        HuntOptions { attempts: 64, first_seed: 0, messages: 16, flits: 4, max_steps: 100_000 }
+    }
+}
+
+/// Runs random workloads until one deadlocks; returns the first deadlock
+/// found, or `None` if every attempt evacuated.
+///
+/// # Errors
+///
+/// Propagates interpreter errors (which indicate bugs, not deadlocks).
+pub fn hunt_random(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    options: &HuntOptions,
+) -> Result<Option<Hunt>> {
+    for attempt in 0..options.attempts {
+        let seed = options.first_seed + attempt;
+        let specs = uniform_random(net.node_count(), options.messages, options.flits..=options.flits, seed);
+        if let Some(hunt) = hunt_workload(net, routing, policy, &specs, seed, options.max_steps)? {
+            return Ok(Some(hunt));
+        }
+    }
+    Ok(None)
+}
+
+/// Runs one specific workload; returns the deadlock if `Ω` was reached.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn hunt_workload(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+    seed: u64,
+    max_steps: u64,
+) -> Result<Option<Hunt>> {
+    let options = SimOptions { max_steps, ..SimOptions::default() };
+    let result = simulate(net, routing, policy, specs, &options)?;
+    if result.run.outcome == Outcome::Deadlock {
+        Ok(Some(Hunt {
+            seed,
+            specs: specs.to_vec(),
+            steps: result.run.steps,
+            config: result.run.config,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{bit_complement, ring_offset};
+    use genoc_routing::mixed::MixedXyYxRouting;
+    use genoc_routing::ring::RingShortestRouting;
+    use genoc_routing::xy::XyRouting;
+    use genoc_switching::wormhole::WormholePolicy;
+    use genoc_topology::mesh::Mesh;
+    use genoc_topology::ring::Ring;
+
+    #[test]
+    fn corner_storm_deadlocks_the_mixed_router() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        let hunt = hunt_workload(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            0,
+            10_000,
+        )
+        .unwrap();
+        let hunt = hunt.expect("the four-corner storm must deadlock mixed routing");
+        assert!(!hunt.config.any_move_possible());
+    }
+
+    #[test]
+    fn ring_pressure_deadlocks_shortest_path_routing() {
+        let ring = Ring::new(6, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let specs = ring_offset(6, 2, 4);
+        let hunt = hunt_workload(
+            &ring,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            0,
+            10_000,
+        )
+        .unwrap();
+        assert!(hunt.is_some(), "clockwise pressure must deadlock the plain ring");
+    }
+
+    #[test]
+    fn xy_routing_survives_the_same_pressure() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        let hunt = hunt_workload(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            0,
+            10_000,
+        )
+        .unwrap();
+        assert!(hunt.is_none(), "XY is deadlock-free");
+    }
+
+    #[test]
+    fn random_hunt_finds_mixed_router_deadlocks() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let options = HuntOptions { attempts: 32, messages: 24, flits: 5, ..HuntOptions::default() };
+        let hunt = hunt_random(&mesh, &routing, &mut WormholePolicy::default(), &options)
+            .unwrap();
+        assert!(hunt.is_some(), "random traffic should trip the cyclic router");
+    }
+}

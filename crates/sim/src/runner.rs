@@ -1,0 +1,158 @@
+//! Driving the GeNoC interpreter over a workload and collecting statistics.
+
+use genoc_core::config::Config;
+use genoc_core::error::Result;
+use genoc_core::injection::IdentityInjection;
+use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_core::spec::MessageSpec;
+use genoc_core::switching::SwitchingPolicy;
+use genoc_core::trace::Zone;
+use genoc_core::MsgId;
+
+use crate::stats::LatencySummary;
+
+/// Knobs for a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Step limit handed to the interpreter.
+    pub max_steps: u64,
+    /// Record a movement trace (needed for per-message latencies and for
+    /// the correctness theorem).
+    pub record_trace: bool,
+    /// Re-validate configuration invariants each step (slow).
+    pub check_invariants: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_steps: 1_000_000, record_trace: false, check_invariants: false }
+    }
+}
+
+/// Result of a simulation run: the interpreter result plus derived
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The raw interpreter result.
+    pub run: RunResult,
+    /// Identifiers of all injected messages, in spec order.
+    pub injected: Vec<MsgId>,
+    /// Per-message latency in steps (first movement event to last ejection),
+    /// only when a trace was recorded.
+    pub latencies: Vec<u64>,
+}
+
+impl SimResult {
+    /// Whether every message arrived.
+    pub fn evacuated(&self) -> bool {
+        self.run.outcome == Outcome::Evacuated
+    }
+
+    /// Latency summary, when a trace was recorded.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_latencies(&self.latencies)
+    }
+}
+
+/// Builds the initial configuration for `specs` and runs it to termination
+/// under the identity injection.
+///
+/// # Errors
+///
+/// Propagates configuration-construction and interpreter errors.
+pub fn simulate(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+    options: &SimOptions,
+) -> Result<SimResult> {
+    let cfg = Config::from_specs(net, routing, specs)?;
+    let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+    let run_options = RunOptions {
+        max_steps: options.max_steps,
+        record_trace: options.record_trace,
+        record_measures: false,
+        check_invariants: options.check_invariants,
+        enforce_measure: true,
+    };
+    let run = run(net, &IdentityInjection, policy, cfg, &run_options)?;
+    let latencies = if options.record_trace {
+        per_message_latencies(&run, &injected)
+    } else {
+        Vec::new()
+    };
+    Ok(SimResult { run, injected, latencies })
+}
+
+fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<u64> {
+    let mut latencies = Vec::new();
+    for &id in injected {
+        let mut first: Option<u64> = None;
+        let mut last: Option<u64> = None;
+        for e in run.trace.events() {
+            if e.msg != id {
+                continue;
+            }
+            if first.is_none() {
+                first = Some(e.step);
+            }
+            if e.to == Zone::Delivered {
+                last = Some(e.step);
+            }
+        }
+        if let (Some(f), Some(l)) = (first, last) {
+            latencies.push(l - f + 1);
+        }
+    }
+    latencies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_routing::xy::XyRouting;
+    use genoc_switching::wormhole::WormholePolicy;
+    use genoc_topology::mesh::Mesh;
+
+    #[test]
+    fn simulate_collects_latencies() {
+        let mesh = Mesh::new(3, 3, 2);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::transpose(&mesh, 2);
+        let options = SimOptions { record_trace: true, ..SimOptions::default() };
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+        )
+        .unwrap();
+        assert!(result.evacuated());
+        assert_eq!(result.latencies.len(), specs.len());
+        let summary = result.latency_summary().unwrap();
+        assert!(summary.min >= 1);
+        assert!(summary.max >= summary.min);
+    }
+
+    #[test]
+    fn latencies_empty_without_trace() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::all_to_all(4, 1);
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(result.evacuated());
+        assert!(result.latencies.is_empty());
+        assert!(result.latency_summary().is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Summary statistics over simulation runs.
+
+/// Latency and throughput summary of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of messages the summary covers.
+    pub messages: usize,
+    /// Smallest per-message latency (steps from injection start to tail
+    /// ejection).
+    pub min: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Largest latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a list of per-message latencies; `None` if empty.
+    pub fn from_latencies(latencies: &[u64]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let min = *latencies.iter().min().expect("non-empty");
+        let max = *latencies.iter().max().expect("non-empty");
+        let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+        Some(LatencySummary { messages: latencies.len(), min, mean, max })
+    }
+}
+
+/// Mean of a slice of `u64` samples (0 for empty input).
+pub fn mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    }
+}
+
+/// The `p`-th percentile (0–100) of the samples, by the nearest-rank method.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p > 100`.
+pub fn percentile(samples: &[u64], p: u32) -> u64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!(p <= 100);
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p as usize * sorted.len()).div_ceil(100)).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_computes_min_mean_max() {
+        let s = LatencySummary::from_latencies(&[2, 4, 6]).unwrap();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert!((s.mean - 4.0).abs() < 1e-9);
+        assert_eq!(s.messages, 3);
+    }
+
+    #[test]
+    fn empty_latencies_yield_none() {
+        assert!(LatencySummary::from_latencies(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&samples, 50), 30);
+        assert_eq!(percentile(&samples, 100), 50);
+        assert_eq!(percentile(&samples, 1), 10);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! [`Fabric`]: the shared port/node/link bookkeeping behind every concrete
+//! topology.
+//!
+//! A topology type (mesh, torus, ring, Spidergon) owns a `Fabric` plus its
+//! own coordinate logic, and implements [`Network`] by delegation. The
+//! [`FabricBuilder`] validates the wiring as it is declared: links connect
+//! out-ports to in-ports, every node has exactly one local in-port and one
+//! local out-port, and capacities are non-zero.
+
+use genoc_core::network::{Direction, Network, PortAttrs};
+use genoc_core::{NodeId, PortId};
+
+#[derive(Clone, Debug)]
+struct PortRecord {
+    node: NodeId,
+    direction: Direction,
+    local: bool,
+    capacity: u32,
+    label: String,
+}
+
+/// A validated port/link structure implementing [`Network`].
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    name: String,
+    ports: Vec<PortRecord>,
+    next_in: Vec<Option<PortId>>,
+    local_in: Vec<PortId>,
+    local_out: Vec<PortId>,
+}
+
+impl Fabric {
+    /// Starts building a fabric with the given topology name.
+    pub fn builder(name: impl Into<String>) -> FabricBuilder {
+        FabricBuilder {
+            name: name.into(),
+            ports: Vec::new(),
+            next_in: Vec::new(),
+            local_in: Vec::new(),
+            local_out: Vec::new(),
+        }
+    }
+}
+
+impl Network for Fabric {
+    fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn node_count(&self) -> usize {
+        self.local_in.len()
+    }
+
+    fn attrs(&self, p: PortId) -> PortAttrs {
+        let r = &self.ports[p.index()];
+        PortAttrs {
+            node: r.node,
+            direction: r.direction,
+            local: r.local,
+            capacity: r.capacity,
+        }
+    }
+
+    fn next_in(&self, p: PortId) -> Option<PortId> {
+        self.next_in[p.index()]
+    }
+
+    fn local_in(&self, n: NodeId) -> PortId {
+        self.local_in[n.index()]
+    }
+
+    fn local_out(&self, n: NodeId) -> PortId {
+        self.local_out[n.index()]
+    }
+
+    fn port_label(&self, p: PortId) -> String {
+        self.ports[p.index()].label.clone()
+    }
+
+    fn topology_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Incremental construction of a [`Fabric`].
+#[derive(Clone, Debug)]
+pub struct FabricBuilder {
+    name: String,
+    ports: Vec<PortRecord>,
+    next_in: Vec<Option<PortId>>,
+    local_in: Vec<Option<PortId>>,
+    local_out: Vec<Option<PortId>>,
+}
+
+impl FabricBuilder {
+    /// Registers a new node and returns its identifier. Nodes are numbered in
+    /// registration order.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.local_in.len());
+        self.local_in.push(None);
+        self.local_out.push(None);
+        id
+    }
+
+    /// Registers a port on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, if `node` was not registered, or if a
+    /// second local port of the same direction is declared for a node.
+    pub fn add_port(
+        &mut self,
+        node: NodeId,
+        direction: Direction,
+        local: bool,
+        capacity: u32,
+        label: impl Into<String>,
+    ) -> PortId {
+        assert!(capacity > 0, "ports need at least one buffer");
+        assert!(node.index() < self.local_in.len(), "unregistered node");
+        let id = PortId::from_index(self.ports.len());
+        self.ports.push(PortRecord {
+            node,
+            direction,
+            local,
+            capacity,
+            label: label.into(),
+        });
+        self.next_in.push(None);
+        if local {
+            let slot = match direction {
+                Direction::In => &mut self.local_in[node.index()],
+                Direction::Out => &mut self.local_out[node.index()],
+            };
+            assert!(slot.is_none(), "node {node} already has a local {direction:?} port");
+            *slot = Some(id);
+        }
+        id
+    }
+
+    /// Declares the link driven by out-port `from`, terminating at in-port
+    /// `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a non-local out-port, if `to` is not an
+    /// in-port, or if `from` already drives a link.
+    pub fn connect(&mut self, from: PortId, to: PortId) {
+        let f = &self.ports[from.index()];
+        let t = &self.ports[to.index()];
+        assert_eq!(f.direction, Direction::Out, "links start at out-ports");
+        assert!(!f.local, "local ejection ports do not drive links");
+        assert_eq!(t.direction, Direction::In, "links end at in-ports");
+        assert!(!t.local, "local injection ports are not link targets");
+        assert!(self.next_in[from.index()].is_none(), "port {from} already linked");
+        self.next_in[from.index()] = Some(to);
+    }
+
+    /// Finalises the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node lacks a local in- or out-port, or if a non-local
+    /// out-port was left unconnected (dangling links indicate a topology
+    /// construction bug).
+    pub fn build(self) -> Fabric {
+        let mut local_in = Vec::with_capacity(self.local_in.len());
+        let mut local_out = Vec::with_capacity(self.local_out.len());
+        for (i, (li, lo)) in self.local_in.iter().zip(&self.local_out).enumerate() {
+            local_in.push(li.unwrap_or_else(|| panic!("node n{i} lacks a local in-port")));
+            local_out.push(lo.unwrap_or_else(|| panic!("node n{i} lacks a local out-port")));
+        }
+        for (i, r) in self.ports.iter().enumerate() {
+            if r.direction == Direction::Out && !r.local {
+                assert!(
+                    self.next_in[i].is_some(),
+                    "out-port {} ({}) drives no link",
+                    i,
+                    r.label
+                );
+            }
+        }
+        Fabric {
+            name: self.name,
+            ports: self.ports,
+            next_in: self.next_in,
+            local_in,
+            local_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_fabric() -> Fabric {
+        let mut b = Fabric::builder("pair");
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        b.add_port(n0, Direction::In, true, 1, "(0) L in");
+        b.add_port(n0, Direction::Out, true, 1, "(0) L out");
+        let f_out = b.add_port(n0, Direction::Out, false, 2, "(0) F out");
+        b.add_port(n1, Direction::In, true, 1, "(1) L in");
+        b.add_port(n1, Direction::Out, true, 1, "(1) L out");
+        let f_in = b.add_port(n1, Direction::In, false, 2, "(1) F in");
+        b.connect(f_out, f_in);
+        b.build()
+    }
+
+    #[test]
+    fn fabric_implements_network() {
+        let f = two_node_fabric();
+        assert_eq!(f.node_count(), 2);
+        assert_eq!(f.port_count(), 6);
+        assert_eq!(f.topology_name(), "pair");
+        let n0 = NodeId::from_index(0);
+        assert!(f.attrs(f.local_in(n0)).is_local_in());
+        assert!(f.attrs(f.local_out(n0)).is_local_out());
+    }
+
+    #[test]
+    fn links_resolve_through_next_in() {
+        let f = two_node_fabric();
+        let f_out = f
+            .ports()
+            .find(|&p| f.port_label(p) == "(0) F out")
+            .unwrap();
+        let target = f.next_in(f_out).unwrap();
+        assert_eq!(f.port_label(target), "(1) F in");
+        assert_eq!(f.attrs(target).capacity, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a local in-port")]
+    fn missing_local_port_is_rejected() {
+        let mut b = Fabric::builder("bad");
+        let n = b.add_node();
+        b.add_port(n, Direction::Out, true, 1, "L out");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "drives no link")]
+    fn dangling_out_port_is_rejected() {
+        let mut b = Fabric::builder("bad");
+        let n = b.add_node();
+        b.add_port(n, Direction::In, true, 1, "L in");
+        b.add_port(n, Direction::Out, true, 1, "L out");
+        b.add_port(n, Direction::Out, false, 1, "E out");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "links start at out-ports")]
+    fn connect_validates_directions() {
+        let mut b = Fabric::builder("bad");
+        let n = b.add_node();
+        let li = b.add_port(n, Direction::In, true, 1, "L in");
+        let lo = b.add_port(n, Direction::Out, true, 1, "L out");
+        b.connect(li, lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_capacity_is_rejected() {
+        let mut b = Fabric::builder("bad");
+        let n = b.add_node();
+        b.add_port(n, Direction::In, true, 0, "L in");
+    }
+}

@@ -1,0 +1,33 @@
+//! # genoc-topology
+//!
+//! Concrete network instances for GeNoC-rs:
+//!
+//! * [`mesh::Mesh`] — the HERMES-style 2D mesh of the paper (Fig. 1),
+//! * [`torus::Torus`] — 2D torus with optional virtual channels,
+//! * [`ring::Ring`] — bidirectional ring with optional virtual channels,
+//! * [`spidergon::Spidergon`] — the Spidergon of the GeNoC case studies,
+//!
+//! all built on the shared [`fabric::Fabric`] bookkeeping and implementing
+//! [`genoc_core::network::Network`].
+//!
+//! Virtual channels are modelled as *additional ports* multiplexed over a
+//! physical link: the port-level dependency analysis of the paper then
+//! applies to VC-based deadlock-avoidance schemes (datelines, escape
+//! channels) with no change to the theory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+#[cfg(test)]
+mod proptests;
+pub mod mesh;
+pub mod ring;
+pub mod spidergon;
+pub mod torus;
+
+pub use crate::fabric::{Fabric, FabricBuilder};
+pub use crate::mesh::{Cardinal, Mesh, MeshBuilder};
+pub use crate::ring::{Ring, RingDir};
+pub use crate::spidergon::Spidergon;
+pub use crate::torus::Torus;

@@ -1,0 +1,443 @@
+//! The HERMES-style 2D mesh (Fig. 1 of the paper).
+//!
+//! Every node is an IP core plus a switch with five bi-directional ports:
+//! `East`, `West`, `North`, `South` toward the neighbor switches and `Local`
+//! toward the IP core. Border nodes only instantiate ports that have a
+//! physical neighbor. Following the paper's routing function `Rxy`
+//! (`y(d) < y(p) ⟹ North`), *north decreases the y coordinate*: node
+//! `(x, 0)` is the northern border.
+
+use genoc_core::network::{Direction, Network, PortAttrs};
+use genoc_core::{NodeId, PortId};
+
+use crate::fabric::Fabric;
+
+/// The five port names of a HERMES switch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Cardinal {
+    /// Toward `x + 1`.
+    East,
+    /// Toward `x - 1`.
+    West,
+    /// Toward `y - 1`.
+    North,
+    /// Toward `y + 1`.
+    South,
+    /// Toward the IP core.
+    Local,
+}
+
+impl Cardinal {
+    /// All port names, in a fixed order.
+    pub const ALL: [Cardinal; 5] = [
+        Cardinal::East,
+        Cardinal::West,
+        Cardinal::North,
+        Cardinal::South,
+        Cardinal::Local,
+    ];
+
+    /// One-letter abbreviation used in labels (`E`, `W`, `N`, `S`, `L`).
+    pub fn letter(self) -> char {
+        match self {
+            Cardinal::East => 'E',
+            Cardinal::West => 'W',
+            Cardinal::North => 'N',
+            Cardinal::South => 'S',
+            Cardinal::Local => 'L',
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Cardinal::East => 0,
+            Cardinal::West => 1,
+            Cardinal::North => 2,
+            Cardinal::South => 3,
+            Cardinal::Local => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Cardinal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Coordinates and port name of a mesh port — the tuple `⟨x, y, P, D⟩` of the
+/// paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MeshPortInfo {
+    /// Column of the owning node.
+    pub x: usize,
+    /// Row of the owning node.
+    pub y: usize,
+    /// Port name.
+    pub card: Cardinal,
+    /// Port direction.
+    pub dir: Direction,
+}
+
+/// Configures and builds a [`Mesh`].
+///
+/// # Examples
+///
+/// ```
+/// use genoc_topology::mesh::Mesh;
+///
+/// let mesh = Mesh::builder(4, 3).capacity(2).local_capacity(4).build();
+/// assert_eq!((mesh.width(), mesh.height()), (4, 3));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MeshBuilder {
+    width: usize,
+    height: usize,
+    capacity: u32,
+    local_capacity: Option<u32>,
+}
+
+impl MeshBuilder {
+    /// Buffer depth of every link port (default 1).
+    #[must_use]
+    pub fn capacity(mut self, capacity: u32) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Buffer depth of the local injection/ejection ports (defaults to the
+    /// link capacity).
+    #[must_use]
+    pub fn local_capacity(mut self, capacity: u32) -> Self {
+        self.local_capacity = Some(capacity);
+        self
+    }
+
+    /// Builds the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or capacity is zero.
+    pub fn build(self) -> Mesh {
+        Mesh::construct(self)
+    }
+}
+
+/// A `width × height` HERMES mesh.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::network::{Direction, Network};
+/// use genoc_topology::mesh::{Cardinal, Mesh};
+///
+/// let mesh = Mesh::new(2, 2, 1);
+/// // next_in(⟨0,0,E,Out⟩) = ⟨1,0,W,In⟩ — the example from the paper.
+/// let e_out = mesh.port(0, 0, Cardinal::East, Direction::Out).unwrap();
+/// let w_in = mesh.port(1, 0, Cardinal::West, Direction::In).unwrap();
+/// assert_eq!(mesh.next_in(e_out), Some(w_in));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    fabric: Fabric,
+    width: usize,
+    height: usize,
+    /// `lookup[node][card][dir]`.
+    lookup: Vec<[[Option<PortId>; 2]; 5]>,
+    info: Vec<MeshPortInfo>,
+}
+
+impl Mesh {
+    /// Builds a mesh with uniform buffer capacity on every port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or the capacity is zero.
+    pub fn new(width: usize, height: usize, capacity: u32) -> Self {
+        Mesh::builder(width, height).capacity(capacity).build()
+    }
+
+    /// Starts configuring a mesh.
+    pub fn builder(width: usize, height: usize) -> MeshBuilder {
+        MeshBuilder { width, height, capacity: 1, local_capacity: None }
+    }
+
+    fn construct(b: MeshBuilder) -> Self {
+        assert!(b.width > 0 && b.height > 0, "mesh dimensions must be positive");
+        let local_capacity = b.local_capacity.unwrap_or(b.capacity);
+        let mut fabric = Fabric::builder(format!("mesh-{}x{}", b.width, b.height));
+        let node_count = b.width * b.height;
+        let mut lookup = vec![[[None; 2]; 5]; node_count];
+        let mut info = Vec::new();
+
+        let node_at = |x: usize, y: usize| y * b.width + x;
+        for y in 0..b.height {
+            for x in 0..b.width {
+                let node = fabric.add_node();
+                debug_assert_eq!(node.index(), node_at(x, y));
+                let mut add = |card: Cardinal, dir: Direction, fab: &mut _| {
+                    let local = card == Cardinal::Local;
+                    let capacity = if local { local_capacity } else { b.capacity };
+                    let dir_name = if dir == Direction::In { "in" } else { "out" };
+                    let label = format!("({x},{y}) {} {dir_name}", card.letter());
+                    let fab: &mut crate::fabric::FabricBuilder = fab;
+                    let id = fab.add_port(node, dir, local, capacity, label);
+                    lookup[node.index()][card.index()][dir_index(dir)] = Some(id);
+                    info.push(MeshPortInfo { x, y, card, dir });
+                    id
+                };
+                add(Cardinal::Local, Direction::In, &mut fabric);
+                add(Cardinal::Local, Direction::Out, &mut fabric);
+                if x + 1 < b.width {
+                    add(Cardinal::East, Direction::In, &mut fabric);
+                    add(Cardinal::East, Direction::Out, &mut fabric);
+                }
+                if x > 0 {
+                    add(Cardinal::West, Direction::In, &mut fabric);
+                    add(Cardinal::West, Direction::Out, &mut fabric);
+                }
+                if y > 0 {
+                    add(Cardinal::North, Direction::In, &mut fabric);
+                    add(Cardinal::North, Direction::Out, &mut fabric);
+                }
+                if y + 1 < b.height {
+                    add(Cardinal::South, Direction::In, &mut fabric);
+                    add(Cardinal::South, Direction::Out, &mut fabric);
+                }
+            }
+        }
+
+        // Wire the links: out-port of each node to the facing in-port of the
+        // neighbor.
+        let port_of = |lookup: &Vec<[[Option<PortId>; 2]; 5]>, x: usize, y: usize, c: Cardinal, d: Direction| {
+            lookup[node_at(x, y)][c.index()][dir_index(d)]
+        };
+        for y in 0..b.height {
+            for x in 0..b.width {
+                if x + 1 < b.width {
+                    let from = port_of(&lookup, x, y, Cardinal::East, Direction::Out).unwrap();
+                    let to = port_of(&lookup, x + 1, y, Cardinal::West, Direction::In).unwrap();
+                    fabric.connect(from, to);
+                }
+                if x > 0 {
+                    let from = port_of(&lookup, x, y, Cardinal::West, Direction::Out).unwrap();
+                    let to = port_of(&lookup, x - 1, y, Cardinal::East, Direction::In).unwrap();
+                    fabric.connect(from, to);
+                }
+                if y > 0 {
+                    let from = port_of(&lookup, x, y, Cardinal::North, Direction::Out).unwrap();
+                    let to = port_of(&lookup, x, y - 1, Cardinal::South, Direction::In).unwrap();
+                    fabric.connect(from, to);
+                }
+                if y + 1 < b.height {
+                    let from = port_of(&lookup, x, y, Cardinal::South, Direction::Out).unwrap();
+                    let to = port_of(&lookup, x, y + 1, Cardinal::North, Direction::In).unwrap();
+                    fabric.connect(from, to);
+                }
+            }
+        }
+
+        Mesh {
+            fabric: fabric.build(),
+            width: b.width,
+            height: b.height,
+            lookup,
+            info,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The node at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "mesh coordinates out of range");
+        NodeId::from_index(y * self.width + x)
+    }
+
+    /// Coordinates of a node.
+    pub fn node_coords(&self, n: NodeId) -> (usize, usize) {
+        (n.index() % self.width, n.index() / self.width)
+    }
+
+    /// The port `⟨x, y, card, dir⟩`, if that port exists (border nodes omit
+    /// ports without a neighbor).
+    pub fn port(&self, x: usize, y: usize, card: Cardinal, dir: Direction) -> Option<PortId> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        self.lookup[y * self.width + x][card.index()][dir_index(dir)]
+    }
+
+    /// Coordinates, name, and direction of a port — the accessors `x(p)`,
+    /// `y(p)`, `port(p)`, `dir(p)` of the paper in one struct.
+    pub fn info(&self, p: PortId) -> MeshPortInfo {
+        self.info[p.index()]
+    }
+
+    /// The paper's `trans(p, PD)`: the port named `card`/`dir` in the same
+    /// node as `p`, if it exists.
+    pub fn trans(&self, p: PortId, card: Cardinal, dir: Direction) -> Option<PortId> {
+        let i = self.info(p);
+        self.port(i.x, i.y, card, dir)
+    }
+}
+
+fn dir_index(d: Direction) -> usize {
+    match d {
+        Direction::In => 0,
+        Direction::Out => 1,
+    }
+}
+
+impl Network for Mesh {
+    fn port_count(&self) -> usize {
+        self.fabric.port_count()
+    }
+
+    fn node_count(&self) -> usize {
+        self.fabric.node_count()
+    }
+
+    fn attrs(&self, p: PortId) -> PortAttrs {
+        self.fabric.attrs(p)
+    }
+
+    fn next_in(&self, p: PortId) -> Option<PortId> {
+        self.fabric.next_in(p)
+    }
+
+    fn local_in(&self, n: NodeId) -> PortId {
+        self.fabric.local_in(n)
+    }
+
+    fn local_out(&self, n: NodeId) -> PortId {
+        self.fabric.local_out(n)
+    }
+
+    fn port_label(&self, p: PortId) -> String {
+        self.fabric.port_label(p)
+    }
+
+    fn topology_name(&self) -> String {
+        self.fabric.topology_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2WH local ports + 4 ports per adjacent node pair.
+    fn expected_ports(w: usize, h: usize) -> usize {
+        2 * w * h + 4 * ((w - 1) * h + w * (h - 1))
+    }
+
+    #[test]
+    fn port_count_matches_formula() {
+        for (w, h) in [(1, 1), (2, 2), (3, 2), (4, 4), (5, 1)] {
+            let mesh = Mesh::new(w, h, 1);
+            assert_eq!(mesh.port_count(), expected_ports(w, h), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn two_by_two_has_24_ports() {
+        // The instance drawn in Fig. 3 of the paper.
+        assert_eq!(Mesh::new(2, 2, 1).port_count(), 24);
+    }
+
+    #[test]
+    fn border_nodes_omit_dangling_ports() {
+        let mesh = Mesh::new(3, 3, 1);
+        assert!(mesh.port(0, 0, Cardinal::West, Direction::In).is_none());
+        assert!(mesh.port(0, 0, Cardinal::North, Direction::Out).is_none());
+        assert!(mesh.port(2, 2, Cardinal::East, Direction::Out).is_none());
+        assert!(mesh.port(2, 2, Cardinal::South, Direction::In).is_none());
+        assert!(mesh.port(1, 1, Cardinal::East, Direction::In).is_some());
+    }
+
+    #[test]
+    fn links_wire_facing_ports() {
+        let mesh = Mesh::new(3, 3, 1);
+        let cases = [
+            ((1, 1, Cardinal::East, 2, 1, Cardinal::West)),
+            ((1, 1, Cardinal::West, 0, 1, Cardinal::East)),
+            ((1, 1, Cardinal::North, 1, 0, Cardinal::South)),
+            ((1, 1, Cardinal::South, 1, 2, Cardinal::North)),
+        ];
+        for (x, y, c, nx, ny, nc) in cases {
+            let out = mesh.port(x, y, c, Direction::Out).unwrap();
+            let expect = mesh.port(nx, ny, nc, Direction::In).unwrap();
+            assert_eq!(mesh.next_in(out), Some(expect), "{c:?} from ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn node_coords_round_trip() {
+        let mesh = Mesh::new(4, 3, 1);
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(mesh.node_coords(mesh.node(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn trans_moves_within_a_node() {
+        let mesh = Mesh::new(2, 2, 1);
+        let e_in = mesh.port(0, 0, Cardinal::East, Direction::In).unwrap();
+        let l_out = mesh.port(0, 0, Cardinal::Local, Direction::Out).unwrap();
+        assert_eq!(mesh.trans(e_in, Cardinal::Local, Direction::Out), Some(l_out));
+        assert_eq!(mesh.trans(e_in, Cardinal::West, Direction::Out), None, "border");
+    }
+
+    #[test]
+    fn info_matches_lookup() {
+        let mesh = Mesh::new(3, 2, 1);
+        for p in mesh.ports() {
+            let i = mesh.info(p);
+            assert_eq!(mesh.port(i.x, i.y, i.card, i.dir), Some(p));
+        }
+    }
+
+    #[test]
+    fn local_capacity_override() {
+        let mesh = Mesh::builder(2, 2).capacity(2).local_capacity(5).build();
+        let li = mesh.local_in(mesh.node(0, 0));
+        let e_out = mesh.port(0, 0, Cardinal::East, Direction::Out).unwrap();
+        assert_eq!(mesh.attrs(li).capacity, 5);
+        assert_eq!(mesh.attrs(e_out).capacity, 2);
+    }
+
+    #[test]
+    fn labels_follow_paper_notation() {
+        let mesh = Mesh::new(2, 2, 1);
+        let p = mesh.port(1, 0, Cardinal::West, Direction::In).unwrap();
+        assert_eq!(mesh.port_label(p), "(1,0) W in");
+    }
+
+    #[test]
+    fn one_by_one_mesh_is_just_a_local_pair() {
+        let mesh = Mesh::new(1, 1, 1);
+        assert_eq!(mesh.port_count(), 2);
+        assert_eq!(mesh.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_is_rejected() {
+        let _ = Mesh::new(0, 2, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the topology constructions: wiring symmetry,
+//! port-count formulas, and lookup round-trips over random dimensions.
+
+#![cfg(test)]
+
+use genoc_core::network::{Direction, Network};
+use proptest::prelude::*;
+
+use crate::mesh::Mesh;
+use crate::ring::{Ring, RingDir};
+use crate::spidergon::Spidergon;
+use crate::torus::Torus;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every non-local out-port drives a link ending at an in-port of a
+    /// different node, and local ports never link.
+    #[test]
+    fn mesh_wiring_is_well_formed(w in 1usize..=8, h in 1usize..=8, cap in 1u32..=4) {
+        let mesh = Mesh::new(w, h, cap);
+        for p in mesh.ports() {
+            let a = mesh.attrs(p);
+            prop_assert_eq!(a.capacity, cap);
+            match mesh.next_in(p) {
+                Some(q) => {
+                    let b = mesh.attrs(q);
+                    prop_assert_eq!(a.direction, Direction::Out);
+                    prop_assert!(!a.local);
+                    prop_assert_eq!(b.direction, Direction::In);
+                    prop_assert!(!b.local);
+                    prop_assert_ne!(a.node, b.node);
+                }
+                None => {
+                    prop_assert!(a.direction == Direction::In || a.local);
+                }
+            }
+        }
+        prop_assert_eq!(
+            mesh.port_count(),
+            2 * w * h + 4 * ((w - 1) * h + w * (h - 1))
+        );
+    }
+
+    /// Mesh links are symmetric: following a link and looking back across
+    /// the reverse link returns to the starting node.
+    #[test]
+    fn mesh_links_pair_up(w in 2usize..=6, h in 2usize..=6) {
+        let mesh = Mesh::new(w, h, 1);
+        for p in mesh.ports() {
+            if let Some(q) = mesh.next_in(p) {
+                let back_card = match mesh.info(p).card {
+                    crate::mesh::Cardinal::East => crate::mesh::Cardinal::West,
+                    crate::mesh::Cardinal::West => crate::mesh::Cardinal::East,
+                    crate::mesh::Cardinal::North => crate::mesh::Cardinal::South,
+                    crate::mesh::Cardinal::South => crate::mesh::Cardinal::North,
+                    crate::mesh::Cardinal::Local => unreachable!("local ports have no links"),
+                };
+                prop_assert_eq!(mesh.info(q).card, back_card);
+                let back_out = mesh
+                    .trans(q, back_card, Direction::Out)
+                    .expect("reverse link exists");
+                let home = mesh.next_in(back_out).expect("links are bidirectional pairs");
+                prop_assert_eq!(mesh.attrs(home).node, mesh.attrs(p).node);
+            }
+        }
+    }
+
+    /// Torus wrap distances: walking `width` times east returns home on
+    /// every row and channel.
+    #[test]
+    fn torus_rows_are_rings(w in 2usize..=6, h in 2usize..=5, vcs in 1usize..=2) {
+        let torus = Torus::with_vcs(w, h, vcs, 1);
+        for y in 0..h {
+            for vc in 0..vcs {
+                let mut node = torus.node(0, y);
+                for _ in 0..w {
+                    let (x, yy) = torus.node_coords(node);
+                    let out = torus
+                        .port(x, yy, crate::mesh::Cardinal::East, vc, Direction::Out)
+                        .expect("torus nodes have all ports");
+                    let next = torus.next_in(out).expect("linked");
+                    node = torus.attrs(next).node;
+                }
+                prop_assert_eq!(node, torus.node(0, y), "row {} vc {}", y, vc);
+            }
+        }
+    }
+
+    /// Ring: cw then ccw is the identity on nodes.
+    #[test]
+    fn ring_directions_are_inverse(n in 2usize..=12, vcs in 1usize..=3) {
+        let ring = Ring::with_vcs(n, vcs, 1);
+        for node in 0..n {
+            for vc in 0..vcs {
+                let cw = ring.ring_port(node, RingDir::Cw, vc, Direction::Out);
+                let there = ring.info(ring.next_in(cw).unwrap()).node;
+                let ccw = ring.ring_port(there, RingDir::Ccw, vc, Direction::Out);
+                let back = ring.info(ring.next_in(ccw).unwrap()).node;
+                prop_assert_eq!(back, node);
+            }
+        }
+    }
+
+    /// Spidergon: the across link is an involution on nodes.
+    #[test]
+    fn spidergon_across_is_involutive(half in 2usize..=8) {
+        let size = 2 * half;
+        let s = Spidergon::new(size, 1);
+        for node in 0..size {
+            let out = s.across_port(node, Direction::Out);
+            let there = s.info(s.next_in(out).unwrap()).node;
+            let out2 = s.across_port(there, Direction::Out);
+            let back = s.info(s.next_in(out2).unwrap()).node;
+            prop_assert_eq!(back, node);
+            prop_assert_eq!(there, (node + half) % size);
+        }
+    }
+
+    /// Every topology has exactly one local in- and out-port per node.
+    #[test]
+    fn local_ports_are_unique(n in 2usize..=8) {
+        let nets: Vec<Box<dyn Network>> = vec![
+            Box::new(Mesh::new(n, 2, 1)),
+            Box::new(Ring::new(n, 1)),
+            Box::new(Torus::new(n.max(2), 2, 1)),
+            Box::new(Spidergon::new(2 * n.div_ceil(2).max(2), 1)),
+        ];
+        for net in &nets {
+            for node in net.nodes() {
+                let li = net.local_in(node);
+                let lo = net.local_out(node);
+                prop_assert!(net.attrs(li).is_local_in());
+                prop_assert!(net.attrs(lo).is_local_out());
+                prop_assert_eq!(net.attrs(li).node, node);
+                prop_assert_eq!(net.attrs(lo).node, node);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! A bidirectional ring, with optional virtual channels on the ring links.
+//!
+//! The ring is the smallest topology on which shortest-path routing has a
+//! *cyclic* port dependency graph — the canonical deadlock-prone instance —
+//! and on which the classical dateline repair (two virtual channels per
+//! direction, switch at the dateline) restores acyclicity. Virtual channels
+//! are modelled as additional ports sharing a physical link, which the
+//! port-level formalism of the paper absorbs without extension.
+
+use genoc_core::network::{Direction, Network, PortAttrs};
+use genoc_core::{NodeId, PortId};
+
+use crate::fabric::Fabric;
+
+/// Travel direction around the ring.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RingDir {
+    /// Clockwise: toward `(i + 1) mod n`.
+    Cw,
+    /// Counter-clockwise: toward `(i - 1) mod n`.
+    Ccw,
+}
+
+impl RingDir {
+    /// Both directions.
+    pub const ALL: [RingDir; 2] = [RingDir::Cw, RingDir::Ccw];
+
+    fn index(self) -> usize {
+        match self {
+            RingDir::Cw => 0,
+            RingDir::Ccw => 1,
+        }
+    }
+
+    /// Short label (`cw`/`ccw`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RingDir::Cw => "cw",
+            RingDir::Ccw => "ccw",
+        }
+    }
+}
+
+/// What kind of port a ring port is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RingPortKind {
+    /// Local injection/ejection port.
+    Local,
+    /// Ring link port in the given direction on the given virtual channel.
+    Ring {
+        /// Travel direction of the link.
+        dir: RingDir,
+        /// Virtual-channel index, `0..vc_count`.
+        vc: usize,
+    },
+}
+
+/// Node index, kind, and direction of a ring port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RingPortInfo {
+    /// Owning node index.
+    pub node: usize,
+    /// Port kind.
+    pub kind: RingPortKind,
+    /// In or out.
+    pub dir: Direction,
+}
+
+/// A bidirectional ring of `n ≥ 2` nodes with `vcs ≥ 1` virtual channels per
+/// ring direction.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::network::Network;
+/// use genoc_topology::ring::Ring;
+///
+/// let ring = Ring::new(6, 1);
+/// assert_eq!(ring.node_count(), 6);
+/// let dateline = Ring::with_vcs(6, 2, 1);
+/// assert!(dateline.port_count() > ring.port_count());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ring {
+    fabric: Fabric,
+    nodes: usize,
+    vcs: usize,
+    /// `lookup[node][dir][vc][in/out]`.
+    lookup: Vec<Vec<Vec<[PortId; 2]>>>,
+    info: Vec<RingPortInfo>,
+}
+
+impl Ring {
+    /// Builds a plain ring (one virtual channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `capacity == 0`.
+    pub fn new(nodes: usize, capacity: u32) -> Self {
+        Ring::with_vcs(nodes, 1, capacity)
+    }
+
+    /// Builds a ring with `vcs` virtual channels per ring direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, `vcs == 0`, or `capacity == 0`.
+    pub fn with_vcs(nodes: usize, vcs: usize, capacity: u32) -> Self {
+        assert!(nodes >= 2, "a ring needs at least two nodes");
+        assert!(vcs >= 1, "at least one virtual channel");
+        let name = if vcs == 1 {
+            format!("ring-{nodes}")
+        } else {
+            format!("ring-{nodes}-vc{vcs}")
+        };
+        let mut fabric = Fabric::builder(name);
+        let mut lookup = Vec::with_capacity(nodes);
+        let mut info = Vec::new();
+        for node in 0..nodes {
+            let n = fabric.add_node();
+            let li = fabric.add_port(n, Direction::In, true, capacity, format!("({node}) L in"));
+            info.push(RingPortInfo { node, kind: RingPortKind::Local, dir: Direction::In });
+            debug_assert_eq!(li.index() + 1, li.index() + 1);
+            fabric.add_port(n, Direction::Out, true, capacity, format!("({node}) L out"));
+            info.push(RingPortInfo { node, kind: RingPortKind::Local, dir: Direction::Out });
+            let mut per_dir = Vec::with_capacity(2);
+            for dir in RingDir::ALL {
+                let mut per_vc = Vec::with_capacity(vcs);
+                for vc in 0..vcs {
+                    let pin = fabric.add_port(
+                        n,
+                        Direction::In,
+                        false,
+                        capacity,
+                        format!("({node}) {}{vc} in", dir.label()),
+                    );
+                    info.push(RingPortInfo {
+                        node,
+                        kind: RingPortKind::Ring { dir, vc },
+                        dir: Direction::In,
+                    });
+                    let pout = fabric.add_port(
+                        n,
+                        Direction::Out,
+                        false,
+                        capacity,
+                        format!("({node}) {}{vc} out", dir.label()),
+                    );
+                    info.push(RingPortInfo {
+                        node,
+                        kind: RingPortKind::Ring { dir, vc },
+                        dir: Direction::Out,
+                    });
+                    per_vc.push([pin, pout]);
+                }
+                per_dir.push(per_vc);
+            }
+            lookup.push(per_dir);
+        }
+        for node in 0..nodes {
+            for vc in 0..vcs {
+                let cw_out = lookup[node][RingDir::Cw.index()][vc][1];
+                let cw_in = lookup[(node + 1) % nodes][RingDir::Cw.index()][vc][0];
+                fabric.connect(cw_out, cw_in);
+                let ccw_out = lookup[node][RingDir::Ccw.index()][vc][1];
+                let ccw_in = lookup[(node + nodes - 1) % nodes][RingDir::Ccw.index()][vc][0];
+                fabric.connect(ccw_out, ccw_in);
+            }
+        }
+        Ring { fabric: fabric.build(), nodes, vcs, lookup, info }
+    }
+
+    /// Number of virtual channels per ring direction.
+    pub fn vc_count(&self) -> usize {
+        self.vcs
+    }
+
+    /// The ring link port of `node` in direction `dir` on channel `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `vc` is out of range.
+    pub fn ring_port(&self, node: usize, dir: RingDir, vc: usize, d: Direction) -> PortId {
+        self.lookup[node][dir.index()][vc][if d == Direction::In { 0 } else { 1 }]
+    }
+
+    /// Node, kind, and direction of a port.
+    pub fn info(&self, p: PortId) -> RingPortInfo {
+        self.info[p.index()]
+    }
+
+    /// Clockwise distance from node `a` to node `b`.
+    pub fn cw_distance(&self, a: usize, b: usize) -> usize {
+        (b + self.nodes - a) % self.nodes
+    }
+}
+
+impl Network for Ring {
+    fn port_count(&self) -> usize {
+        self.fabric.port_count()
+    }
+
+    fn node_count(&self) -> usize {
+        self.fabric.node_count()
+    }
+
+    fn attrs(&self, p: PortId) -> PortAttrs {
+        self.fabric.attrs(p)
+    }
+
+    fn next_in(&self, p: PortId) -> Option<PortId> {
+        self.fabric.next_in(p)
+    }
+
+    fn local_in(&self, n: NodeId) -> PortId {
+        self.fabric.local_in(n)
+    }
+
+    fn local_out(&self, n: NodeId) -> PortId {
+        self.fabric.local_out(n)
+    }
+
+    fn port_label(&self, p: PortId) -> String {
+        self.fabric.port_label(p)
+    }
+
+    fn topology_name(&self) -> String {
+        self.fabric.topology_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_count_scales_with_vcs() {
+        // Per node: 2 local + 4 ring ports per vc.
+        assert_eq!(Ring::new(5, 1).port_count(), 5 * (2 + 4));
+        assert_eq!(Ring::with_vcs(5, 2, 1).port_count(), 5 * (2 + 8));
+    }
+
+    #[test]
+    fn links_wrap_around() {
+        let ring = Ring::new(4, 1);
+        let out = ring.ring_port(3, RingDir::Cw, 0, Direction::Out);
+        let target = ring.next_in(out).unwrap();
+        assert_eq!(ring.info(target).node, 0);
+        let out = ring.ring_port(0, RingDir::Ccw, 0, Direction::Out);
+        let target = ring.next_in(out).unwrap();
+        assert_eq!(ring.info(target).node, 3);
+    }
+
+    #[test]
+    fn vcs_share_links_but_not_ports() {
+        let ring = Ring::with_vcs(3, 2, 1);
+        let v0 = ring.ring_port(0, RingDir::Cw, 0, Direction::Out);
+        let v1 = ring.ring_port(0, RingDir::Cw, 1, Direction::Out);
+        assert_ne!(v0, v1);
+        let t0 = ring.info(ring.next_in(v0).unwrap());
+        let t1 = ring.info(ring.next_in(v1).unwrap());
+        assert_eq!(t0.node, t1.node);
+        assert_eq!(t0.kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
+        assert_eq!(t1.kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 1 });
+    }
+
+    #[test]
+    fn cw_distance_wraps() {
+        let ring = Ring::new(6, 1);
+        assert_eq!(ring.cw_distance(4, 1), 3);
+        assert_eq!(ring.cw_distance(1, 4), 3);
+        assert_eq!(ring.cw_distance(2, 2), 0);
+    }
+
+    #[test]
+    fn info_round_trips() {
+        let ring = Ring::with_vcs(4, 2, 1);
+        for p in ring.ports() {
+            let i = ring.info(p);
+            if let RingPortKind::Ring { dir, vc } = i.kind {
+                assert_eq!(ring.ring_port(i.node, dir, vc, i.dir), p);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_ring_is_rejected() {
+        let _ = Ring::new(1, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! The Spidergon topology: a bidirectional ring with *across* links.
+//!
+//! Spidergon (STMicroelectronics) connects `N` nodes (N even) in a
+//! bidirectional ring and adds a chord from every node `i` to its antipode
+//! `i + N/2`. It is the other case study of the GeNoC literature (Borrione,
+//! Helmy, Pierre & Schmaltz, EURASIP 2009, cited as reference 6 by the paper).
+//! Across-first routing without virtual channels has a cyclic dependency
+//! graph (the ring segments chain around), and the dateline repair with two
+//! ring virtual channels restores acyclicity — both of which the
+//! `genoc-verif` checkers demonstrate.
+
+use genoc_core::network::{Direction, Network, PortAttrs};
+use genoc_core::{NodeId, PortId};
+
+use crate::fabric::Fabric;
+use crate::ring::RingDir;
+
+/// What kind of port a Spidergon port is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpidergonPortKind {
+    /// Local injection/ejection port.
+    Local,
+    /// Ring link port in the given direction on the given virtual channel.
+    Ring {
+        /// Travel direction of the link.
+        dir: RingDir,
+        /// Virtual-channel index.
+        vc: usize,
+    },
+    /// Across link port toward the antipodal node.
+    Across,
+}
+
+/// Node index, kind, and direction of a Spidergon port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpidergonPortInfo {
+    /// Owning node index.
+    pub node: usize,
+    /// Port kind.
+    pub kind: SpidergonPortKind,
+    /// In or out.
+    pub dir: Direction,
+}
+
+/// A Spidergon of `size` nodes (even, at least 4) with `vcs` virtual
+/// channels per ring direction.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::network::{Direction, Network};
+/// use genoc_topology::spidergon::Spidergon;
+///
+/// let s = Spidergon::new(8, 1);
+/// let across = s.across_port(1, Direction::Out);
+/// let target = s.info(s.next_in(across).unwrap());
+/// assert_eq!(target.node, 5, "across links join antipodal nodes");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Spidergon {
+    fabric: Fabric,
+    size: usize,
+    vcs: usize,
+    /// `ring_lookup[node][dir][vc][in/out]`.
+    ring_lookup: Vec<Vec<Vec<[PortId; 2]>>>,
+    /// `across_lookup[node][in/out]`.
+    across_lookup: Vec<[PortId; 2]>,
+    info: Vec<SpidergonPortInfo>,
+}
+
+impl Spidergon {
+    /// Builds a Spidergon with one ring virtual channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is odd or smaller than 4, or `capacity == 0`.
+    pub fn new(size: usize, capacity: u32) -> Self {
+        Spidergon::with_vcs(size, 1, capacity)
+    }
+
+    /// Builds a Spidergon with `vcs` virtual channels per ring direction
+    /// (across links are never part of a cycle and need no channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is odd or smaller than 4, `vcs == 0`, or
+    /// `capacity == 0`.
+    pub fn with_vcs(size: usize, vcs: usize, capacity: u32) -> Self {
+        assert!(size >= 4 && size % 2 == 0, "spidergon size must be even and at least 4");
+        assert!(vcs >= 1, "at least one virtual channel");
+        let name = if vcs == 1 {
+            format!("spidergon-{size}")
+        } else {
+            format!("spidergon-{size}-vc{vcs}")
+        };
+        let mut fabric = Fabric::builder(name);
+        let mut ring_lookup = Vec::with_capacity(size);
+        let mut across_lookup = Vec::with_capacity(size);
+        let mut info = Vec::new();
+        for node in 0..size {
+            let n = fabric.add_node();
+            fabric.add_port(n, Direction::In, true, capacity, format!("({node}) L in"));
+            info.push(SpidergonPortInfo { node, kind: SpidergonPortKind::Local, dir: Direction::In });
+            fabric.add_port(n, Direction::Out, true, capacity, format!("({node}) L out"));
+            info.push(SpidergonPortInfo {
+                node,
+                kind: SpidergonPortKind::Local,
+                dir: Direction::Out,
+            });
+            let mut per_dir = Vec::with_capacity(2);
+            for dir in RingDir::ALL {
+                let mut per_vc = Vec::with_capacity(vcs);
+                for vc in 0..vcs {
+                    let pin = fabric.add_port(
+                        n,
+                        Direction::In,
+                        false,
+                        capacity,
+                        format!("({node}) {}{vc} in", dir.label()),
+                    );
+                    info.push(SpidergonPortInfo {
+                        node,
+                        kind: SpidergonPortKind::Ring { dir, vc },
+                        dir: Direction::In,
+                    });
+                    let pout = fabric.add_port(
+                        n,
+                        Direction::Out,
+                        false,
+                        capacity,
+                        format!("({node}) {}{vc} out", dir.label()),
+                    );
+                    info.push(SpidergonPortInfo {
+                        node,
+                        kind: SpidergonPortKind::Ring { dir, vc },
+                        dir: Direction::Out,
+                    });
+                    per_vc.push([pin, pout]);
+                }
+                per_dir.push(per_vc);
+            }
+            ring_lookup.push(per_dir);
+            let ain = fabric.add_port(n, Direction::In, false, capacity, format!("({node}) A in"));
+            info.push(SpidergonPortInfo { node, kind: SpidergonPortKind::Across, dir: Direction::In });
+            let aout =
+                fabric.add_port(n, Direction::Out, false, capacity, format!("({node}) A out"));
+            info.push(SpidergonPortInfo {
+                node,
+                kind: SpidergonPortKind::Across,
+                dir: Direction::Out,
+            });
+            across_lookup.push([ain, aout]);
+        }
+        for node in 0..size {
+            for vc in 0..vcs {
+                let cw_out = ring_lookup[node][0][vc][1];
+                let cw_in = ring_lookup[(node + 1) % size][0][vc][0];
+                fabric.connect(cw_out, cw_in);
+                let ccw_out = ring_lookup[node][1][vc][1];
+                let ccw_in = ring_lookup[(node + size - 1) % size][1][vc][0];
+                fabric.connect(ccw_out, ccw_in);
+            }
+            let a_out = across_lookup[node][1];
+            let a_in = across_lookup[(node + size / 2) % size][0];
+            fabric.connect(a_out, a_in);
+        }
+        Spidergon { fabric: fabric.build(), size, vcs, ring_lookup, across_lookup, info }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of virtual channels per ring direction.
+    pub fn vc_count(&self) -> usize {
+        self.vcs
+    }
+
+    /// The ring link port of `node` in direction `dir` on channel `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `vc` is out of range.
+    pub fn ring_port(&self, node: usize, dir: RingDir, vc: usize, d: Direction) -> PortId {
+        let di = match dir {
+            RingDir::Cw => 0,
+            RingDir::Ccw => 1,
+        };
+        self.ring_lookup[node][di][vc][if d == Direction::In { 0 } else { 1 }]
+    }
+
+    /// The across link port of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn across_port(&self, node: usize, d: Direction) -> PortId {
+        self.across_lookup[node][if d == Direction::In { 0 } else { 1 }]
+    }
+
+    /// Node, kind, and direction of a port.
+    pub fn info(&self, p: PortId) -> SpidergonPortInfo {
+        self.info[p.index()]
+    }
+
+    /// Clockwise distance from node `a` to node `b`.
+    pub fn cw_distance(&self, a: usize, b: usize) -> usize {
+        (b + self.size - a) % self.size
+    }
+}
+
+impl Network for Spidergon {
+    fn port_count(&self) -> usize {
+        self.fabric.port_count()
+    }
+
+    fn node_count(&self) -> usize {
+        self.fabric.node_count()
+    }
+
+    fn attrs(&self, p: PortId) -> PortAttrs {
+        self.fabric.attrs(p)
+    }
+
+    fn next_in(&self, p: PortId) -> Option<PortId> {
+        self.fabric.next_in(p)
+    }
+
+    fn local_in(&self, n: NodeId) -> PortId {
+        self.fabric.local_in(n)
+    }
+
+    fn local_out(&self, n: NodeId) -> PortId {
+        self.fabric.local_out(n)
+    }
+
+    fn port_label(&self, p: PortId) -> String {
+        self.fabric.port_label(p)
+    }
+
+    fn topology_name(&self) -> String {
+        self.fabric.topology_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_count_matches_formula() {
+        // Per node: 2 local + 4 ring per vc + 2 across.
+        assert_eq!(Spidergon::new(8, 1).port_count(), 8 * 8);
+        assert_eq!(Spidergon::with_vcs(8, 2, 1).port_count(), 8 * 12);
+    }
+
+    #[test]
+    fn across_links_are_antipodal_and_symmetric() {
+        let s = Spidergon::new(8, 1);
+        for node in 0..8 {
+            let out = s.across_port(node, Direction::Out);
+            let target = s.info(s.next_in(out).unwrap());
+            assert_eq!(target.node, (node + 4) % 8);
+            assert_eq!(target.kind, SpidergonPortKind::Across);
+        }
+    }
+
+    #[test]
+    fn ring_links_wrap() {
+        let s = Spidergon::new(6, 1);
+        let out = s.ring_port(5, RingDir::Cw, 0, Direction::Out);
+        assert_eq!(s.info(s.next_in(out).unwrap()).node, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even and at least 4")]
+    fn odd_size_is_rejected() {
+        let _ = Spidergon::new(5, 1);
+    }
+
+    #[test]
+    fn info_round_trips() {
+        let s = Spidergon::with_vcs(6, 2, 1);
+        for p in s.ports() {
+            let i = s.info(p);
+            match i.kind {
+                SpidergonPortKind::Ring { dir, vc } => {
+                    assert_eq!(s.ring_port(i.node, dir, vc, i.dir), p)
+                }
+                SpidergonPortKind::Across => assert_eq!(s.across_port(i.node, i.dir), p),
+                SpidergonPortKind::Local => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! A 2D torus: a mesh with wrap-around links, with optional virtual channels.
+//!
+//! Dimension-order routing on a torus has cyclic channel dependencies (the
+//! wrap links close each row/column into a ring), which makes the torus the
+//! standard stress case for deadlock analysis; the per-dimension dateline
+//! repair with two virtual channels restores acyclicity. As on the
+//! [`Ring`](crate::ring::Ring), virtual channels are modelled as additional
+//! ports sharing a physical link.
+
+use genoc_core::network::{Direction, Network, PortAttrs};
+use genoc_core::{NodeId, PortId};
+
+use crate::fabric::Fabric;
+use crate::mesh::Cardinal;
+
+/// Coordinates, name, virtual channel, and direction of a torus port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TorusPortInfo {
+    /// Column of the owning node.
+    pub x: usize,
+    /// Row of the owning node.
+    pub y: usize,
+    /// Port name (`Local` ports always have `vc == 0`).
+    pub card: Cardinal,
+    /// Virtual-channel index.
+    pub vc: usize,
+    /// In or out.
+    pub dir: Direction,
+}
+
+/// A `width × height` torus with `vcs` virtual channels per cardinal
+/// direction.
+///
+/// Unlike the mesh, every node has all four cardinal ports; `North` from row
+/// 0 wraps to row `height - 1`, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use genoc_core::network::{Direction, Network};
+/// use genoc_topology::mesh::Cardinal;
+/// use genoc_topology::torus::Torus;
+///
+/// let torus = Torus::new(3, 3, 1);
+/// let e_out = torus.port(2, 0, Cardinal::East, 0, Direction::Out).unwrap();
+/// let w_in = torus.port(0, 0, Cardinal::West, 0, Direction::In).unwrap();
+/// assert_eq!(torus.next_in(e_out), Some(w_in), "east from the last column wraps");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Torus {
+    fabric: Fabric,
+    width: usize,
+    height: usize,
+    vcs: usize,
+    /// `lookup[node][card][vc][in/out]`; `Local` only at `vc == 0`.
+    lookup: Vec<Vec<Vec<[Option<PortId>; 2]>>>,
+    info: Vec<TorusPortInfo>,
+}
+
+impl Torus {
+    /// Builds a torus with one virtual channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is smaller than 2 or the capacity is zero.
+    pub fn new(width: usize, height: usize, capacity: u32) -> Self {
+        Torus::with_vcs(width, height, 1, capacity)
+    }
+
+    /// Builds a torus with `vcs` virtual channels per cardinal direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is smaller than 2, `vcs == 0`, or the capacity
+    /// is zero.
+    pub fn with_vcs(width: usize, height: usize, vcs: usize, capacity: u32) -> Self {
+        assert!(width >= 2 && height >= 2, "torus dimensions must be at least 2");
+        assert!(vcs >= 1, "at least one virtual channel");
+        let name = if vcs == 1 {
+            format!("torus-{width}x{height}")
+        } else {
+            format!("torus-{width}x{height}-vc{vcs}")
+        };
+        let mut fabric = Fabric::builder(name);
+        let node_count = width * height;
+        let mut lookup =
+            vec![vec![vec![[None; 2]; vcs]; Cardinal::ALL.len()]; node_count];
+        let mut info = Vec::new();
+
+        for y in 0..height {
+            for x in 0..width {
+                let n = fabric.add_node();
+                let node = n.index();
+                for card in Cardinal::ALL {
+                    let local = card == Cardinal::Local;
+                    let channel_count = if local { 1 } else { vcs };
+                    for vc in 0..channel_count {
+                        for dir in [Direction::In, Direction::Out] {
+                            let dir_name = if dir == Direction::In { "in" } else { "out" };
+                            let label = if local {
+                                format!("({x},{y}) L {dir_name}")
+                            } else {
+                                format!("({x},{y}) {}{vc} {dir_name}", card.letter())
+                            };
+                            let id = fabric.add_port(n, dir, local, capacity, label);
+                            lookup[node][card_index(card)][vc]
+                                [if dir == Direction::In { 0 } else { 1 }] = Some(id);
+                            info.push(TorusPortInfo { x, y, card, vc, dir });
+                        }
+                    }
+                }
+            }
+        }
+
+        let at = |x: usize, y: usize| y * width + x;
+        for y in 0..height {
+            for x in 0..width {
+                for vc in 0..vcs {
+                    let pairs = [
+                        (Cardinal::East, at((x + 1) % width, y), Cardinal::West),
+                        (Cardinal::West, at((x + width - 1) % width, y), Cardinal::East),
+                        (Cardinal::North, at(x, (y + height - 1) % height), Cardinal::South),
+                        (Cardinal::South, at(x, (y + 1) % height), Cardinal::North),
+                    ];
+                    for (card, neighbor, facing) in pairs {
+                        let from = lookup[at(x, y)][card_index(card)][vc][1].unwrap();
+                        let to = lookup[neighbor][card_index(facing)][vc][0].unwrap();
+                        fabric.connect(from, to);
+                    }
+                }
+            }
+        }
+
+        Torus { fabric: fabric.build(), width, height, vcs, lookup, info }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of virtual channels per cardinal direction.
+    pub fn vc_count(&self) -> usize {
+        self.vcs
+    }
+
+    /// The node at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "torus coordinates out of range");
+        NodeId::from_index(y * self.width + x)
+    }
+
+    /// Coordinates of a node.
+    pub fn node_coords(&self, n: NodeId) -> (usize, usize) {
+        (n.index() % self.width, n.index() / self.width)
+    }
+
+    /// The port `⟨x, y, card, vc, dir⟩`, if it exists (`Local` requires
+    /// `vc == 0`).
+    pub fn port(
+        &self,
+        x: usize,
+        y: usize,
+        card: Cardinal,
+        vc: usize,
+        dir: Direction,
+    ) -> Option<PortId> {
+        if x >= self.width || y >= self.height || vc >= self.vcs.max(1) {
+            return None;
+        }
+        let per_card = &self.lookup[y * self.width + x][card_index(card)];
+        per_card
+            .get(vc)
+            .and_then(|slots| slots[if dir == Direction::In { 0 } else { 1 }])
+    }
+
+    /// Coordinates, name, channel, and direction of a port.
+    pub fn info(&self, p: PortId) -> TorusPortInfo {
+        self.info[p.index()]
+    }
+
+    /// The port named `card`/`vc`/`dir` in the same node as `p`.
+    pub fn trans(&self, p: PortId, card: Cardinal, vc: usize, dir: Direction) -> Option<PortId> {
+        let i = self.info(p);
+        self.port(i.x, i.y, card, vc, dir)
+    }
+}
+
+fn card_index(c: Cardinal) -> usize {
+    match c {
+        Cardinal::East => 0,
+        Cardinal::West => 1,
+        Cardinal::North => 2,
+        Cardinal::South => 3,
+        Cardinal::Local => 4,
+    }
+}
+
+impl Network for Torus {
+    fn port_count(&self) -> usize {
+        self.fabric.port_count()
+    }
+
+    fn node_count(&self) -> usize {
+        self.fabric.node_count()
+    }
+
+    fn attrs(&self, p: PortId) -> PortAttrs {
+        self.fabric.attrs(p)
+    }
+
+    fn next_in(&self, p: PortId) -> Option<PortId> {
+        self.fabric.next_in(p)
+    }
+
+    fn local_in(&self, n: NodeId) -> PortId {
+        self.fabric.local_in(n)
+    }
+
+    fn local_out(&self, n: NodeId) -> PortId {
+        self.fabric.local_out(n)
+    }
+
+    fn port_label(&self, p: PortId) -> String {
+        self.fabric.port_label(p)
+    }
+
+    fn topology_name(&self) -> String {
+        self.fabric.topology_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_count_matches_formula() {
+        // Per node: 2 local + 8 per vc.
+        assert_eq!(Torus::new(3, 3, 1).port_count(), 9 * 10);
+        assert_eq!(Torus::with_vcs(3, 3, 2, 1).port_count(), 9 * 18);
+    }
+
+    #[test]
+    fn wrap_links_close_the_rows_and_columns() {
+        let t = Torus::new(3, 2, 1);
+        let n_out = t.port(1, 0, Cardinal::North, 0, Direction::Out).unwrap();
+        let target = t.info(t.next_in(n_out).unwrap());
+        assert_eq!((target.x, target.y, target.card), (1, 1, Cardinal::South));
+        let w_out = t.port(0, 1, Cardinal::West, 0, Direction::Out).unwrap();
+        let target = t.info(t.next_in(w_out).unwrap());
+        assert_eq!((target.x, target.y, target.card), (2, 1, Cardinal::East));
+    }
+
+    #[test]
+    fn every_node_has_all_cardinals() {
+        let t = Torus::new(2, 2, 1);
+        for y in 0..2 {
+            for x in 0..2 {
+                for c in [Cardinal::East, Cardinal::West, Cardinal::North, Cardinal::South] {
+                    assert!(t.port(x, y, c, 0, Direction::In).is_some());
+                    assert!(t.port(x, y, c, 0, Direction::Out).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_ports_exist_only_on_vc0() {
+        let t = Torus::with_vcs(2, 2, 2, 1);
+        assert!(t.port(0, 0, Cardinal::Local, 0, Direction::In).is_some());
+        assert!(t.port(0, 0, Cardinal::Local, 1, Direction::In).is_none());
+    }
+
+    #[test]
+    fn info_round_trips() {
+        let t = Torus::with_vcs(3, 2, 2, 1);
+        for p in t.ports() {
+            let i = t.info(p);
+            assert_eq!(t.port(i.x, i.y, i.card, i.vc, i.dir), Some(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_torus_is_rejected() {
+        let _ = Torus::new(1, 3, 1);
+    }
+}

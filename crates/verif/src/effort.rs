@@ -1,0 +1,205 @@
+//! The Table I analogue: per-component verification effort.
+//!
+//! The paper's Table I reports, per specification component, the size of the
+//! ACL2 books (lines, theorems, functions) and the effort to replay them
+//! (CPU minutes, human days). Replaying ACL2 proofs is not meaningful for a
+//! Rust decision-procedure reproduction; what *is* preserved is the
+//! structure — which components exist and how much case analysis each one
+//! discharges. [`effort_table`] produces one row per paper row with our
+//! columns: number of discharged cases and wall-clock time.
+
+use std::time::{Duration, Instant};
+
+use genoc_core::routing::compute_route;
+
+use crate::instance::Instance;
+use crate::obligations;
+use crate::report::TextTable;
+use crate::theorem1::check_theorem1;
+use crate::theorem2::check_theorem2;
+use genoc_sim::deadlock_hunt::HuntOptions;
+
+/// One row of the effort table.
+#[derive(Clone, Debug)]
+pub struct EffortRow {
+    /// Component name, mirroring the paper's "File" column.
+    pub component: String,
+    /// Number of cases the decision procedure discharged (the analogue of
+    /// the paper's lines/theorems counts).
+    pub cases: u64,
+    /// Wall-clock time (the analogue of the paper's CPU column).
+    pub elapsed: Duration,
+    /// Whether the component's checks all passed.
+    pub holds: bool,
+}
+
+/// Computes the effort table for a mesh-XY instance (the paper's Table I is
+/// for the HERMES/XY instantiation).
+///
+/// Rows, in the paper's order: `Rxy` (route computation for all pairs),
+/// `Iid,(C-4)`, `Swh,(C-5)`, `(C-1)xy`, `(C-2)xy`, `(C-3)xy`, `CorrThm`, and
+/// `Dead/EvacThm`, plus the `Overall` sum.
+pub fn effort_table(width: usize, height: usize, capacity: u32) -> Vec<EffortRow> {
+    let instance = Instance::mesh_xy(width, height, capacity);
+    let net = instance.net.as_ref();
+    let mut rows = Vec::new();
+
+    // Rxy: compute every source/destination route (the executable content of
+    // the routing definition the paper spends 1173 lines on).
+    let start = Instant::now();
+    let mut route_cases = 0u64;
+    let mut routes_ok = true;
+    for s in net.nodes() {
+        for d in net.nodes() {
+            let src = net.local_in(s);
+            let dst = net.local_out(d);
+            match compute_route(net, instance.routing.as_ref(), src, dst) {
+                Ok(_) => route_cases += 1,
+                Err(_) => routes_ok = false,
+            }
+        }
+    }
+    rows.push(EffortRow {
+        component: "Rxy".into(),
+        cases: route_cases,
+        elapsed: start.elapsed(),
+        holds: routes_ok,
+    });
+
+    let c4 = obligations::check_c4(&instance);
+    rows.push(EffortRow {
+        component: "Iid, (C-4)".into(),
+        cases: c4.cases,
+        elapsed: c4.elapsed,
+        holds: c4.holds(),
+    });
+
+    let c5 = obligations::check_c5(&instance);
+    rows.push(EffortRow {
+        component: "Swh, (C-5)".into(),
+        cases: c5.cases,
+        elapsed: c5.elapsed,
+        holds: c5.holds(),
+    });
+
+    let c1 = obligations::check_c1(&instance);
+    rows.push(EffortRow {
+        component: "(C-1)xy".into(),
+        cases: c1.cases,
+        elapsed: c1.elapsed,
+        holds: c1.holds(),
+    });
+
+    let c2 = obligations::check_c2(&instance);
+    rows.push(EffortRow {
+        component: "(C-2)xy".into(),
+        cases: c2.cases,
+        elapsed: c2.elapsed,
+        holds: c2.holds(),
+    });
+
+    let c3 = obligations::check_c3(&instance);
+    rows.push(EffortRow {
+        component: "(C-3)xy".into(),
+        cases: c3.cases,
+        elapsed: c3.elapsed,
+        holds: c3.holds(),
+    });
+
+    // CorrThm + EvacThm: run a workload with tracing and validate.
+    let start = Instant::now();
+    let specs = genoc_sim::workload::all_to_all(net.node_count(), 2);
+    let t2 = check_theorem2(&instance, &specs);
+    let (t2_cases, t2_holds) = match &t2 {
+        Ok(r) => (r.messages as u64, r.holds()),
+        Err(_) => (0, false),
+    };
+    rows.push(EffortRow {
+        component: "CorrThm".into(),
+        cases: t2_cases,
+        elapsed: start.elapsed(),
+        holds: t2_holds,
+    });
+
+    let start = Instant::now();
+    let hunt = HuntOptions { attempts: 8, messages: 12, flits: 3, ..HuntOptions::default() };
+    let t1 = check_theorem1(&instance, &hunt);
+    let (t1_cases, t1_holds) = match &t1 {
+        Ok(r) => (hunt.attempts, r.holds()),
+        Err(_) => (0, false),
+    };
+    rows.push(EffortRow {
+        component: "Dead/EvacThm".into(),
+        cases: t1_cases + t2_cases,
+        elapsed: start.elapsed(),
+        holds: t1_holds && t2_holds,
+    });
+
+    let total_cases = rows.iter().map(|r| r.cases).sum();
+    let total_elapsed = rows.iter().map(|r| r.elapsed).sum();
+    let all_hold = rows.iter().all(|r| r.holds);
+    rows.push(EffortRow {
+        component: "Overall".into(),
+        cases: total_cases,
+        elapsed: total_elapsed,
+        holds: all_hold,
+    });
+    rows
+}
+
+/// Renders an effort table alongside the paper's Table I numbers for the
+/// corresponding row (lines / theorems / CPU minutes / human days).
+pub fn render_effort_table(rows: &[EffortRow]) -> String {
+    // Paper Table I: (lines, theorems, functions, CPU minutes, human days).
+    let paper: &[(&str, &str)] = &[
+        ("Rxy", "1173 ln, 97 thm, 16 CPU-min, 4 d"),
+        ("Iid, (C-4)", "47 ln, 4 thm, 1 CPU-min, 0 d"),
+        ("Swh, (C-5)", "1434 ln, 151 thm, 17 CPU-min, 6 d"),
+        ("(C-1)xy", "483 ln, 40 thm, 17 CPU-min, 2 d"),
+        ("(C-2)xy", "435 ln, 51 thm, 51 CPU-min, 2 d"),
+        ("(C-3)xy", "1018 ln, 81 thm, 28 CPU-min, 4 d"),
+        ("CorrThm", "2267 ln, 65 thm, 6 CPU-min"),
+        ("Dead/EvacThm", "3277 ln, 285 thm, 6 CPU-min"),
+        ("Overall", "13261 ln, 1008 thm, 144 CPU-min, 20 d"),
+    ];
+    let mut table = TextTable::new(["Component", "Cases", "Time", "Status", "Paper (ACL2)"]);
+    for row in rows {
+        let paper_cell = paper
+            .iter()
+            .find(|(name, _)| *name == row.component)
+            .map(|(_, v)| *v)
+            .unwrap_or("-");
+        table.row([
+            row.component.clone(),
+            row.cases.to_string(),
+            format!("{:.2?}", row.elapsed),
+            if row.holds { "ok".into() } else { "FAIL".to_string() },
+            paper_cell.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_table_has_paper_rows_and_holds() {
+        let rows = effort_table(3, 3, 1);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].component, "Rxy");
+        assert_eq!(rows.last().unwrap().component, "Overall");
+        for row in &rows {
+            assert!(row.holds, "{}", row.component);
+        }
+    }
+
+    #[test]
+    fn render_includes_paper_reference() {
+        let rows = effort_table(2, 2, 1);
+        let s = render_effort_table(&rows);
+        assert!(s.contains("Paper (ACL2)"));
+        assert!(s.contains("13261 ln"));
+    }
+}

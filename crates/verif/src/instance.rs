@@ -1,0 +1,274 @@
+//! Instances: a network plus a routing function, bundled for the checkers.
+//!
+//! An [`Instance`] is the "user input" of the GeNoC methodology — a concrete
+//! definition of the constituents — together with metadata the test suite
+//! uses: whether the routing function is deterministic, whether its
+//! dependency graph is expected to be acyclic, and (for mesh XY) the paper's
+//! closed-form graph and ranking certificate.
+
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_depgraph::build::xy_mesh_dependency_graph;
+use genoc_depgraph::graph::DiGraph;
+use genoc_depgraph::ranking::xy_mesh_ranking;
+use genoc_routing::{
+    AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
+    RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
+    TurnModel, TurnModelRouting, XyRouting, YxRouting,
+};
+use genoc_topology::{Mesh, Ring, Spidergon, Torus};
+
+/// A concrete (topology, routing) pair under verification.
+pub struct Instance {
+    /// Display name, e.g. `"mesh-4x4/xy"`.
+    pub name: String,
+    /// The network.
+    pub net: Box<dyn Network>,
+    /// The routing function.
+    pub routing: Box<dyn RoutingFunction>,
+    /// Whether the routing function is deterministic (Theorem 1 is an
+    /// equivalence only in that case).
+    pub deterministic: bool,
+    /// Whether the port dependency graph is expected to be acyclic.
+    pub expect_acyclic: bool,
+    /// Closed-form candidate dependency graph, when the literature provides
+    /// one (mesh XY: the paper's `E^xy_dep`).
+    pub closed_form: Option<DiGraph>,
+    /// Closed-form ranking certificate, when available.
+    pub ranking: Option<Vec<u64>>,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("name", &self.name)
+            .field("deterministic", &self.deterministic)
+            .field("expect_acyclic", &self.expect_acyclic)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Instance {
+    /// The paper's instance: XY routing on a HERMES mesh, with its
+    /// closed-form graph and ranking certificate attached.
+    pub fn mesh_xy(width: usize, height: usize, capacity: u32) -> Instance {
+        let mesh = Mesh::new(width, height, capacity);
+        Instance {
+            name: format!("mesh-{width}x{height}/xy"),
+            routing: Box::new(XyRouting::new(&mesh)),
+            deterministic: true,
+            expect_acyclic: true,
+            closed_form: Some(xy_mesh_dependency_graph(&mesh)),
+            ranking: Some(xy_mesh_ranking(&mesh)),
+            net: Box::new(mesh),
+        }
+    }
+
+    /// YX routing on a mesh (deadlock-free twin of XY).
+    pub fn mesh_yx(width: usize, height: usize, capacity: u32) -> Instance {
+        let mesh = Mesh::new(width, height, capacity);
+        Instance {
+            name: format!("mesh-{width}x{height}/yx"),
+            routing: Box::new(YxRouting::new(&mesh)),
+            deterministic: true,
+            expect_acyclic: true,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(mesh),
+        }
+    }
+
+    /// The deliberately deadlock-prone deterministic XY/YX mixture.
+    pub fn mesh_mixed(width: usize, height: usize, capacity: u32) -> Instance {
+        let mesh = Mesh::new(width, height, capacity);
+        Instance {
+            name: format!("mesh-{width}x{height}/xy-yx-mixed"),
+            routing: Box::new(MixedXyYxRouting::new(&mesh)),
+            deterministic: true,
+            expect_acyclic: !(width >= 2 && height >= 2),
+            closed_form: None,
+            ranking: None,
+            net: Box::new(mesh),
+        }
+    }
+
+    /// An adaptive turn-model router on a mesh (acyclic dependency graph).
+    pub fn mesh_turn_model(
+        width: usize,
+        height: usize,
+        capacity: u32,
+        model: TurnModel,
+    ) -> Instance {
+        let mesh = Mesh::new(width, height, capacity);
+        Instance {
+            name: format!("mesh-{width}x{height}/{}", model.label()),
+            routing: Box::new(TurnModelRouting::new(&mesh, model)),
+            deterministic: false,
+            expect_acyclic: true,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(mesh),
+        }
+    }
+
+    /// Fully adaptive minimal routing on a mesh (cyclic dependency graph).
+    pub fn mesh_adaptive(width: usize, height: usize, capacity: u32) -> Instance {
+        let mesh = Mesh::new(width, height, capacity);
+        Instance {
+            name: format!("mesh-{width}x{height}/minimal-adaptive"),
+            routing: Box::new(MinimalAdaptiveRouting::new(&mesh)),
+            deterministic: false,
+            expect_acyclic: !(width >= 2 && height >= 2),
+            closed_form: None,
+            ranking: None,
+            net: Box::new(mesh),
+        }
+    }
+
+    /// Shortest-path routing on a plain ring. Cyclic for four or more
+    /// nodes: two-hop clockwise journeys exist from every node (ties go
+    /// clockwise), chaining the clockwise channels all the way around. On
+    /// two or three nodes every journey is a single hop, so no chain forms.
+    pub fn ring_shortest(nodes: usize, capacity: u32) -> Instance {
+        let ring = Ring::new(nodes, capacity);
+        Instance {
+            name: format!("ring-{nodes}/shortest"),
+            routing: Box::new(RingShortestRouting::new(&ring)),
+            deterministic: true,
+            expect_acyclic: nodes < 4,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(ring),
+        }
+    }
+
+    /// Dateline routing on a two-VC ring (acyclic).
+    pub fn ring_dateline(nodes: usize, capacity: u32) -> Instance {
+        let ring = Ring::with_vcs(nodes, 2, capacity);
+        Instance {
+            name: format!("ring-{nodes}-vc2/dateline"),
+            routing: Box::new(RingDatelineRouting::new(&ring)),
+            deterministic: true,
+            expect_acyclic: true,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(ring),
+        }
+    }
+
+    /// Dimension-order routing on a plain torus. A dimension of side 4+
+    /// admits two-hop same-direction journeys from every position (ties go
+    /// east/south), chaining that dimension's channels into a cycle; sides
+    /// of 2 or 3 only ever take single hops per direction.
+    pub fn torus_dor(width: usize, height: usize, capacity: u32) -> Instance {
+        let torus = Torus::new(width, height, capacity);
+        Instance {
+            name: format!("torus-{width}x{height}/dor"),
+            routing: Box::new(TorusDorRouting::new(&torus)),
+            deterministic: true,
+            expect_acyclic: width < 4 && height < 4,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(torus),
+        }
+    }
+
+    /// Dimension-order routing with per-dimension datelines on a two-VC
+    /// torus (acyclic).
+    pub fn torus_dor_dateline(width: usize, height: usize, capacity: u32) -> Instance {
+        let torus = Torus::with_vcs(width, height, 2, capacity);
+        Instance {
+            name: format!("torus-{width}x{height}-vc2/dor-dateline"),
+            routing: Box::new(TorusDorDatelineRouting::new(&torus)),
+            deterministic: true,
+            expect_acyclic: true,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(torus),
+        }
+    }
+
+    /// Across-first routing on a plain Spidergon. Cyclic from 8 nodes up:
+    /// quarter arcs of two or more hops chain the ring channels around; with
+    /// 4 or 6 nodes every ring leg is a single hop.
+    pub fn spidergon_across_first(size: usize, capacity: u32) -> Instance {
+        let s = Spidergon::new(size, capacity);
+        Instance {
+            name: format!("spidergon-{size}/across-first"),
+            routing: Box::new(AcrossFirstRouting::new(&s)),
+            deterministic: true,
+            expect_acyclic: size < 8,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(s),
+        }
+    }
+
+    /// Across-first with dateline ring VCs on a Spidergon (acyclic).
+    pub fn spidergon_across_first_dateline(size: usize, capacity: u32) -> Instance {
+        let s = Spidergon::with_vcs(size, 2, capacity);
+        Instance {
+            name: format!("spidergon-{size}-vc2/across-first-dateline"),
+            routing: Box::new(AcrossFirstDatelineRouting::new(&s)),
+            deterministic: true,
+            expect_acyclic: true,
+            closed_form: None,
+            ranking: None,
+            net: Box::new(s),
+        }
+    }
+
+    /// A representative suite of small instances covering every topology and
+    /// router, used by the integration tests and the verification report.
+    pub fn standard_suite() -> Vec<Instance> {
+        vec![
+            Instance::mesh_xy(2, 2, 1),
+            Instance::mesh_xy(3, 3, 2),
+            Instance::mesh_xy(4, 4, 1),
+            Instance::mesh_yx(3, 3, 1),
+            Instance::mesh_mixed(2, 2, 1),
+            Instance::mesh_mixed(3, 3, 1),
+            Instance::mesh_turn_model(3, 3, 1, TurnModel::WestFirst),
+            Instance::mesh_turn_model(3, 3, 1, TurnModel::NorthLast),
+            Instance::mesh_turn_model(3, 3, 1, TurnModel::NegativeFirst),
+            Instance::mesh_adaptive(3, 3, 1),
+            Instance::ring_shortest(6, 1),
+            Instance::ring_dateline(6, 1),
+            Instance::torus_dor(5, 3, 1),
+            Instance::torus_dor_dateline(5, 3, 1),
+            Instance::spidergon_across_first(12, 1),
+            Instance::spidergon_across_first_dateline(12, 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = Instance::standard_suite();
+        let mut names: Vec<&str> = suite.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn closed_form_only_on_xy() {
+        for i in Instance::standard_suite() {
+            if i.closed_form.is_some() {
+                assert!(i.name.ends_with("/xy"), "{}", i.name);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_flags_match_routing() {
+        for i in Instance::standard_suite() {
+            assert_eq!(i.deterministic, i.routing.is_deterministic(), "{}", i.name);
+        }
+    }
+}

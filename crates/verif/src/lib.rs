@@ -1,0 +1,31 @@
+//! # genoc-verif
+//!
+//! The obligation-discharge engine of GeNoC-rs: per-instance decision
+//! procedures for the proof obligations (C-1)…(C-5) ([`obligations`]), the
+//! executable deadlock theorem with both constructive directions
+//! ([`theorem1`]), the evacuation and correctness theorems ([`theorem2`]),
+//! the instance registry ([`instance`]), and the Table I effort analogue
+//! ([`effort`]).
+//!
+//! The GeNoC methodology (Fig. 2 of the paper): the user supplies the
+//! constituents `I`, `R`, `S` — an [`instance::Instance`] — and discharges
+//! the instantiated proof obligations; the global theorems then follow. Here
+//! "discharging" is running the checkers, and "following" is executable too:
+//! the theorems are checked directly on runs and witnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod effort;
+pub mod instance;
+pub mod obligations;
+pub mod report;
+pub mod theorem1;
+pub mod theorem2;
+
+pub use crate::effort::{effort_table, render_effort_table, EffortRow};
+pub use crate::instance::Instance;
+pub use crate::obligations::{check_all, check_c1, check_c2, check_c3, check_c4, check_c5};
+pub use crate::report::TextTable;
+pub use crate::theorem1::{check_theorem1, Theorem1Report};
+pub use crate::theorem2::{check_theorem2, Theorem2Report};
