@@ -48,25 +48,21 @@ fn bench_message_counts(c: &mut Criterion) {
     for count in [16usize, 64, 256] {
         let specs = uniform(16, count, 4, 13);
         group.throughput(Throughput::Elements(count as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(count),
-            &specs,
-            |b, specs| {
-                b.iter(|| {
-                    let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
-                    let r = run(
-                        &mesh,
-                        &IdentityInjection,
-                        &mut WormholePolicy::default(),
-                        cfg,
-                        &RunOptions::default(),
-                    )
-                    .unwrap();
-                    assert_eq!(r.outcome, Outcome::Evacuated);
-                    black_box(r.steps)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(count), &specs, |b, specs| {
+            b.iter(|| {
+                let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
+                let r = run(
+                    &mesh,
+                    &IdentityInjection,
+                    &mut WormholePolicy::default(),
+                    cfg,
+                    &RunOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(r.outcome, Outcome::Evacuated);
+                black_box(r.steps)
+            })
+        });
     }
     group.finish();
 }
@@ -77,25 +73,21 @@ fn bench_worm_lengths(c: &mut Criterion) {
     let (mesh, routing) = xy_mesh(4, 1);
     for flits in [1usize, 4, 16] {
         let specs = uniform(16, 32, flits, 17);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(flits),
-            &specs,
-            |b, specs| {
-                b.iter(|| {
-                    let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
-                    let r = run(
-                        &mesh,
-                        &IdentityInjection,
-                        &mut WormholePolicy::default(),
-                        cfg,
-                        &RunOptions::default(),
-                    )
-                    .unwrap();
-                    assert_eq!(r.outcome, Outcome::Evacuated);
-                    black_box(r.steps)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(flits), &specs, |b, specs| {
+            b.iter(|| {
+                let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
+                let r = run(
+                    &mesh,
+                    &IdentityInjection,
+                    &mut WormholePolicy::default(),
+                    cfg,
+                    &RunOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(r.outcome, Outcome::Evacuated);
+                black_box(r.steps)
+            })
+        });
     }
     group.finish();
 }

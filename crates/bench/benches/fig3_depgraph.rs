@@ -13,11 +13,9 @@ fn bench_construction(c: &mut Criterion) {
     group.sample_size(10);
     for size in [2usize, 4, 8, 16] {
         let (mesh, routing) = xy_mesh(size, 1);
-        group.bench_with_input(
-            BenchmarkId::new("closed-form", size),
-            &mesh,
-            |b, mesh| b.iter(|| black_box(xy_mesh_dependency_graph(mesh)).edge_count()),
-        );
+        group.bench_with_input(BenchmarkId::new("closed-form", size), &mesh, |b, mesh| {
+            b.iter(|| black_box(xy_mesh_dependency_graph(mesh)).edge_count())
+        });
         group.bench_with_input(
             BenchmarkId::new("exhaustive", size),
             &(mesh.clone(), routing),

@@ -18,10 +18,17 @@ fn bench_policies(c: &mut Criterion) {
     // Buffers sized so every policy can run (SAF/VCT need whole packets).
     let (mesh, routing) = xy_mesh(4, 4);
     let specs = genoc_sim::workload::transpose(&mesh, 4);
-    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn SwitchingPolicy>>)> = vec![
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn SwitchingPolicy>>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
         ("wormhole", Box::new(|| Box::new(WormholePolicy::default()))),
-        ("virtual-cut-through", Box::new(|| Box::new(VirtualCutThroughPolicy::new()))),
-        ("store-and-forward", Box::new(|| Box::new(StoreForwardPolicy::new()))),
+        (
+            "virtual-cut-through",
+            Box::new(|| Box::new(VirtualCutThroughPolicy::new())),
+        ),
+        (
+            "store-and-forward",
+            Box::new(|| Box::new(StoreForwardPolicy::new())),
+        ),
     ];
     for (name, make) in &policies {
         group.bench_with_input(BenchmarkId::from_parameter(name), &specs, |b, specs| {

@@ -34,9 +34,8 @@ fn bench_sufficiency(c: &mut Criterion) {
     let ring_cycle = find_cycle(&ring_analysis.graph).expect("cyclic");
     group.bench_function("ring-8-shortest", |b| {
         b.iter(|| {
-            let w =
-                deadlock_from_cycle_with(&ring, &ring_routing, &ring_analysis, &ring_cycle)
-                    .unwrap();
+            let w = deadlock_from_cycle_with(&ring, &ring_routing, &ring_analysis, &ring_cycle)
+                .unwrap();
             assert!(!w.config.any_move_possible());
             black_box(w.config.travels().len())
         })

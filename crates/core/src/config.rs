@@ -91,7 +91,11 @@ impl Config {
             }
         }
         let (arrived, travels) = travels.into_iter().partition(|t| t.is_arrived());
-        Ok(Config { travels, state, arrived })
+        Ok(Config {
+            travels,
+            state,
+            arrived,
+        })
     }
 
     /// The in-flight travel list `T`.
@@ -110,7 +114,12 @@ impl Config {
     /// invariant or conflicts with resident packets.
     pub fn push_travel(&mut self, travel: Travel) -> Result<()> {
         travel.check_invariants()?;
-        if self.travels.iter().chain(self.arrived.iter()).any(|t| t.id() == travel.id()) {
+        if self
+            .travels
+            .iter()
+            .chain(self.arrived.iter())
+            .any(|t| t.id() == travel.id())
+        {
             return Err(Error::Invariant(format!(
                 "travel {} already present in configuration",
                 travel.id()
@@ -215,7 +224,7 @@ impl Config {
         if flit > 0 {
             match t.flit_pos(flit - 1) {
                 FlitPos::Delivered => {}
-                FlitPos::InNetwork(pk) if pk >= k + 1 => {}
+                FlitPos::InNetwork(pk) if pk > k => {}
                 _ => return false,
             }
         }
@@ -327,7 +336,10 @@ impl Config {
     /// The paper's termination measure `μxy(σ) = Σ |m.r|` over the in-flight
     /// travels: total remaining header route length.
     pub fn route_length_measure(&self) -> u64 {
-        self.travels.iter().map(|t| t.remaining_route() as u64).sum()
+        self.travels
+            .iter()
+            .map(|t| t.remaining_route() as u64)
+            .sum()
     }
 
     /// The refined, strictly-decreasing measure: total number of flit moves
@@ -409,7 +421,10 @@ mod tests {
             cfg.advance_flit(0, 0).unwrap();
             cfg.validate(&net).unwrap();
         }
-        assert!(!cfg.can_advance_flit(0, 0), "at destination only ejection remains");
+        assert!(
+            !cfg.can_advance_flit(0, 0),
+            "at destination only ejection remains"
+        );
         assert!(cfg.can_eject_flit(0, 0));
         cfg.eject_flit(0, 0).unwrap();
         cfg.validate(&net).unwrap();
@@ -430,7 +445,10 @@ mod tests {
     fn body_flit_follows_head_into_same_port() {
         let (net, mut cfg) = setup(3, 2, &[spec(0, 2, 2)]);
         cfg.enter_flit(0, 0).unwrap();
-        assert!(cfg.can_enter_flit(0, 1), "capacity 2 admits the body flit too");
+        assert!(
+            cfg.can_enter_flit(0, 1),
+            "capacity 2 admits the body flit too"
+        );
         cfg.enter_flit(0, 1).unwrap();
         cfg.validate(&net).unwrap();
         assert_eq!(cfg.state().port(cfg.travel(0).route()[0]).occupied(), 2);
@@ -442,7 +460,10 @@ mod tests {
         cfg.enter_flit(0, 0).unwrap();
         assert!(!cfg.can_enter_flit(0, 1), "port full");
         cfg.advance_flit(0, 0).unwrap();
-        assert!(cfg.can_enter_flit(0, 1), "vacated and still owned by the worm");
+        assert!(
+            cfg.can_enter_flit(0, 1),
+            "vacated and still owned by the worm"
+        );
         cfg.enter_flit(0, 1).unwrap();
         cfg.validate(&net).unwrap();
     }
@@ -462,7 +483,10 @@ mod tests {
         cfg.enter_flit(0, 1).unwrap(); // tail enters
         cfg.advance_flit(0, 0).unwrap();
         cfg.advance_flit(0, 1).unwrap(); // tail leaves route[0]
-        assert!(cfg.can_enter_flit(1, 0), "ownership released after tail passed");
+        assert!(
+            cfg.can_enter_flit(1, 0),
+            "ownership released after tail passed"
+        );
         cfg.validate(&net).unwrap();
     }
 
@@ -504,7 +528,11 @@ mod tests {
             .sum();
         assert_eq!(cfg.route_length_measure(), expected);
         cfg.enter_flit(0, 0).unwrap();
-        assert_eq!(cfg.route_length_measure(), expected, "entry does not shorten |m.r|");
+        assert_eq!(
+            cfg.route_length_measure(),
+            expected,
+            "entry does not shorten |m.r|"
+        );
         cfg.advance_flit(0, 0).unwrap();
         assert_eq!(cfg.route_length_measure(), expected - 1);
     }

@@ -64,7 +64,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::NoRoute { from, dest } => {
-                write!(f, "routing function returned no next hop from {from} toward {dest}")
+                write!(
+                    f,
+                    "routing function returned no next hop from {from} toward {dest}"
+                )
             }
             Error::RouteDiverged { from, dest, limit } => write!(
                 f,
@@ -79,7 +82,11 @@ impl fmt::Display for Error {
                 f,
                 "switching step {step} moved no flit although the configuration was not a deadlock"
             ),
-            Error::MeasureViolation { step, before, after } => write!(
+            Error::MeasureViolation {
+                step,
+                before,
+                after,
+            } => write!(
                 f,
                 "termination measure did not decrease on step {step} ({before} -> {after})"
             ),
@@ -115,7 +122,11 @@ mod tests {
 
     #[test]
     fn measure_violation_shows_values() {
-        let e = Error::MeasureViolation { step: 3, before: 10, after: 10 };
+        let e = Error::MeasureViolation {
+            step: 3,
+            before: 10,
+            after: 10,
+        };
         assert!(e.to_string().contains("10 -> 10"));
     }
 }

@@ -116,8 +116,11 @@ impl ScheduledInjection {
     /// Creates a scheduled injection from `(release step, travel)` pairs.
     pub fn new(mut schedule: Vec<(u64, Travel)>) -> Self {
         // Latest release first, so due items pop from the back.
-        schedule.sort_by(|a, b| b.0.cmp(&a.0));
-        ScheduledInjection { schedule: RefCell::new(schedule), step: RefCell::new(0) }
+        schedule.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        ScheduledInjection {
+            schedule: RefCell::new(schedule),
+            step: RefCell::new(0),
+        }
     }
 
     /// Number of travels not yet released.
@@ -198,11 +201,14 @@ mod tests {
     fn scheduled_injection_fast_forwards_idle_gaps() {
         let net = LineNetwork::new(3, 1);
         let routing = LineRouting::new(&net);
-        let injection =
-            ScheduledInjection::new(vec![(1000, travel(&net, &routing, 0, 0, 2))]);
+        let injection = ScheduledInjection::new(vec![(1000, travel(&net, &routing, 0, 0, 2))]);
         let mut cfg = Config::from_specs(&net, &routing, &[]).unwrap();
         injection.inject(&net, &mut cfg).unwrap();
-        assert_eq!(cfg.travels().len(), 1, "empty travel list warps to the next release");
+        assert_eq!(
+            cfg.travels().len(),
+            1,
+            "empty travel list warps to the next release"
+        );
     }
 
     #[test]

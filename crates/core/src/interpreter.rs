@@ -160,7 +160,11 @@ pub fn run(
                 return Err(Error::ProgressViolation { step: steps });
             }
             if after >= before {
-                return Err(Error::MeasureViolation { step: steps, before, after });
+                return Err(Error::MeasureViolation {
+                    step: steps,
+                    before,
+                    after,
+                });
             }
         }
         if options.record_measures {
@@ -172,7 +176,14 @@ pub fn run(
         steps += 1;
     };
 
-    Ok(RunResult { outcome, steps, config: cfg, trace, measures, arrival_order })
+    Ok(RunResult {
+        outcome,
+        steps,
+        config: cfg,
+        trace,
+        measures,
+        arrival_order,
+    })
 }
 
 #[cfg(test)]
@@ -191,8 +202,19 @@ mod tests {
         let net = LineNetwork::new(nodes, capacity);
         let routing = LineRouting::new(&net);
         let cfg = Config::from_specs(&net, &routing, specs).unwrap();
-        let options = RunOptions { check_invariants: true, record_measures: true, ..RunOptions::default() };
-        run(&net, &IdentityInjection, &mut LineSwitching::default(), cfg, &options).unwrap()
+        let options = RunOptions {
+            check_invariants: true,
+            record_measures: true,
+            ..RunOptions::default()
+        };
+        run(
+            &net,
+            &IdentityInjection,
+            &mut LineSwitching::default(),
+            cfg,
+            &options,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -222,7 +244,10 @@ mod tests {
         let r = evacuate(4, 2, &[spec(0, 3, 2), spec(2, 0, 3)]);
         let progresses: Vec<u64> = r.measures.iter().map(|&(_, p)| p).collect();
         for w in progresses.windows(2) {
-            assert!(w[1] < w[0], "progress measure must strictly decrease: {progresses:?}");
+            assert!(
+                w[1] < w[0],
+                "progress measure must strictly decrease: {progresses:?}"
+            );
         }
     }
 
@@ -240,9 +265,18 @@ mod tests {
         let net = LineNetwork::new(4, 1);
         let routing = LineRouting::new(&net);
         let cfg = Config::from_specs(&net, &routing, &[spec(0, 3, 3)]).unwrap();
-        let options = RunOptions { max_steps: 1, ..RunOptions::default() };
-        let r = run(&net, &IdentityInjection, &mut LineSwitching::default(), cfg, &options)
-            .unwrap();
+        let options = RunOptions {
+            max_steps: 1,
+            ..RunOptions::default()
+        };
+        let r = run(
+            &net,
+            &IdentityInjection,
+            &mut LineSwitching::default(),
+            cfg,
+            &options,
+        )
+        .unwrap();
         assert_eq!(r.outcome, Outcome::StepLimit);
         assert_eq!(r.steps, 1);
     }
@@ -260,9 +294,18 @@ mod tests {
         let net = LineNetwork::new(3, 1);
         let routing = LineRouting::new(&net);
         let cfg = Config::from_specs(&net, &routing, &[spec(0, 2, 1)]).unwrap();
-        let options = RunOptions { record_trace: true, ..RunOptions::default() };
-        let r = run(&net, &IdentityInjection, &mut LineSwitching::default(), cfg, &options)
-            .unwrap();
+        let options = RunOptions {
+            record_trace: true,
+            ..RunOptions::default()
+        };
+        let r = run(
+            &net,
+            &IdentityInjection,
+            &mut LineSwitching::default(),
+            cfg,
+            &options,
+        )
+        .unwrap();
         let path = r.trace.flit_path(MsgId::from_index(0), 0);
         assert_eq!(path.len(), r.config.arrived()[0].route().len());
         assert!(r.trace.flit_delivered(MsgId::from_index(0), 0));

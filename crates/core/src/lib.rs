@@ -60,8 +60,6 @@
 #![warn(missing_docs)]
 
 pub mod config;
-#[cfg(test)]
-mod proptests;
 pub mod error;
 pub mod ids;
 pub mod injection;
@@ -70,6 +68,8 @@ pub mod line;
 pub mod measure;
 pub mod network;
 pub mod obligations;
+#[cfg(test)]
+mod proptests;
 pub mod routing;
 pub mod spec;
 pub mod state;

@@ -77,7 +77,11 @@ mod tests {
     fn progress_measure_dominates_route_length() {
         let net = LineNetwork::new(4, 1);
         let routing = LineRouting::new(&net);
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 3)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            3,
+        )];
         let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
         assert!(ProgressMeasure.measure(&cfg) > RouteLengthMeasure.measure(&cfg));
     }

@@ -119,12 +119,18 @@ pub trait Network {
 
     /// Iterates over all port identifiers.
     fn ports(&self) -> PortIdRange {
-        PortIdRange { next: 0, end: self.port_count() }
+        PortIdRange {
+            next: 0,
+            end: self.port_count(),
+        }
     }
 
     /// Iterates over all node identifiers.
     fn nodes(&self) -> NodeIdRange {
-        NodeIdRange { next: 0, end: self.node_count() }
+        NodeIdRange {
+            next: 0,
+            end: self.node_count(),
+        }
     }
 
     /// All valid destination ports (the local ejection ports), in node order.
@@ -241,8 +247,17 @@ mod tests {
         let d1 = net.local_out(NodeId::from_index(1));
         let s = net.local_in(NodeId::from_index(0));
         assert!(net.reachable(s, d1));
-        assert!(!net.reachable(d0, d1), "messages in an ejection port are not routed");
-        assert!(!net.reachable(d1, d1), "a port cannot be its own destination");
-        assert!(!net.reachable(s, net.local_in(NodeId::from_index(1))), "destinations are ejection ports");
+        assert!(
+            !net.reachable(d0, d1),
+            "messages in an ejection port are not routed"
+        );
+        assert!(
+            !net.reachable(d1, d1),
+            "a port cannot be its own destination"
+        );
+        assert!(
+            !net.reachable(s, net.local_in(NodeId::from_index(1))),
+            "destinations are ejection ports"
+        );
     }
 }

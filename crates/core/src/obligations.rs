@@ -124,7 +124,10 @@ mod tests {
             elapsed: Duration::from_millis(1),
         };
         assert!(ok.to_string().contains("ok"));
-        let bad = ObligationReport { violations: vec!["edge".into()], ..ok };
+        let bad = ObligationReport {
+            violations: vec!["edge".into()],
+            ..ok
+        };
         assert!(!bad.holds());
         assert!(bad.to_string().contains("VIOLATIONS"));
     }

@@ -104,11 +104,16 @@ pub fn compute_route(
     let mut current = source;
     while current != dest {
         if path.len() > limit {
-            return Err(Error::RouteDiverged { from: source, dest, limit });
+            return Err(Error::RouteDiverged {
+                from: source,
+                dest,
+                limit,
+            });
         }
-        let next = routing
-            .next_hop(current, dest)
-            .ok_or(Error::NoRoute { from: current, dest })?;
+        let next = routing.next_hop(current, dest).ok_or(Error::NoRoute {
+            from: current,
+            dest,
+        })?;
         path.push(next);
         current = next;
     }
@@ -120,11 +125,7 @@ pub fn compute_route(
 ///
 /// Used by the executable correctness theorem to check that arrived messages
 /// "followed a valid path".
-pub fn is_valid_route(
-    _net: &dyn Network,
-    routing: &dyn RoutingFunction,
-    path: &[PortId],
-) -> bool {
+pub fn is_valid_route(_net: &dyn Network, routing: &dyn RoutingFunction, path: &[PortId]) -> bool {
     if path.is_empty() {
         return false;
     }

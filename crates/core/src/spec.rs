@@ -32,7 +32,11 @@ pub struct MessageSpec {
 impl MessageSpec {
     /// Creates a message specification.
     pub fn new(source: NodeId, dest: NodeId, flits: usize) -> Self {
-        MessageSpec { source, dest, flits }
+        MessageSpec {
+            source,
+            dest,
+            flits,
+        }
     }
 }
 

@@ -22,7 +22,11 @@ pub struct PortState {
 impl PortState {
     /// Creates an empty port with the given number of one-flit buffers.
     pub fn new(capacity: u32) -> Self {
-        PortState { capacity, occupied: 0, owner: None }
+        PortState {
+            capacity,
+            occupied: 0,
+            owner: None,
+        }
     }
 
     /// Number of one-flit buffers of the port.
@@ -127,7 +131,10 @@ impl NetworkState {
     pub fn enter(&mut self, p: PortId, m: MsgId) -> Result<()> {
         let ps = &mut self.ports[p.index()];
         if ps.occupied >= ps.capacity {
-            return Err(Error::CapacityExceeded { port: p, capacity: ps.capacity });
+            return Err(Error::CapacityExceeded {
+                port: p,
+                capacity: ps.capacity,
+            });
         }
         match ps.owner {
             None => ps.owner = Some(m),
@@ -152,7 +159,9 @@ impl NetworkState {
     pub fn leave(&mut self, p: PortId, m: MsgId, is_tail: bool) -> Result<()> {
         let ps = &mut self.ports[p.index()];
         if ps.occupied == 0 {
-            return Err(Error::Invariant(format!("flit of {m} leaving empty port {p}")));
+            return Err(Error::Invariant(format!(
+                "flit of {m} leaving empty port {p}"
+            )));
         }
         if ps.owner != Some(m) {
             return Err(Error::Invariant(format!(
@@ -217,11 +226,20 @@ mod tests {
         let mut st = NetworkState::for_network(&net);
         let p = PortId::from_index(0);
         assert!(st.can_enter(p, msg(0), true));
-        assert!(!st.can_enter(p, msg(0), false), "body flits need prior ownership");
+        assert!(
+            !st.can_enter(p, msg(0), false),
+            "body flits need prior ownership"
+        );
         st.enter(p, msg(0)).unwrap();
         assert_eq!(st.port(p).owner(), Some(msg(0)));
-        assert!(st.can_enter(p, msg(0), false), "own packet may add body flits");
-        assert!(!st.can_enter(p, msg(1), true), "owned port rejects other headers");
+        assert!(
+            st.can_enter(p, msg(0), false),
+            "own packet may add body flits"
+        );
+        assert!(
+            !st.can_enter(p, msg(1), true),
+            "owned port rejects other headers"
+        );
     }
 
     #[test]
@@ -246,7 +264,11 @@ mod tests {
         st.enter(p, msg(0)).unwrap();
         st.enter(p, msg(0)).unwrap();
         st.leave(p, msg(0), false).unwrap();
-        assert_eq!(st.port(p).owner(), Some(msg(0)), "non-tail leave keeps ownership");
+        assert_eq!(
+            st.port(p).owner(),
+            Some(msg(0)),
+            "non-tail leave keeps ownership"
+        );
         st.leave(p, msg(0), true).unwrap();
         assert_eq!(st.port(p).owner(), None);
         assert!(st.port(p).available());

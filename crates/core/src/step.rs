@@ -159,7 +159,11 @@ mod tests {
     fn step_moves_the_whole_worm_pipelined() {
         let net = LineNetwork::new(4, 1);
         let routing = LineRouting::new(&net);
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 3)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            3,
+        )];
         let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
         let mut scratch = StepScratch::new(net.port_count());
         let mut trace = Trace::new(false);
@@ -181,7 +185,11 @@ mod tests {
         let routing = LineRouting::new(&net);
         // Two flits could both enter the roomy local in-port, but link
         // bandwidth admits one per step.
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(2),
+            2,
+        )];
         let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
         let mut scratch = StepScratch::new(net.port_count());
         let mut trace = Trace::new(false);

@@ -47,8 +47,12 @@ pub trait SwitchingPolicy {
     ///
     /// Implementations return an error only on internal invariant violations
     /// (which indicate a bug, not a property of the workload).
-    fn step(&mut self, net: &dyn Network, cfg: &mut Config, trace: &mut Trace)
-        -> Result<StepReport>;
+    fn step(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        trace: &mut Trace,
+    ) -> Result<StepReport>;
 
     /// The deadlock predicate `Ω(σ)`: no in-flight message can make
     /// progression under this policy's admission rules.
@@ -64,7 +68,11 @@ mod tests {
 
     #[test]
     fn step_report_sums_moves() {
-        let r = StepReport { entries: 1, advances: 2, ejections: 3 };
+        let r = StepReport {
+            entries: 1,
+            advances: 2,
+            ejections: 3,
+        };
         assert_eq!(r.moves(), 6);
         assert_eq!(StepReport::default().moves(), 0);
     }

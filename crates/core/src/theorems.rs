@@ -151,7 +151,10 @@ pub fn check_correctness(
             }
         }
     }
-    CorrectnessReport { messages_checked: checked, violations }
+    CorrectnessReport {
+        messages_checked: checked,
+        violations,
+    }
 }
 
 #[cfg(test)]
@@ -171,9 +174,18 @@ mod tests {
         let net = LineNetwork::new(4, 1);
         let routing = LineRouting::new(&net);
         let cfg = Config::from_specs(&net, &routing, specs).unwrap();
-        let options = RunOptions { record_trace: true, ..RunOptions::default() };
-        let result =
-            run(&net, &IdentityInjection, &mut LineSwitching::default(), cfg, &options).unwrap();
+        let options = RunOptions {
+            record_trace: true,
+            ..RunOptions::default()
+        };
+        let result = run(
+            &net,
+            &IdentityInjection,
+            &mut LineSwitching::default(),
+            cfg,
+            &options,
+        )
+        .unwrap();
         (net, routing, result)
     }
 

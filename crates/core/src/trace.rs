@@ -47,7 +47,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace; a disabled trace drops all events.
     pub fn new(enabled: bool) -> Self {
-        Trace { enabled, step: 0, events: Vec::new() }
+        Trace {
+            enabled,
+            step: 0,
+            events: Vec::new(),
+        }
     }
 
     /// Whether events are being kept.

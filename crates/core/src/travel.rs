@@ -108,7 +108,9 @@ impl Travel {
         flits: usize,
     ) -> Result<Self> {
         if route.is_empty() {
-            return Err(Error::InvalidSpec(format!("message {id} has an empty route")));
+            return Err(Error::InvalidSpec(format!(
+                "message {id} has an empty route"
+            )));
         }
         if flits == 0 {
             return Err(Error::InvalidSpec(format!("message {id} has zero flits")));
@@ -151,7 +153,9 @@ impl Travel {
         flits: usize,
     ) -> Result<Self> {
         if route.is_empty() {
-            return Err(Error::InvalidSpec(format!("message {id} has an empty route")));
+            return Err(Error::InvalidSpec(format!(
+                "message {id} has an empty route"
+            )));
         }
         if flits == 0 {
             return Err(Error::InvalidSpec(format!("message {id} has zero flits")));
@@ -250,7 +254,9 @@ impl Travel {
 
     /// Whether any flit has entered the network and not yet been delivered.
     pub fn occupies_network(&self) -> bool {
-        self.flits.iter().any(|f| matches!(f, FlitPos::InNetwork(_)))
+        self.flits
+            .iter()
+            .any(|f| matches!(f, FlitPos::InNetwork(_)))
     }
 
     /// The paper's measure contribution `|m.r|`: the number of route hops the

@@ -85,7 +85,13 @@ impl RoutingAnalysis {
                 }
             }
         }
-        RoutingAnalysis { graph, dests, dest_index, bits, stride }
+        RoutingAnalysis {
+            graph,
+            dests,
+            dest_index,
+            bits,
+            stride,
+        }
     }
 
     /// The paper's `s R d`: whether a message with destination `d` can
@@ -290,8 +296,10 @@ mod tests {
     fn vertical_in_ports_cannot_turn_horizontally() {
         let mesh = Mesh::new(3, 3, 1);
         let p = mesh.port(1, 1, Cardinal::North, Direction::In).unwrap();
-        let cards: Vec<Cardinal> =
-            xy_next_outs(&mesh, p).iter().map(|&q| mesh.info(q).card).collect();
+        let cards: Vec<Cardinal> = xy_next_outs(&mesh, p)
+            .iter()
+            .map(|&q| mesh.info(q).card)
+            .collect();
         assert_eq!(cards, vec![Cardinal::Local, Cardinal::South]);
     }
 
@@ -300,6 +308,10 @@ mod tests {
         let mesh = Mesh::new(2, 2, 1);
         let analysis = RoutingAnalysis::new(&mesh, &XyRouting::new(&mesh));
         let li = mesh.local_in(mesh.node(0, 0));
-        assert_eq!(analysis.destinations_from(li).len(), 4, "all nodes reachable");
+        assert_eq!(
+            analysis.destinations_from(li).len(),
+            4,
+            "all nodes reachable"
+        );
     }
 }

@@ -37,10 +37,7 @@ impl ChannelGraph {
 /// Builds the Dally–Seitz channel dependency graph of `routing` on `net` by
 /// contracting the in-ports out of the port dependency graph: `c1 → c2` iff
 /// the port graph routes `next_in(c1)` into `c2`.
-pub fn channel_dependency_graph(
-    net: &dyn Network,
-    routing: &dyn RoutingFunction,
-) -> ChannelGraph {
+pub fn channel_dependency_graph(net: &dyn Network, routing: &dyn RoutingFunction) -> ChannelGraph {
     let pg = crate::build::port_dependency_graph(net, routing);
     let channels: Vec<PortId> = net
         .ports()
@@ -117,10 +114,11 @@ mod tests {
 
     #[test]
     fn channel_count_matches_link_count() {
-        let mesh = Mesh::new(3, 2, 1);
+        let (w, h) = (3, 2);
+        let mesh = Mesh::new(w, h, 1);
         let cg = channel_dependency_graph(&mesh, &XyRouting::new(&mesh));
         // 4 directed links per adjacent pair / 2 (each link one out-port).
-        let links = 2 * ((3 - 1) * 2 + 3 * (2 - 1));
+        let links = 2 * ((w - 1) * h + w * (h - 1));
         assert_eq!(cg.channels.len(), links);
     }
 

@@ -60,8 +60,7 @@ pub fn find_cycle(g: &DiGraph) -> Option<Vec<PortId>> {
                         Color::Gray => {
                             // Found a back edge; the cycle is the path suffix
                             // starting at v.
-                            let pos =
-                                path.iter().position(|&w| w == v).expect("gray is on path");
+                            let pos = path.iter().position(|&w| w == v).expect("gray is on path");
                             return Some(
                                 path[pos..].iter().map(|&w| PortId::from_index(w)).collect(),
                             );

@@ -13,7 +13,11 @@ pub fn to_dot(net: &dyn Network, g: &DiGraph, name: &str) -> String {
     out.push_str(&format!("digraph \"{name}\" {{\n"));
     out.push_str("  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
     for p in net.ports() {
-        out.push_str(&format!("  p{} [label=\"{}\"];\n", p.index(), net.port_label(p)));
+        out.push_str(&format!(
+            "  p{} [label=\"{}\"];\n",
+            p.index(),
+            net.port_label(p)
+        ));
     }
     for (u, v) in g.edges() {
         out.push_str(&format!("  p{} -> p{};\n", u.index(), v.index()));
@@ -36,6 +40,6 @@ mod tests {
         assert!(dot.starts_with("digraph \"fig3\""));
         assert_eq!(dot.matches(" -> ").count(), g.edge_count());
         assert!(dot.contains("(0,0) L in"));
-        assert!(dot.contains("(1,1) E in") == false, "border ports do not exist");
+        assert!(!dot.contains("(1,1) E in"), "border ports do not exist");
     }
 }

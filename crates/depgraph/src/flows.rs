@@ -87,9 +87,7 @@ pub fn check_flow_escapes(mesh: &Mesh, g: &DiGraph) -> Vec<FlowViolation> {
             Flow::Ejection => false,
             Flow::Injection => fv != Flow::Injection,
             Flow::Northern | Flow::Southern => fv == fu || fv == Flow::Ejection,
-            Flow::Eastern | Flow::Western => {
-                fv == fu || fv.is_vertical() || fv == Flow::Ejection
-            }
+            Flow::Eastern | Flow::Western => fv == fu || fv.is_vertical() || fv == Flow::Ejection,
         };
         if !ok {
             violations.push(FlowViolation {

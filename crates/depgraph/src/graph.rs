@@ -28,7 +28,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates an edgeless graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        DiGraph { adj: vec![Vec::new(); n], edge_count: 0 }
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of vertices.
@@ -61,12 +64,16 @@ impl DiGraph {
 
     /// Whether the edge `u -> v` is present.
     pub fn has_edge(&self, u: PortId, v: PortId) -> bool {
-        self.adj[u.index()].binary_search(&(v.index() as u32)).is_ok()
+        self.adj[u.index()]
+            .binary_search(&(v.index() as u32))
+            .is_ok()
     }
 
     /// Successors of `u`, in ascending order.
     pub fn successors(&self, u: PortId) -> impl Iterator<Item = PortId> + '_ {
-        self.adj[u.index()].iter().map(|&v| PortId::from_index(v as usize))
+        self.adj[u.index()]
+            .iter()
+            .map(|&v| PortId::from_index(v as usize))
     }
 
     /// Out-degree of `u`.
@@ -89,7 +96,9 @@ impl DiGraph {
 
     /// Edges of `self` that are missing from `other`.
     pub fn difference(&self, other: &DiGraph) -> Vec<(PortId, PortId)> {
-        self.edges().filter(|&(u, v)| !other.has_edge(u, v)).collect()
+        self.edges()
+            .filter(|&(u, v)| !other.has_edge(u, v))
+            .collect()
     }
 }
 

@@ -22,13 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod build;
-#[cfg(test)]
-mod proptests;
 pub mod channel_graph;
 pub mod cycle;
 pub mod dot;
 pub mod flows;
 pub mod graph;
+#[cfg(test)]
+mod proptests;
 pub mod ranking;
 pub mod scc;
 pub mod witness;

@@ -48,11 +48,11 @@ pub fn xy_mesh_ranking(mesh: &Mesh) -> Vec<u64> {
     let horizontal_base = vertical_base + 2 * h;
     let injection_rank = horizontal_base + 2 * w;
     let mut rank = vec![0u64; mesh.port_count()];
-    for p in 0..mesh.port_count() {
+    for (p, slot) in rank.iter_mut().enumerate() {
         let info = mesh.info(PortId::from_index(p));
         let x = info.x as u64;
         let y = info.y as u64;
-        rank[p] = match (info.card, info.dir) {
+        *slot = match (info.card, info.dir) {
             (Cardinal::Local, Direction::Out) => 0,
             (Cardinal::Local, Direction::In) => injection_rank,
             // Northern flow: upward traffic (y decreasing).

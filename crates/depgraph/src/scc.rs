@@ -76,9 +76,9 @@ pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<PortId>> {
 /// Whether `g` is cyclic, decided through its SCCs: a non-trivial component
 /// or a self-loop.
 pub fn is_cyclic_by_scc(g: &DiGraph) -> bool {
-    strongly_connected_components(g).iter().any(|c| {
-        c.len() > 1 || (c.len() == 1 && g.has_edge(c[0], c[0]))
-    })
+    strongly_connected_components(g)
+        .iter()
+        .any(|c| c.len() > 1 || (c.len() == 1 && g.has_edge(c[0], c[0])))
 }
 
 #[cfg(test)]
@@ -107,7 +107,10 @@ mod tests {
             g.add_edge(p(u), p(v));
         }
         let sccs = strongly_connected_components(&g);
-        let big = sccs.iter().find(|c| c.len() == 3).expect("triangle component");
+        let big = sccs
+            .iter()
+            .find(|c| c.len() == 3)
+            .expect("triangle component");
         let mut ids: Vec<usize> = big.iter().map(|q| q.index()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2]);

@@ -102,11 +102,20 @@ pub fn deadlock_from_cycle_with(
         let route = compute_route(net, routing, p, d)?;
         debug_assert_eq!(route[1], next, "witness must route across the cycle edge");
         let capacity = net.attrs(p).capacity as usize;
-        travels.push(Travel::mid_flight(net, MsgId::from_index(i), route, capacity)?);
+        travels.push(Travel::mid_flight(
+            net,
+            MsgId::from_index(i),
+            route,
+            capacity,
+        )?);
         destinations.push(d);
     }
     let config = Config::from_travels(net, travels)?;
-    Ok(DeadlockWitness { cycle: cycle.to_vec(), destinations, config })
+    Ok(DeadlockWitness {
+        cycle: cycle.to_vec(),
+        destinations,
+        config,
+    })
 }
 
 /// Extracts a dependency-graph cycle from a deadlocked configuration (the
@@ -137,9 +146,8 @@ pub fn cycle_from_deadlock(net: &dyn Network, cfg: &Config) -> Result<Vec<PortId
             }
         }
     }
-    let start = start.ok_or_else(|| {
-        Error::Invariant("deadlock without any in-network flit".into())
-    })?;
+    let start =
+        start.ok_or_else(|| Error::Invariant("deadlock without any in-network flit".into()))?;
 
     let mut visited: Vec<PortId> = Vec::new();
     let mut current = start;
@@ -149,26 +157,24 @@ pub fn cycle_from_deadlock(net: &dyn Network, cfg: &Config) -> Result<Vec<PortId
         }
         visited.push(current);
         // The message resident in (or owning) `current`.
-        let owner = cfg
-            .state()
-            .port(current)
-            .owner()
-            .ok_or_else(|| Error::Invariant(format!(
+        let owner = cfg.state().port(current).owner().ok_or_else(|| {
+            Error::Invariant(format!(
                 "walk reached unowned port {}",
                 net.port_label(current)
-            )))?;
-        let t = cfg
-            .travel_by_id(owner)
-            .ok_or(Error::UnknownTravel(owner))?;
+            ))
+        })?;
+        let t = cfg.travel_by_id(owner).ok_or(Error::UnknownTravel(owner))?;
         let k = t
             .route()
             .iter()
             .position(|&q| q == current)
-            .ok_or_else(|| Error::Invariant(format!(
-                "owner {} does not route through {}",
-                owner,
-                net.port_label(current)
-            )))?;
+            .ok_or_else(|| {
+                Error::Invariant(format!(
+                    "owner {} does not route through {}",
+                    owner,
+                    net.port_label(current)
+                ))
+            })?;
         if k + 1 >= t.route().len() {
             return Err(Error::Invariant(format!(
                 "walk reached destination port {} — ejection cannot block",

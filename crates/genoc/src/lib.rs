@@ -79,9 +79,9 @@ pub mod prelude {
         xy_mesh_dependency_graph, xy_mesh_ranking, DiGraph,
     };
     pub use genoc_routing::{
-        AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting,
-        MixedXyYxRouting, RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting,
-        TorusDorRouting, TurnModel, TurnModelRouting, XyRouting, YxRouting,
+        AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
+        RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
+        TurnModel, TurnModelRouting, XyRouting, YxRouting,
     };
     pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes};
     pub use genoc_sim::{

@@ -29,7 +29,7 @@ impl MixedXyYxRouting {
 
     fn xy_first(&self, dest: PortId) -> bool {
         let d = self.mesh.info(dest);
-        (d.x + d.y) % 2 == 0
+        (d.x + d.y).is_multiple_of(2)
     }
 }
 

@@ -80,7 +80,10 @@ impl RingDatelineRouting {
     ///
     /// Panics if the ring has fewer than two virtual channels.
     pub fn new(ring: &Ring) -> Self {
-        assert!(ring.vc_count() >= 2, "dateline routing needs two virtual channels");
+        assert!(
+            ring.vc_count() >= 2,
+            "dateline routing needs two virtual channels"
+        );
         RingDatelineRouting { ring: ring.clone() }
     }
 
@@ -143,10 +146,26 @@ mod tests {
         let ring = Ring::new(6, 1);
         let r = RingShortestRouting::new(&ring);
         let from = ring.local_in(NodeId::from_index(0));
-        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(2))).unwrap();
-        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
-        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(5))).unwrap();
-        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Ccw, vc: 0 });
+        let hop = r
+            .next_hop(from, ring.local_out(NodeId::from_index(2)))
+            .unwrap();
+        assert_eq!(
+            ring.info(hop).kind,
+            RingPortKind::Ring {
+                dir: RingDir::Cw,
+                vc: 0
+            }
+        );
+        let hop = r
+            .next_hop(from, ring.local_out(NodeId::from_index(5)))
+            .unwrap();
+        assert_eq!(
+            ring.info(hop).kind,
+            RingPortKind::Ring {
+                dir: RingDir::Ccw,
+                vc: 0
+            }
+        );
     }
 
     #[test]
@@ -154,8 +173,16 @@ mod tests {
         let ring = Ring::new(6, 1);
         let r = RingShortestRouting::new(&ring);
         let from = ring.local_in(NodeId::from_index(1));
-        let hop = r.next_hop(from, ring.local_out(NodeId::from_index(4))).unwrap();
-        assert_eq!(ring.info(hop).kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
+        let hop = r
+            .next_hop(from, ring.local_out(NodeId::from_index(4)))
+            .unwrap();
+        assert_eq!(
+            ring.info(hop).kind,
+            RingPortKind::Ring {
+                dir: RingDir::Cw,
+                vc: 0
+            }
+        );
     }
 
     #[test]
@@ -199,7 +226,16 @@ mod tests {
         // Ports at nodes 4,5 on vc0; after crossing the 5 -> 0 link, vc1.
         assert_eq!(
             vcs,
-            vec![None, Some(0), Some(0), Some(1), Some(1), Some(1), Some(1), None],
+            vec![
+                None,
+                Some(0),
+                Some(0),
+                Some(1),
+                Some(1),
+                Some(1),
+                Some(1),
+                None
+            ],
             "route: {route:?}"
         );
     }

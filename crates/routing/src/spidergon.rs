@@ -52,7 +52,9 @@ pub struct AcrossFirstRouting {
 impl AcrossFirstRouting {
     /// Builds the across-first router for a Spidergon instance.
     pub fn new(spidergon: &Spidergon) -> Self {
-        AcrossFirstRouting { spidergon: spidergon.clone() }
+        AcrossFirstRouting {
+            spidergon: spidergon.clone(),
+        }
     }
 }
 
@@ -102,7 +104,9 @@ impl AcrossFirstDatelineRouting {
             spidergon.vc_count() >= 2,
             "dateline routing needs two virtual channels"
         );
-        AcrossFirstDatelineRouting { spidergon: spidergon.clone() }
+        AcrossFirstDatelineRouting {
+            spidergon: spidergon.clone(),
+        }
     }
 }
 
@@ -156,10 +160,26 @@ mod tests {
         let s = Spidergon::new(8, 1);
         let r = AcrossFirstRouting::new(&s);
         let from = s.local_in(NodeId::from_index(0));
-        let hop = r.next_hop(from, s.local_out(NodeId::from_index(2))).unwrap();
-        assert_eq!(s.info(hop).kind, SpidergonPortKind::Ring { dir: RingDir::Cw, vc: 0 });
-        let hop = r.next_hop(from, s.local_out(NodeId::from_index(6))).unwrap();
-        assert_eq!(s.info(hop).kind, SpidergonPortKind::Ring { dir: RingDir::Ccw, vc: 0 });
+        let hop = r
+            .next_hop(from, s.local_out(NodeId::from_index(2)))
+            .unwrap();
+        assert_eq!(
+            s.info(hop).kind,
+            SpidergonPortKind::Ring {
+                dir: RingDir::Cw,
+                vc: 0
+            }
+        );
+        let hop = r
+            .next_hop(from, s.local_out(NodeId::from_index(6)))
+            .unwrap();
+        assert_eq!(
+            s.info(hop).kind,
+            SpidergonPortKind::Ring {
+                dir: RingDir::Ccw,
+                vc: 0
+            }
+        );
     }
 
     #[test]
@@ -167,10 +187,18 @@ mod tests {
         let s = Spidergon::new(8, 1);
         let r = AcrossFirstRouting::new(&s);
         let from = s.local_in(NodeId::from_index(0));
-        let hop = r.next_hop(from, s.local_out(NodeId::from_index(4))).unwrap();
+        let hop = r
+            .next_hop(from, s.local_out(NodeId::from_index(4)))
+            .unwrap();
         assert_eq!(s.info(hop).kind, SpidergonPortKind::Across);
-        let hop = r.next_hop(from, s.local_out(NodeId::from_index(3))).unwrap();
-        assert_eq!(s.info(hop).kind, SpidergonPortKind::Across, "3 hops > N/4 = 2");
+        let hop = r
+            .next_hop(from, s.local_out(NodeId::from_index(3)))
+            .unwrap();
+        assert_eq!(
+            s.info(hop).kind,
+            SpidergonPortKind::Across,
+            "3 hops > N/4 = 2"
+        );
     }
 
     #[test]
@@ -188,10 +216,7 @@ mod tests {
                     )
                     .unwrap();
                     let hops = (route.len() - 2) / 2;
-                    assert!(
-                        hops <= size / 4 + 1,
-                        "{size}: {a}->{b} took {hops} hops"
-                    );
+                    assert!(hops <= size / 4 + 1, "{size}: {a}->{b} took {hops} hops");
                 }
             }
         }

@@ -58,7 +58,9 @@ pub struct TorusDorRouting {
 impl TorusDorRouting {
     /// Builds the dimension-order router for a torus instance.
     pub fn new(torus: &Torus) -> Self {
-        TorusDorRouting { torus: torus.clone() }
+        TorusDorRouting {
+            torus: torus.clone(),
+        }
     }
 }
 
@@ -80,7 +82,9 @@ impl RoutingFunction for TorusDorRouting {
         }
         let d = self.torus.info(dest);
         let hop = match dor_step(self.torus.width(), self.torus.height(), p.x, p.y, d.x, d.y) {
-            None => self.torus.port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
+            None => self
+                .torus
+                .port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
             Some((card, _)) => self.torus.port(p.x, p.y, card, 0, Direction::Out),
         };
         if let Some(hop) = hop {
@@ -103,8 +107,13 @@ impl TorusDorDatelineRouting {
     ///
     /// Panics if the torus has fewer than two virtual channels.
     pub fn new(torus: &Torus) -> Self {
-        assert!(torus.vc_count() >= 2, "dateline routing needs two virtual channels");
-        TorusDorDatelineRouting { torus: torus.clone() }
+        assert!(
+            torus.vc_count() >= 2,
+            "dateline routing needs two virtual channels"
+        );
+        TorusDorDatelineRouting {
+            torus: torus.clone(),
+        }
     }
 }
 
@@ -126,14 +135,21 @@ impl RoutingFunction for TorusDorDatelineRouting {
         }
         let d = self.torus.info(dest);
         let hop = match dor_step(self.torus.width(), self.torus.height(), p.x, p.y, d.x, d.y) {
-            None => self.torus.port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
+            None => self
+                .torus
+                .port(p.x, p.y, Cardinal::Local, 0, Direction::Out),
             Some((card, crossing)) => {
                 // Keep the current channel while traveling within the same
                 // axis; reset on turns; switch to channel 1 at the dateline.
                 let same_axis = matches!(
                     (p.card, card),
-                    (Cardinal::East | Cardinal::West, Cardinal::East | Cardinal::West)
-                        | (Cardinal::North | Cardinal::South, Cardinal::North | Cardinal::South)
+                    (
+                        Cardinal::East | Cardinal::West,
+                        Cardinal::East | Cardinal::West
+                    ) | (
+                        Cardinal::North | Cardinal::South,
+                        Cardinal::North | Cardinal::South
+                    )
                 );
                 let current_vc = if same_axis { p.vc } else { 0 };
                 let vc = if crossing { 1 } else { current_vc };
@@ -179,7 +195,11 @@ mod tests {
         let r = TorusDorRouting::new(&torus);
         let from = torus.local_in(torus.node(4, 0));
         let hop = r.next_hop(from, torus.local_out(torus.node(1, 0))).unwrap();
-        assert_eq!(torus.info(hop).card, Cardinal::East, "4 -> 1 wraps east in 2 hops");
+        assert_eq!(
+            torus.info(hop).card,
+            Cardinal::East,
+            "4 -> 1 wraps east in 2 hops"
+        );
     }
 
     #[test]
@@ -199,7 +219,11 @@ mod tests {
             .filter(|i| i.card != Cardinal::Local)
             .map(|i| i.vc)
             .collect();
-        assert_eq!(vcs, vec![1, 1, 1, 1], "first hop already crosses x = 3 -> 0");
+        assert_eq!(
+            vcs,
+            vec![1, 1, 1, 1],
+            "first hop already crosses x = 3 -> 0"
+        );
     }
 
     #[test]
@@ -220,7 +244,10 @@ mod tests {
             .filter(|i| i.card != Cardinal::Local)
             .collect();
         assert_eq!(infos[0].vc, 1, "x wrap");
-        let first_vertical = infos.iter().position(|i| i.card == Cardinal::South).unwrap();
+        let first_vertical = infos
+            .iter()
+            .position(|i| i.card == Cardinal::South)
+            .unwrap();
         assert_eq!(infos[first_vertical].vc, 0, "y leg starts on vc0");
     }
 

@@ -49,7 +49,10 @@ pub struct TurnModelRouting {
 impl TurnModelRouting {
     /// Builds a turn-model router for a mesh instance.
     pub fn new(mesh: &Mesh, model: TurnModel) -> Self {
-        TurnModelRouting { mesh: mesh.clone(), model }
+        TurnModelRouting {
+            mesh: mesh.clone(),
+            model,
+        }
     }
 
     /// The turn model in force.
@@ -200,18 +203,30 @@ mod tests {
     #[test]
     fn arrived_packets_go_local() {
         let mesh = Mesh::new(2, 2, 1);
-        for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+        for model in [
+            TurnModel::WestFirst,
+            TurnModel::NorthLast,
+            TurnModel::NegativeFirst,
+        ] {
             let r = TurnModelRouting::new(&mesh, model);
             let from = mesh.local_in(mesh.node(1, 1));
             let dest = mesh.local_out(mesh.node(1, 1));
-            assert_eq!(hops(&r, &mesh, from, dest), vec![Cardinal::Local], "{model:?}");
+            assert_eq!(
+                hops(&r, &mesh, from, dest),
+                vec![Cardinal::Local],
+                "{model:?}"
+            );
         }
     }
 
     #[test]
     fn all_hops_are_minimal() {
         let mesh = Mesh::new(3, 3, 1);
-        for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+        for model in [
+            TurnModel::WestFirst,
+            TurnModel::NorthLast,
+            TurnModel::NegativeFirst,
+        ] {
             let r = TurnModelRouting::new(&mesh, model);
             for s in mesh.ports() {
                 for dnode in mesh.nodes() {

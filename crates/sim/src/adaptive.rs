@@ -40,7 +40,9 @@ pub fn select_routes(
     let mut hops = Vec::with_capacity(4);
     for (i, spec) in specs.iter().enumerate() {
         if spec.source.index() >= net.node_count() || spec.dest.index() >= net.node_count() {
-            return Err(Error::InvalidSpec(format!("message {i} references an unknown node")));
+            return Err(Error::InvalidSpec(format!(
+                "message {i} references an unknown node"
+            )));
         }
         let source = net.local_in(spec.source);
         let dest = net.local_out(spec.dest);
@@ -48,18 +50,30 @@ pub fn select_routes(
         let mut current = source;
         while current != dest {
             if route.len() > limit {
-                return Err(Error::RouteDiverged { from: source, dest, limit });
+                return Err(Error::RouteDiverged {
+                    from: source,
+                    dest,
+                    limit,
+                });
             }
             hops.clear();
             routing.next_hops(current, dest, &mut hops);
             if hops.is_empty() {
-                return Err(Error::NoRoute { from: current, dest });
+                return Err(Error::NoRoute {
+                    from: current,
+                    dest,
+                });
             }
             let pick = hops[rng.random_range(0..hops.len())];
             route.push(pick);
             current = pick;
         }
-        travels.push(Travel::from_route(net, MsgId::from_index(i), route, spec.flits)?);
+        travels.push(Travel::from_route(
+            net,
+            MsgId::from_index(i),
+            route,
+            spec.flits,
+        )?);
     }
     Ok(travels)
 }
@@ -122,7 +136,11 @@ mod tests {
     #[test]
     fn turn_model_selections_always_evacuate() {
         let mesh = Mesh::new(3, 3, 1);
-        for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+        for model in [
+            TurnModel::WestFirst,
+            TurnModel::NorthLast,
+            TurnModel::NegativeFirst,
+        ] {
             let routing = TurnModelRouting::new(&mesh, model);
             for seed in 0..10 {
                 let specs = crate::workload::uniform_random(9, 16, 2..=4, seed);
@@ -156,7 +174,10 @@ mod tests {
                 &IdentityInjection,
                 &mut WormholePolicy::default(),
                 cfg,
-                &RunOptions { max_steps: 10_000, ..RunOptions::default() },
+                &RunOptions {
+                    max_steps: 10_000,
+                    ..RunOptions::default()
+                },
             )
             .unwrap();
             if r.outcome == Outcome::Deadlock {

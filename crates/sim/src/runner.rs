@@ -27,7 +27,11 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_steps: 1_000_000, record_trace: false, check_invariants: false }
+        SimOptions {
+            max_steps: 1_000_000,
+            record_trace: false,
+            check_invariants: false,
+        }
     }
 }
 
@@ -84,7 +88,11 @@ pub fn simulate(
     } else {
         Vec::new()
     };
-    Ok(SimResult { run, injected, latencies })
+    Ok(SimResult {
+        run,
+        injected,
+        latencies,
+    })
 }
 
 fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<u64> {
@@ -122,7 +130,10 @@ mod tests {
         let mesh = Mesh::new(3, 3, 2);
         let routing = XyRouting::new(&mesh);
         let specs = crate::workload::transpose(&mesh, 2);
-        let options = SimOptions { record_trace: true, ..SimOptions::default() };
+        let options = SimOptions {
+            record_trace: true,
+            ..SimOptions::default()
+        };
         let result = simulate(
             &mesh,
             &routing,

@@ -23,7 +23,12 @@ impl LatencySummary {
         let min = *latencies.iter().min().expect("non-empty");
         let max = *latencies.iter().max().expect("non-empty");
         let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
-        Some(LatencySummary { messages: latencies.len(), min, mean, max })
+        Some(LatencySummary {
+            messages: latencies.len(),
+            min,
+            mean,
+            max,
+        })
     }
 }
 

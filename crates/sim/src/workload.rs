@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn uniform_is_reproducible() {
-        assert_eq!(uniform_random(6, 50, 2..=2, 3), uniform_random(6, 50, 2..=2, 3));
+        assert_eq!(
+            uniform_random(6, 50, 2..=2, 3),
+            uniform_random(6, 50, 2..=2, 3)
+        );
     }
 
     #[test]

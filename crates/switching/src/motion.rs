@@ -81,7 +81,8 @@ impl HeadAdmission for StoreAndForwardAdmission {
             HeadMove::Entry => true, // all flits are still at the source
             HeadMove::Advance { from } => {
                 let t = cfg.travel(i);
-                t.flit_positions().all(|pos| pos == FlitPos::InNetwork(from))
+                t.flit_positions()
+                    .all(|pos| pos == FlitPos::InNetwork(from))
             }
         }
     }
@@ -201,7 +202,10 @@ mod tests {
     #[test]
     fn vct_blocks_entry_without_whole_packet_room() {
         let (_, c) = cfg(3, 2, 3);
-        assert!(!any_move_possible_with(&c, &WholePacketRoom), "3 flits, 2 buffers");
+        assert!(
+            !any_move_possible_with(&c, &WholePacketRoom),
+            "3 flits, 2 buffers"
+        );
         let (_, c) = cfg(3, 4, 3);
         assert!(any_move_possible_with(&c, &WholePacketRoom));
     }
@@ -220,6 +224,9 @@ mod tests {
     #[test]
     fn always_admit_matches_core_predicate() {
         let (_, c) = cfg(4, 1, 2);
-        assert_eq!(any_move_possible_with(&c, &AlwaysAdmit), c.any_move_possible());
+        assert_eq!(
+            any_move_possible_with(&c, &AlwaysAdmit),
+            c.any_move_possible()
+        );
     }
 }

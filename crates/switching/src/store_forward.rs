@@ -56,8 +56,7 @@ impl SwitchingPolicy for StoreForwardPolicy {
         self.scratch.reset(net.port_count());
         let mut total = StepReport::default();
         for i in 0..cfg.travels().len() {
-            let r =
-                step_travel_with(cfg, i, &mut self.scratch, trace, &StoreAndForwardAdmission)?;
+            let r = step_travel_with(cfg, i, &mut self.scratch, trace, &StoreAndForwardAdmission)?;
             total.entries += r.entries;
             total.advances += r.advances;
             total.ejections += r.ejections;
@@ -82,10 +81,24 @@ mod tests {
     fn line_run(capacity: u32, flits: usize) -> genoc_core::interpreter::RunResult {
         let net = LineNetwork::new(4, capacity);
         let routing = LineRouting::new(&net);
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), flits)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            flits,
+        )];
         let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
-        let options = RunOptions { check_invariants: true, ..RunOptions::default() };
-        run(&net, &IdentityInjection, &mut StoreForwardPolicy::new(), cfg, &options).unwrap()
+        let options = RunOptions {
+            check_invariants: true,
+            ..RunOptions::default()
+        };
+        run(
+            &net,
+            &IdentityInjection,
+            &mut StoreForwardPolicy::new(),
+            cfg,
+            &options,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -114,14 +127,22 @@ mod tests {
         let ok = Config::from_specs(
             &net,
             &routing,
-            &[MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2)],
+            &[MessageSpec::new(
+                NodeId::from_index(0),
+                NodeId::from_index(2),
+                2,
+            )],
         )
         .unwrap();
         assert!(StoreForwardPolicy::workload_fits(&net, &ok));
         let too_big = Config::from_specs(
             &net,
             &routing,
-            &[MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 3)],
+            &[MessageSpec::new(
+                NodeId::from_index(0),
+                NodeId::from_index(2),
+                3,
+            )],
         )
         .unwrap();
         assert!(!StoreForwardPolicy::workload_fits(&net, &too_big));

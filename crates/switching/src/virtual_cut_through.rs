@@ -82,9 +82,20 @@ mod tests {
     fn steps_with(policy: &mut dyn SwitchingPolicy) -> u64 {
         let net = LineNetwork::new(5, 4);
         let routing = LineRouting::new(&net);
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(4), 4)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(4),
+            4,
+        )];
         let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
-        let r = run(&net, &IdentityInjection, policy, cfg, &RunOptions::default()).unwrap();
+        let r = run(
+            &net,
+            &IdentityInjection,
+            policy,
+            cfg,
+            &RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.outcome, Outcome::Evacuated);
         r.steps
     }
@@ -94,7 +105,10 @@ mod tests {
         let wormhole = steps_with(&mut WormholePolicy::default());
         let vct = steps_with(&mut VirtualCutThroughPolicy::new());
         let saf = steps_with(&mut StoreForwardPolicy::new());
-        assert_eq!(vct, wormhole, "with ample buffers VCT pipelines identically");
+        assert_eq!(
+            vct, wormhole,
+            "with ample buffers VCT pipelines identically"
+        );
         assert!(saf > vct, "store-and-forward serialises: {saf} <= {vct}");
     }
 
@@ -102,7 +116,11 @@ mod tests {
     fn vct_refuses_ports_smaller_than_the_packet() {
         let net = LineNetwork::new(3, 2);
         let routing = LineRouting::new(&net);
-        let specs = [MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 3)];
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(2),
+            3,
+        )];
         let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
         let r = run(
             &net,

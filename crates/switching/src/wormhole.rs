@@ -51,7 +51,11 @@ pub struct WormholePolicy {
 impl WormholePolicy {
     /// Creates a wormhole policy with the given arbitration scheme.
     pub fn new(arbitration: Arbitration) -> Self {
-        WormholePolicy { arbitration, scratch: StepScratch::default(), step_count: 0 }
+        WormholePolicy {
+            arbitration,
+            scratch: StepScratch::default(),
+            step_count: 0,
+        }
     }
 
     /// The arbitration scheme in force.
@@ -98,13 +102,25 @@ mod tests {
     use genoc_routing::xy::XyRouting;
     use genoc_topology::mesh::Mesh;
 
-    fn run_mesh(specs: &[MessageSpec], arbitration: Arbitration) -> genoc_core::interpreter::RunResult {
+    fn run_mesh(
+        specs: &[MessageSpec],
+        arbitration: Arbitration,
+    ) -> genoc_core::interpreter::RunResult {
         let mesh = Mesh::new(3, 3, 2);
         let routing = XyRouting::new(&mesh);
         let cfg = Config::from_specs(&mesh, &routing, specs).unwrap();
-        let options = RunOptions { check_invariants: true, ..RunOptions::default() };
-        run(&mesh, &IdentityInjection, &mut WormholePolicy::new(arbitration), cfg, &options)
-            .unwrap()
+        let options = RunOptions {
+            check_invariants: true,
+            ..RunOptions::default()
+        };
+        run(
+            &mesh,
+            &IdentityInjection,
+            &mut WormholePolicy::new(arbitration),
+            cfg,
+            &options,
+        )
+        .unwrap()
     }
 
     #[test]

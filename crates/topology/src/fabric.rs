@@ -132,7 +132,10 @@ impl FabricBuilder {
                 Direction::In => &mut self.local_in[node.index()],
                 Direction::Out => &mut self.local_out[node.index()],
             };
-            assert!(slot.is_none(), "node {node} already has a local {direction:?} port");
+            assert!(
+                slot.is_none(),
+                "node {node} already has a local {direction:?} port"
+            );
             *slot = Some(id);
         }
         id
@@ -152,7 +155,10 @@ impl FabricBuilder {
         assert!(!f.local, "local ejection ports do not drive links");
         assert_eq!(t.direction, Direction::In, "links end at in-ports");
         assert!(!t.local, "local injection ports are not link targets");
-        assert!(self.next_in[from.index()].is_none(), "port {from} already linked");
+        assert!(
+            self.next_in[from.index()].is_none(),
+            "port {from} already linked"
+        );
         self.next_in[from.index()] = Some(to);
     }
 
@@ -222,10 +228,7 @@ mod tests {
     #[test]
     fn links_resolve_through_next_in() {
         let f = two_node_fabric();
-        let f_out = f
-            .ports()
-            .find(|&p| f.port_label(p) == "(0) F out")
-            .unwrap();
+        let f_out = f.ports().find(|&p| f.port_label(p) == "(0) F out").unwrap();
         let target = f.next_in(f_out).unwrap();
         assert_eq!(f.port_label(target), "(1) F in");
         assert_eq!(f.attrs(target).capacity, 2);

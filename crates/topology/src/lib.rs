@@ -19,9 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod mesh;
 #[cfg(test)]
 mod proptests;
-pub mod mesh;
 pub mod ring;
 pub mod spidergon;
 pub mod torus;

@@ -159,11 +159,19 @@ impl Mesh {
 
     /// Starts configuring a mesh.
     pub fn builder(width: usize, height: usize) -> MeshBuilder {
-        MeshBuilder { width, height, capacity: 1, local_capacity: None }
+        MeshBuilder {
+            width,
+            height,
+            capacity: 1,
+            local_capacity: None,
+        }
     }
 
     fn construct(b: MeshBuilder) -> Self {
-        assert!(b.width > 0 && b.height > 0, "mesh dimensions must be positive");
+        assert!(
+            b.width > 0 && b.height > 0,
+            "mesh dimensions must be positive"
+        );
         let local_capacity = b.local_capacity.unwrap_or(b.capacity);
         let mut fabric = Fabric::builder(format!("mesh-{}x{}", b.width, b.height));
         let node_count = b.width * b.height;
@@ -209,9 +217,12 @@ impl Mesh {
 
         // Wire the links: out-port of each node to the facing in-port of the
         // neighbor.
-        let port_of = |lookup: &Vec<[[Option<PortId>; 2]; 5]>, x: usize, y: usize, c: Cardinal, d: Direction| {
-            lookup[node_at(x, y)][c.index()][dir_index(d)]
-        };
+        let port_of =
+            |lookup: &Vec<[[Option<PortId>; 2]; 5]>,
+             x: usize,
+             y: usize,
+             c: Cardinal,
+             d: Direction| { lookup[node_at(x, y)][c.index()][dir_index(d)] };
         for y in 0..b.height {
             for x in 0..b.width {
                 if x + 1 < b.width {
@@ -262,7 +273,10 @@ impl Mesh {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node(&self, x: usize, y: usize) -> NodeId {
-        assert!(x < self.width && y < self.height, "mesh coordinates out of range");
+        assert!(
+            x < self.width && y < self.height,
+            "mesh coordinates out of range"
+        );
         NodeId::from_index(y * self.width + x)
     }
 
@@ -372,10 +386,10 @@ mod tests {
     fn links_wire_facing_ports() {
         let mesh = Mesh::new(3, 3, 1);
         let cases = [
-            ((1, 1, Cardinal::East, 2, 1, Cardinal::West)),
-            ((1, 1, Cardinal::West, 0, 1, Cardinal::East)),
-            ((1, 1, Cardinal::North, 1, 0, Cardinal::South)),
-            ((1, 1, Cardinal::South, 1, 2, Cardinal::North)),
+            (1, 1, Cardinal::East, 2, 1, Cardinal::West),
+            (1, 1, Cardinal::West, 0, 1, Cardinal::East),
+            (1, 1, Cardinal::North, 1, 0, Cardinal::South),
+            (1, 1, Cardinal::South, 1, 2, Cardinal::North),
         ];
         for (x, y, c, nx, ny, nc) in cases {
             let out = mesh.port(x, y, c, Direction::Out).unwrap();
@@ -399,8 +413,15 @@ mod tests {
         let mesh = Mesh::new(2, 2, 1);
         let e_in = mesh.port(0, 0, Cardinal::East, Direction::In).unwrap();
         let l_out = mesh.port(0, 0, Cardinal::Local, Direction::Out).unwrap();
-        assert_eq!(mesh.trans(e_in, Cardinal::Local, Direction::Out), Some(l_out));
-        assert_eq!(mesh.trans(e_in, Cardinal::West, Direction::Out), None, "border");
+        assert_eq!(
+            mesh.trans(e_in, Cardinal::Local, Direction::Out),
+            Some(l_out)
+        );
+        assert_eq!(
+            mesh.trans(e_in, Cardinal::West, Direction::Out),
+            None,
+            "border"
+        );
     }
 
     #[test]

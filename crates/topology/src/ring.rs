@@ -119,10 +119,18 @@ impl Ring {
         for node in 0..nodes {
             let n = fabric.add_node();
             let li = fabric.add_port(n, Direction::In, true, capacity, format!("({node}) L in"));
-            info.push(RingPortInfo { node, kind: RingPortKind::Local, dir: Direction::In });
-            debug_assert_eq!(li.index() + 1, li.index() + 1);
-            fabric.add_port(n, Direction::Out, true, capacity, format!("({node}) L out"));
-            info.push(RingPortInfo { node, kind: RingPortKind::Local, dir: Direction::Out });
+            info.push(RingPortInfo {
+                node,
+                kind: RingPortKind::Local,
+                dir: Direction::In,
+            });
+            let lo = fabric.add_port(n, Direction::Out, true, capacity, format!("({node}) L out"));
+            debug_assert_eq!(lo.index(), li.index() + 1, "L out must follow L in");
+            info.push(RingPortInfo {
+                node,
+                kind: RingPortKind::Local,
+                dir: Direction::Out,
+            });
             let mut per_dir = Vec::with_capacity(2);
             for dir in RingDir::ALL {
                 let mut per_vc = Vec::with_capacity(vcs);
@@ -158,6 +166,7 @@ impl Ring {
             lookup.push(per_dir);
         }
         for node in 0..nodes {
+            #[allow(clippy::needless_range_loop)] // `vc` pairs entries across nodes
             for vc in 0..vcs {
                 let cw_out = lookup[node][RingDir::Cw.index()][vc][1];
                 let cw_in = lookup[(node + 1) % nodes][RingDir::Cw.index()][vc][0];
@@ -167,7 +176,13 @@ impl Ring {
                 fabric.connect(ccw_out, ccw_in);
             }
         }
-        Ring { fabric: fabric.build(), nodes, vcs, lookup, info }
+        Ring {
+            fabric: fabric.build(),
+            nodes,
+            vcs,
+            lookup,
+            info,
+        }
     }
 
     /// Number of virtual channels per ring direction.
@@ -260,8 +275,20 @@ mod tests {
         let t0 = ring.info(ring.next_in(v0).unwrap());
         let t1 = ring.info(ring.next_in(v1).unwrap());
         assert_eq!(t0.node, t1.node);
-        assert_eq!(t0.kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 0 });
-        assert_eq!(t1.kind, RingPortKind::Ring { dir: RingDir::Cw, vc: 1 });
+        assert_eq!(
+            t0.kind,
+            RingPortKind::Ring {
+                dir: RingDir::Cw,
+                vc: 0
+            }
+        );
+        assert_eq!(
+            t1.kind,
+            RingPortKind::Ring {
+                dir: RingDir::Cw,
+                vc: 1
+            }
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Spidergon {
     /// Panics if `size` is odd or smaller than 4, `vcs == 0`, or
     /// `capacity == 0`.
     pub fn with_vcs(size: usize, vcs: usize, capacity: u32) -> Self {
-        assert!(size >= 4 && size % 2 == 0, "spidergon size must be even and at least 4");
+        assert!(
+            size >= 4 && size.is_multiple_of(2),
+            "spidergon size must be even and at least 4"
+        );
         assert!(vcs >= 1, "at least one virtual channel");
         let name = if vcs == 1 {
             format!("spidergon-{size}")
@@ -100,7 +103,11 @@ impl Spidergon {
         for node in 0..size {
             let n = fabric.add_node();
             fabric.add_port(n, Direction::In, true, capacity, format!("({node}) L in"));
-            info.push(SpidergonPortInfo { node, kind: SpidergonPortKind::Local, dir: Direction::In });
+            info.push(SpidergonPortInfo {
+                node,
+                kind: SpidergonPortKind::Local,
+                dir: Direction::In,
+            });
             fabric.add_port(n, Direction::Out, true, capacity, format!("({node}) L out"));
             info.push(SpidergonPortInfo {
                 node,
@@ -141,9 +148,18 @@ impl Spidergon {
             }
             ring_lookup.push(per_dir);
             let ain = fabric.add_port(n, Direction::In, false, capacity, format!("({node}) A in"));
-            info.push(SpidergonPortInfo { node, kind: SpidergonPortKind::Across, dir: Direction::In });
-            let aout =
-                fabric.add_port(n, Direction::Out, false, capacity, format!("({node}) A out"));
+            info.push(SpidergonPortInfo {
+                node,
+                kind: SpidergonPortKind::Across,
+                dir: Direction::In,
+            });
+            let aout = fabric.add_port(
+                n,
+                Direction::Out,
+                false,
+                capacity,
+                format!("({node}) A out"),
+            );
             info.push(SpidergonPortInfo {
                 node,
                 kind: SpidergonPortKind::Across,
@@ -152,6 +168,7 @@ impl Spidergon {
             across_lookup.push([ain, aout]);
         }
         for node in 0..size {
+            #[allow(clippy::needless_range_loop)] // `vc` pairs entries across nodes
             for vc in 0..vcs {
                 let cw_out = ring_lookup[node][0][vc][1];
                 let cw_in = ring_lookup[(node + 1) % size][0][vc][0];
@@ -164,7 +181,14 @@ impl Spidergon {
             let a_in = across_lookup[(node + size / 2) % size][0];
             fabric.connect(a_out, a_in);
         }
-        Spidergon { fabric: fabric.build(), size, vcs, ring_lookup, across_lookup, info }
+        Spidergon {
+            fabric: fabric.build(),
+            size,
+            vcs,
+            ring_lookup,
+            across_lookup,
+            info,
+        }
     }
 
     /// Number of nodes.

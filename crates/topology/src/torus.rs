@@ -74,7 +74,10 @@ impl Torus {
     /// Panics if a dimension is smaller than 2, `vcs == 0`, or the capacity
     /// is zero.
     pub fn with_vcs(width: usize, height: usize, vcs: usize, capacity: u32) -> Self {
-        assert!(width >= 2 && height >= 2, "torus dimensions must be at least 2");
+        assert!(
+            width >= 2 && height >= 2,
+            "torus dimensions must be at least 2"
+        );
         assert!(vcs >= 1, "at least one virtual channel");
         let name = if vcs == 1 {
             format!("torus-{width}x{height}")
@@ -83,8 +86,7 @@ impl Torus {
         };
         let mut fabric = Fabric::builder(name);
         let node_count = width * height;
-        let mut lookup =
-            vec![vec![vec![[None; 2]; vcs]; Cardinal::ALL.len()]; node_count];
+        let mut lookup = vec![vec![vec![[None; 2]; vcs]; Cardinal::ALL.len()]; node_count];
         let mut info = Vec::new();
 
         for y in 0..height {
@@ -94,6 +96,7 @@ impl Torus {
                 for card in Cardinal::ALL {
                     let local = card == Cardinal::Local;
                     let channel_count = if local { 1 } else { vcs };
+                    #[allow(clippy::needless_range_loop)] // `vc` pairs entries across nodes
                     for vc in 0..channel_count {
                         for dir in [Direction::In, Direction::Out] {
                             let dir_name = if dir == Direction::In { "in" } else { "out" };
@@ -105,7 +108,13 @@ impl Torus {
                             let id = fabric.add_port(n, dir, local, capacity, label);
                             lookup[node][card_index(card)][vc]
                                 [if dir == Direction::In { 0 } else { 1 }] = Some(id);
-                            info.push(TorusPortInfo { x, y, card, vc, dir });
+                            info.push(TorusPortInfo {
+                                x,
+                                y,
+                                card,
+                                vc,
+                                dir,
+                            });
                         }
                     }
                 }
@@ -115,11 +124,20 @@ impl Torus {
         let at = |x: usize, y: usize| y * width + x;
         for y in 0..height {
             for x in 0..width {
+                #[allow(clippy::needless_range_loop)] // `vc` pairs entries across nodes
                 for vc in 0..vcs {
                     let pairs = [
                         (Cardinal::East, at((x + 1) % width, y), Cardinal::West),
-                        (Cardinal::West, at((x + width - 1) % width, y), Cardinal::East),
-                        (Cardinal::North, at(x, (y + height - 1) % height), Cardinal::South),
+                        (
+                            Cardinal::West,
+                            at((x + width - 1) % width, y),
+                            Cardinal::East,
+                        ),
+                        (
+                            Cardinal::North,
+                            at(x, (y + height - 1) % height),
+                            Cardinal::South,
+                        ),
                         (Cardinal::South, at(x, (y + 1) % height), Cardinal::North),
                     ];
                     for (card, neighbor, facing) in pairs {
@@ -131,7 +149,14 @@ impl Torus {
             }
         }
 
-        Torus { fabric: fabric.build(), width, height, vcs, lookup, info }
+        Torus {
+            fabric: fabric.build(),
+            width,
+            height,
+            vcs,
+            lookup,
+            info,
+        }
     }
 
     /// Number of columns.
@@ -155,7 +180,10 @@ impl Torus {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node(&self, x: usize, y: usize) -> NodeId {
-        assert!(x < self.width && y < self.height, "torus coordinates out of range");
+        assert!(
+            x < self.width && y < self.height,
+            "torus coordinates out of range"
+        );
         NodeId::from_index(y * self.width + x)
     }
 
@@ -266,7 +294,12 @@ mod tests {
         let t = Torus::new(2, 2, 1);
         for y in 0..2 {
             for x in 0..2 {
-                for c in [Cardinal::East, Cardinal::West, Cardinal::North, Cardinal::South] {
+                for c in [
+                    Cardinal::East,
+                    Cardinal::West,
+                    Cardinal::North,
+                    Cardinal::South,
+                ] {
                     assert!(t.port(x, y, c, 0, Direction::In).is_some());
                     assert!(t.port(x, y, c, 0, Direction::Out).is_some());
                 }

@@ -122,7 +122,12 @@ pub fn effort_table(width: usize, height: usize, capacity: u32) -> Vec<EffortRow
     });
 
     let start = Instant::now();
-    let hunt = HuntOptions { attempts: 8, messages: 12, flits: 3, ..HuntOptions::default() };
+    let hunt = HuntOptions {
+        attempts: 8,
+        messages: 12,
+        flits: 3,
+        ..HuntOptions::default()
+    };
     let t1 = check_theorem1(&instance, &hunt);
     let (t1_cases, t1_holds) = match &t1 {
         Ok(r) => (hunt.attempts, r.holds()),
@@ -173,7 +178,11 @@ pub fn render_effort_table(rows: &[EffortRow]) -> String {
             row.component.clone(),
             row.cases.to_string(),
             format!("{:.2?}", row.elapsed),
-            if row.holds { "ok".into() } else { "FAIL".to_string() },
+            if row.holds {
+                "ok".into()
+            } else {
+                "FAIL".to_string()
+            },
             paper_cell.to_string(),
         ]);
     }

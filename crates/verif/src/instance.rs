@@ -13,8 +13,8 @@ use genoc_depgraph::graph::DiGraph;
 use genoc_depgraph::ranking::xy_mesh_ranking;
 use genoc_routing::{
     AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
-    RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
-    TurnModel, TurnModelRouting, XyRouting, YxRouting,
+    RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting, TurnModel,
+    TurnModelRouting, XyRouting, YxRouting,
 };
 use genoc_topology::{Mesh, Ring, Spidergon, Torus};
 

@@ -31,7 +31,10 @@ pub fn check_c1(instance: &Instance) -> ObligationReport {
     let start = Instant::now();
     let net = instance.net.as_ref();
     let analysis = RoutingAnalysis::new(net, instance.routing.as_ref());
-    let candidate = instance.closed_form.clone().unwrap_or_else(|| analysis.graph.clone());
+    let candidate = instance
+        .closed_form
+        .clone()
+        .unwrap_or_else(|| analysis.graph.clone());
     let mut cases = 0u64;
     let mut violations = Vec::new();
     let mut hops = Vec::with_capacity(4);
@@ -71,7 +74,10 @@ pub fn check_c2(instance: &Instance) -> ObligationReport {
     let start = Instant::now();
     let net = instance.net.as_ref();
     let analysis = RoutingAnalysis::new(net, instance.routing.as_ref());
-    let candidate = instance.closed_form.clone().unwrap_or_else(|| analysis.graph.clone());
+    let candidate = instance
+        .closed_form
+        .clone()
+        .unwrap_or_else(|| analysis.graph.clone());
     let mut cases = 0u64;
     let mut violations = Vec::new();
     let mut hops = Vec::with_capacity(4);
@@ -121,7 +127,11 @@ pub fn check_c3(instance: &Instance) -> ObligationReport {
     }
     if let Some(cycle) = &dfs_cycle {
         let labels: Vec<String> = cycle.iter().map(|&p| net.port_label(p)).collect();
-        violations.push(format!("cycle of {} ports: {}", cycle.len(), labels.join(" -> ")));
+        violations.push(format!(
+            "cycle of {} ports: {}",
+            cycle.len(),
+            labels.join(" -> ")
+        ));
     }
     if let Some(rank) = &instance.ranking {
         match verify_ranking(graph, rank) {
@@ -216,8 +226,7 @@ pub fn check_c5(instance: &Instance) -> ObligationReport {
                         cases += 1;
                         cfg.drain_arrived();
                         if report.moves() == 0 {
-                            violations
-                                .push(format!("step {steps}: no flit moved although ¬Ω"));
+                            violations.push(format!("step {steps}: no flit moved although ¬Ω"));
                             break;
                         }
                         let progress_after = cfg.progress_measure();

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -45,7 +45,7 @@ impl Theorem1Report {
         self.witness_deadlock_verified != Some(false)
             && self.extracted_cycle_valid != Some(false)
             // An acyclic graph must not produce a live deadlock.
-            && !(self.cyclic == false && self.live_deadlock_found == Some(true))
+            && (self.cyclic || self.live_deadlock_found != Some(true))
     }
 }
 
@@ -134,7 +134,13 @@ mod tests {
     use super::*;
 
     fn small_hunt() -> HuntOptions {
-        HuntOptions { attempts: 12, messages: 12, flits: 4, max_steps: 20_000, first_seed: 0 }
+        HuntOptions {
+            attempts: 12,
+            messages: 12,
+            flits: 4,
+            max_steps: 20_000,
+            first_seed: 0,
+        }
     }
 
     #[test]
@@ -149,7 +155,12 @@ mod tests {
     fn mixed_mesh_executes_both_directions() {
         let report = check_theorem1(&Instance::mesh_mixed(2, 2, 1), &small_hunt()).unwrap();
         assert!(report.cyclic);
-        assert_eq!(report.witness_deadlock_verified, Some(true), "{:?}", report.notes);
+        assert_eq!(
+            report.witness_deadlock_verified,
+            Some(true),
+            "{:?}",
+            report.notes
+        );
         assert!(report.holds(), "{report:?}");
     }
 
@@ -157,9 +168,19 @@ mod tests {
     fn ring_shortest_deadlocks_live() {
         let report = check_theorem1(&Instance::ring_shortest(6, 1), &small_hunt()).unwrap();
         assert!(report.cyclic);
-        assert_eq!(report.witness_deadlock_verified, Some(true), "{:?}", report.notes);
+        assert_eq!(
+            report.witness_deadlock_verified,
+            Some(true),
+            "{:?}",
+            report.notes
+        );
         if report.live_deadlock_found == Some(true) {
-            assert_eq!(report.extracted_cycle_valid, Some(true), "{:?}", report.notes);
+            assert_eq!(
+                report.extracted_cycle_valid,
+                Some(true),
+                "{:?}",
+                report.notes
+            );
         }
     }
 }

@@ -47,7 +47,10 @@ pub fn check_theorem2(instance: &Instance, specs: &[MessageSpec]) -> Result<Theo
     let net = instance.net.as_ref();
     let routing = instance.routing.as_ref();
     let mut policy = WormholePolicy::default();
-    let options = SimOptions { record_trace: true, ..SimOptions::default() };
+    let options = SimOptions {
+        record_trace: true,
+        ..SimOptions::default()
+    };
     let result = simulate(net, routing, &mut policy, specs, &options)?;
     let mut notes = Vec::new();
 
@@ -102,6 +105,9 @@ mod tests {
         let mesh = genoc_topology::Mesh::new(2, 2, 1);
         let specs = genoc_sim::workload::bit_complement(&mesh, 4);
         let report = check_theorem2(&instance, &specs).unwrap();
-        assert!(!report.evacuated, "the corner storm deadlocks the mixed router");
+        assert!(
+            !report.evacuated,
+            "the corner storm deadlocks the mixed router"
+        );
     }
 }

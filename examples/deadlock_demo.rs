@@ -33,16 +33,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let witness = deadlock_from_cycle(&mesh, &routing, &cycle)?;
     println!("\nwitness destinations per cycle port:");
     for (p, d) in witness.cycle.iter().zip(&witness.destinations) {
-        println!("  {} blocked toward {}", mesh.port_label(*p), mesh.port_label(*d));
+        println!(
+            "  {} blocked toward {}",
+            mesh.port_label(*p),
+            mesh.port_label(*d)
+        );
     }
     assert!(!witness.config.any_move_possible());
     println!("compiled configuration satisfies Ω (no flit can move).");
 
     // (3) Necessity: reach a deadlock live and decompile it.
     let specs = genoc::sim::workload::bit_complement(&mesh, 4);
-    println!("\ndriving the simulator with the four-corner storm ({} messages)...", specs.len());
-    let hunt = hunt_workload(&mesh, &routing, &mut WormholePolicy::default(), &specs, 0, 10_000)?
-        .expect("the corner storm deadlocks the mixed router");
+    println!(
+        "\ndriving the simulator with the four-corner storm ({} messages)...",
+        specs.len()
+    );
+    let hunt = hunt_workload(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        &specs,
+        0,
+        10_000,
+    )?
+    .expect("the corner storm deadlocks the mixed router");
     println!("live deadlock after {} steps.", hunt.steps);
     let extracted = cycle_from_deadlock(&mesh, &hunt.config)?;
     println!("extracted blocked-on cycle:");

@@ -16,7 +16,10 @@ fn main() {
     assert_eq!(closed_form.difference(&exhaustive), vec![]);
     assert_eq!(exhaustive.difference(&closed_form), vec![]);
 
-    println!("{}", to_dot(&mesh, &closed_form, "fig3_port_dependency_graph_2x2"));
+    println!(
+        "{}",
+        to_dot(&mesh, &closed_form, "fig3_port_dependency_graph_2x2")
+    );
 
     eprintln!(
         "// {} ports, {} dependency edges, acyclic = {}",
@@ -26,7 +29,10 @@ fn main() {
     );
     eprintln!("// per-port successors:");
     for p in mesh.ports() {
-        let succ: Vec<String> = closed_form.successors(p).map(|q| mesh.port_label(q)).collect();
+        let succ: Vec<String> = closed_form
+            .successors(p)
+            .map(|q| mesh.port_label(q))
+            .collect();
         eprintln!("//   {:<12} -> {}", mesh.port_label(p), succ.join(", "));
     }
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flits = arg(4, 4).max(1);
     let seed = arg(5, 7) as u64;
 
-    let mesh = Mesh::builder(width, height).capacity(2).local_capacity(4).build();
+    let mesh = Mesh::builder(width, height)
+        .capacity(2)
+        .local_capacity(4)
+        .build();
     let routing = XyRouting::new(&mesh);
     println!("== HERMES {}x{} ==", width, height);
     println!(
@@ -42,13 +45,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let specs = genoc::sim::workload::uniform_random(mesh.node_count(), messages, 1..=flits, seed);
-    println!("\nworkload: {} messages, 1..={} flits, seed {}", specs.len(), flits, seed);
+    println!(
+        "\nworkload: {} messages, 1..={} flits, seed {}",
+        specs.len(),
+        flits,
+        seed
+    );
 
-    let options = SimOptions { record_trace: true, ..SimOptions::default() };
-    let result = simulate(&mesh, &routing, &mut WormholePolicy::default(), &specs, &options)?;
+    let options = SimOptions {
+        record_trace: true,
+        ..SimOptions::default()
+    };
+    let result = simulate(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        &specs,
+        &options,
+    )?;
 
-    println!("\noutcome: {:?} after {} steps", result.run.outcome, result.run.steps);
-    assert!(result.evacuated(), "XY routing is deadlock-free and must evacuate");
+    println!(
+        "\noutcome: {:?} after {} steps",
+        result.run.outcome, result.run.steps
+    );
+    assert!(
+        result.evacuated(),
+        "XY routing is deadlock-free and must evacuate"
+    );
     if let Some(summary) = result.latency_summary() {
         println!(
             "latency (steps): min {}, mean {:.1}, max {} over {} messages",
@@ -56,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let evac = check_evacuation(&result.injected, &result.run);
-    println!("evacuation theorem: {}", if evac.holds { "holds" } else { "VIOLATED" });
+    println!(
+        "evacuation theorem: {}",
+        if evac.holds { "holds" } else { "VIOLATED" }
+    );
     Ok(())
 }

@@ -51,8 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let cfg = Config::from_specs(&mesh, &routing, &specs)?;
     let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
-    let options = RunOptions { record_trace: true, record_measures: true, ..RunOptions::default() };
-    let result = run(&mesh, &IdentityInjection, &mut WormholePolicy::default(), cfg, &options)?;
+    let options = RunOptions {
+        record_trace: true,
+        record_measures: true,
+        ..RunOptions::default()
+    };
+    let result = run(
+        &mesh,
+        &IdentityInjection,
+        &mut WormholePolicy::default(),
+        cfg,
+        &options,
+    )?;
 
     println!(
         "\nEvacThm: {} messages evacuated in {} steps (outcome {:?})",
@@ -65,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let corr = check_correctness(&mesh, &routing, &specs, &result);
     assert!(corr.holds());
-    println!("CorrThm: all {} trajectories validated", corr.messages_checked);
+    println!(
+        "CorrThm: all {} trajectories validated",
+        corr.messages_checked
+    );
 
     // The termination measures along the run.
     println!("\nmeasure trace (mu_xy, progress):");

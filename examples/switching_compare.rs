@@ -15,9 +15,14 @@ fn steps(
     policy: &mut dyn SwitchingPolicy,
     specs: &[MessageSpec],
 ) -> u64 {
-    let result = simulate(mesh, routing, policy, specs, &SimOptions::default())
-        .expect("simulation error");
-    assert!(result.evacuated(), "{}: {:?}", policy.name(), result.run.outcome);
+    let result =
+        simulate(mesh, routing, policy, specs, &SimOptions::default()).expect("simulation error");
+    assert!(
+        result.evacuated(),
+        "{}: {:?}",
+        policy.name(),
+        result.run.outcome
+    );
     result.run.steps
 }
 
@@ -31,8 +36,14 @@ fn main() {
     for flits in [2usize, 4, 8] {
         let workloads: Vec<(&str, Vec<MessageSpec>)> = vec![
             ("transpose", genoc::sim::workload::transpose(&mesh, flits)),
-            ("bit-complement", genoc::sim::workload::bit_complement(&mesh, flits)),
-            ("uniform-32", genoc::sim::workload::uniform_random(16, 32, flits..=flits, 7)),
+            (
+                "bit-complement",
+                genoc::sim::workload::bit_complement(&mesh, flits),
+            ),
+            (
+                "uniform-32",
+                genoc::sim::workload::uniform_random(16, 32, flits..=flits, 7),
+            ),
         ];
         for (name, specs) in workloads {
             let wh = steps(&mesh, &routing, &mut WormholePolicy::default(), &specs);

@@ -25,15 +25,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("FAIL ({})", r.violations.len())
             }
         };
-        table.row([instance.name.clone(), cell(0), cell(1), cell(2), cell(3), cell(4)]);
+        table.row([
+            instance.name.clone(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+            cell(4),
+        ]);
     }
     println!("{table}");
     println!("(C-3 FAIL rows are the deliberately deadlock-prone comparators.)\n");
 
     println!("== Theorem 1 on representative instances ==\n");
-    let hunt = HuntOptions { attempts: 16, messages: 16, flits: 4, ..HuntOptions::default() };
-    let mut t1 =
-        TextTable::new(["Instance", "cyclic", "witness Ω", "live deadlock", "cycle valid"]);
+    let hunt = HuntOptions {
+        attempts: 16,
+        messages: 16,
+        flits: 4,
+        ..HuntOptions::default()
+    };
+    let mut t1 = TextTable::new([
+        "Instance",
+        "cyclic",
+        "witness Ω",
+        "live deadlock",
+        "cycle valid",
+    ]);
     for instance in [
         Instance::mesh_xy(3, 3, 1),
         Instance::mesh_mixed(2, 2, 1),
@@ -50,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         t1.row([
             r.instance.clone(),
-            if r.cyclic { "yes".into() } else { "no".to_string() },
+            if r.cyclic {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             show(r.witness_deadlock_verified),
             show(r.live_deadlock_found),
             show(r.extracted_cycle_valid),

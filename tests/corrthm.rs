@@ -9,8 +9,18 @@ fn traced_sim(
     routing: &dyn RoutingFunction,
     specs: &[MessageSpec],
 ) -> SimResult {
-    let options = SimOptions { record_trace: true, ..SimOptions::default() };
-    simulate(net, routing, &mut WormholePolicy::default(), specs, &options).unwrap()
+    let options = SimOptions {
+        record_trace: true,
+        ..SimOptions::default()
+    };
+    simulate(
+        net,
+        routing,
+        &mut WormholePolicy::default(),
+        specs,
+        &options,
+    )
+    .unwrap()
 }
 
 #[test]

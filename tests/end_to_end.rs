@@ -9,7 +9,11 @@ fn evacuate(
     policy: &mut dyn SwitchingPolicy,
     specs: &[MessageSpec],
 ) -> SimResult {
-    let options = SimOptions { record_trace: true, check_invariants: true, ..SimOptions::default() };
+    let options = SimOptions {
+        record_trace: true,
+        check_invariants: true,
+        ..SimOptions::default()
+    };
     let result = simulate(net, routing, policy, specs, &options).expect("simulation error");
     assert!(
         result.evacuated(),
@@ -92,7 +96,11 @@ fn round_robin_arbitration_matches_fixed_on_arrivals() {
 #[test]
 fn turn_model_graphs_are_acyclic_and_beat_minimal_adaptive() {
     let mesh = Mesh::new(4, 4, 1);
-    for model in [TurnModel::WestFirst, TurnModel::NorthLast, TurnModel::NegativeFirst] {
+    for model in [
+        TurnModel::WestFirst,
+        TurnModel::NorthLast,
+        TurnModel::NegativeFirst,
+    ] {
         let g = port_dependency_graph(&mesh, &TurnModelRouting::new(&mesh, model));
         assert!(find_cycle(&g).is_none(), "{model:?}");
     }

@@ -16,16 +16,10 @@ fn workload_strategy(
     max_messages: usize,
     max_flits: usize,
 ) -> impl Strategy<Value = Vec<MessageSpec>> {
-    vec(
-        (0..nodes, 0..nodes, 1..=max_flits),
-        0..=max_messages,
-    )
-    .prop_map(|triples| {
+    vec((0..nodes, 0..nodes, 1..=max_flits), 0..=max_messages).prop_map(|triples| {
         triples
             .into_iter()
-            .map(|(s, d, f)| {
-                MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f)
-            })
+            .map(|(s, d, f)| MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f))
             .collect()
     })
 }
@@ -43,11 +37,22 @@ fn assert_evacuates(
         record_measures: true,
         ..RunOptions::default()
     };
-    let result = run(net, &IdentityInjection, &mut WormholePolicy::default(), cfg, &options)
-        .map_err(|e| TestCaseError::fail(format!("run: {e}")))?;
+    let result = run(
+        net,
+        &IdentityInjection,
+        &mut WormholePolicy::default(),
+        cfg,
+        &options,
+    )
+    .map_err(|e| TestCaseError::fail(format!("run: {e}")))?;
     prop_assert_eq!(result.outcome, Outcome::Evacuated);
     let evac = check_evacuation(&injected, &result);
-    prop_assert!(evac.holds, "missing {:?}, unexpected {:?}", evac.missing, evac.unexpected);
+    prop_assert!(
+        evac.holds,
+        "missing {:?}, unexpected {:?}",
+        evac.missing,
+        evac.unexpected
+    );
     // mu_xy weakly decreases; the progress measure strictly decreases.
     for w in result.measures.windows(2) {
         prop_assert!(w[1].0 <= w[0].0, "mu_xy increased");

@@ -9,11 +9,7 @@ use genoc_core::injection::ScheduledInjection;
 use genoc_core::interpreter::{run, Outcome, RunOptions};
 use genoc_core::travel::Travel;
 
-fn travels_for(
-    mesh: &Mesh,
-    routing: &XyRouting,
-    specs: &[MessageSpec],
-) -> Vec<Travel> {
+fn travels_for(mesh: &Mesh, routing: &XyRouting, specs: &[MessageSpec]) -> Vec<Travel> {
     specs
         .iter()
         .enumerate()
@@ -28,8 +24,11 @@ fn staggered_injection_evacuates_on_xy_mesh() {
     let specs = genoc::sim::workload::uniform_random(9, 20, 1..=4, 41);
     let travels = travels_for(&mesh, &routing, &specs);
     // Release one message every 3 steps.
-    let schedule: Vec<(u64, Travel)> =
-        travels.into_iter().enumerate().map(|(i, t)| (3 * i as u64, t)).collect();
+    let schedule: Vec<(u64, Travel)> = travels
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (3 * i as u64, t))
+        .collect();
     let injection = ScheduledInjection::new(schedule);
     let cfg = Config::from_specs(&mesh, &routing, &[]).unwrap();
     let result = run(
@@ -37,7 +36,10 @@ fn staggered_injection_evacuates_on_xy_mesh() {
         &injection,
         &mut WormholePolicy::default(),
         cfg,
-        &RunOptions { check_invariants: true, ..RunOptions::default() },
+        &RunOptions {
+            check_invariants: true,
+            ..RunOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(result.outcome, Outcome::Evacuated);
@@ -88,11 +90,11 @@ fn injection_time_is_bounded_on_a_deadlock_free_network() {
     let mesh = Mesh::new(3, 3, 1);
     let routing = XyRouting::new(&mesh);
     // Ten messages all competing for the same source node's injection port.
-    let specs: Vec<MessageSpec> =
-        (0..10).map(|_| MessageSpec::new(mesh.node(0, 0), mesh.node(2, 2), 3)).collect();
+    let specs: Vec<MessageSpec> = (0..10)
+        .map(|_| MessageSpec::new(mesh.node(0, 0), mesh.node(2, 2), 3))
+        .collect();
     let travels = travels_for(&mesh, &routing, &specs);
-    let schedule: Vec<(u64, Travel)> =
-        travels.into_iter().map(|t| (0u64, t)).collect();
+    let schedule: Vec<(u64, Travel)> = travels.into_iter().map(|t| (0u64, t)).collect();
     let injection = ScheduledInjection::new(schedule);
     let cfg = Config::from_specs(&mesh, &routing, &[]).unwrap();
     let result = run(
@@ -129,7 +131,10 @@ fn scheduled_injection_on_cyclic_router_still_deadlocks() {
         &injection,
         &mut WormholePolicy::default(),
         cfg,
-        &RunOptions { max_steps: 10_000, ..RunOptions::default() },
+        &RunOptions {
+            max_steps: 10_000,
+            ..RunOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(result.outcome, Outcome::Deadlock);

@@ -38,8 +38,14 @@ fn lazy_policy_is_reported_as_progress_violation() {
     let routing = XyRouting::new(&mesh);
     let specs = [MessageSpec::new(mesh.node(0, 0), mesh.node(1, 1), 1)];
     let cfg = Config::from_specs(&mesh, &routing, &specs).unwrap();
-    let err = run(&mesh, &IdentityInjection, &mut LazyPolicy, cfg, &RunOptions::default())
-        .unwrap_err();
+    let err = run(
+        &mesh,
+        &IdentityInjection,
+        &mut LazyPolicy,
+        cfg,
+        &RunOptions::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, Error::ProgressViolation { step: 0 }), "{err}");
 }
 

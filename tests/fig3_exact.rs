@@ -10,28 +10,40 @@ use std::collections::BTreeSet;
 fn expected_successors() -> Vec<(&'static str, Vec<&'static str>)> {
     vec![
         // Node (0,0): local, east, south ports.
-        ("(0,0) L in", vec!["(0,0) L out", "(0,0) E out", "(0,0) S out"]),
+        (
+            "(0,0) L in",
+            vec!["(0,0) L out", "(0,0) E out", "(0,0) S out"],
+        ),
         ("(0,0) E in", vec!["(0,0) L out", "(0,0) S out"]),
         ("(0,0) S in", vec!["(0,0) L out"]),
         ("(0,0) E out", vec!["(1,0) W in"]),
         ("(0,0) S out", vec!["(0,1) N in"]),
         ("(0,0) L out", vec![]),
         // Node (1,0): local, west, south ports.
-        ("(1,0) L in", vec!["(1,0) L out", "(1,0) W out", "(1,0) S out"]),
+        (
+            "(1,0) L in",
+            vec!["(1,0) L out", "(1,0) W out", "(1,0) S out"],
+        ),
         ("(1,0) W in", vec!["(1,0) L out", "(1,0) S out"]),
         ("(1,0) S in", vec!["(1,0) L out"]),
         ("(1,0) W out", vec!["(0,0) E in"]),
         ("(1,0) S out", vec!["(1,1) N in"]),
         ("(1,0) L out", vec![]),
         // Node (0,1): local, east, north ports.
-        ("(0,1) L in", vec!["(0,1) L out", "(0,1) E out", "(0,1) N out"]),
+        (
+            "(0,1) L in",
+            vec!["(0,1) L out", "(0,1) E out", "(0,1) N out"],
+        ),
         ("(0,1) E in", vec!["(0,1) L out", "(0,1) N out"]),
         ("(0,1) N in", vec!["(0,1) L out"]),
         ("(0,1) E out", vec!["(1,1) W in"]),
         ("(0,1) N out", vec!["(0,0) S in"]),
         ("(0,1) L out", vec![]),
         // Node (1,1): local, west, north ports.
-        ("(1,1) L in", vec!["(1,1) L out", "(1,1) W out", "(1,1) N out"]),
+        (
+            "(1,1) L in",
+            vec!["(1,1) L out", "(1,1) W out", "(1,1) N out"],
+        ),
         ("(1,1) W in", vec!["(1,1) L out", "(1,1) N out"]),
         ("(1,1) N in", vec!["(1,1) L out"]),
         ("(1,1) W out", vec!["(0,1) E in"]),
@@ -45,7 +57,9 @@ fn successors_by_label(mesh: &Mesh, g: &DiGraph) -> Vec<(String, BTreeSet<String
         .map(|p| {
             (
                 mesh.port_label(p),
-                g.successors(p).map(|q| mesh.port_label(q)).collect::<BTreeSet<_>>(),
+                g.successors(p)
+                    .map(|q| mesh.port_label(q))
+                    .collect::<BTreeSet<_>>(),
             )
         })
         .collect()

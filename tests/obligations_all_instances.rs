@@ -27,7 +27,12 @@ fn obligations_hold_where_expected() {
                     report.violations
                 ),
             }
-            assert!(report.cases > 0, "{}: {} checked nothing", instance.name, report.id);
+            assert!(
+                report.cases > 0,
+                "{}: {} checked nothing",
+                instance.name,
+                report.id
+            );
         }
     }
 }
@@ -51,7 +56,10 @@ fn ranking_certificates_scale_to_larger_meshes() {
     for (w, h) in [(8usize, 8usize), (12, 5), (16, 16)] {
         let mesh = Mesh::new(w, h, 1);
         let g = xy_mesh_dependency_graph(&mesh);
-        assert!(verify_ranking(&g, &xy_mesh_ranking(&mesh)).is_ok(), "{w}x{h}");
+        assert!(
+            verify_ranking(&g, &xy_mesh_ranking(&mesh)).is_ok(),
+            "{w}x{h}"
+        );
         assert!(find_cycle(&g).is_none(), "{w}x{h}");
     }
 }
@@ -64,7 +72,10 @@ fn flow_escape_lemmas_hold_on_xy_and_fail_on_mixed() {
         assert!(check_flow_escapes(&mesh, &xy).is_empty(), "{w}x{h} xy");
         if w >= 2 && h >= 2 {
             let mixed = port_dependency_graph(&mesh, &MixedXyYxRouting::new(&mesh));
-            assert!(!check_flow_escapes(&mesh, &mixed).is_empty(), "{w}x{h} mixed");
+            assert!(
+                !check_flow_escapes(&mesh, &mixed).is_empty(),
+                "{w}x{h} mixed"
+            );
         }
     }
 }

@@ -14,7 +14,13 @@ use genoc::depgraph::build::RoutingAnalysis;
 use genoc::prelude::*;
 
 fn hunt_options() -> HuntOptions {
-    HuntOptions { attempts: 10, messages: 14, flits: 4, max_steps: 30_000, first_seed: 0 }
+    HuntOptions {
+        attempts: 10,
+        messages: 14,
+        flits: 4,
+        max_steps: 30_000,
+        first_seed: 0,
+    }
 }
 
 #[test]
@@ -101,9 +107,16 @@ fn necessity_live_deadlocks_decompile_into_cycles() {
         let net = instance.net.as_ref();
         let routing = instance.routing.as_ref();
         let g = port_dependency_graph(net, routing);
-        let hunt = hunt_workload(net, routing, &mut WormholePolicy::default(), &specs, 0, 50_000)
-            .unwrap()
-            .unwrap_or_else(|| panic!("{}: adversarial workload did not deadlock", instance.name));
+        let hunt = hunt_workload(
+            net,
+            routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            0,
+            50_000,
+        )
+        .unwrap()
+        .unwrap_or_else(|| panic!("{}: adversarial workload did not deadlock", instance.name));
         let cycle = cycle_from_deadlock(net, &hunt.config)
             .unwrap_or_else(|e| panic!("{}: extraction failed: {e}", instance.name));
         assert!(
@@ -156,7 +169,10 @@ fn adaptive_deadlocks_decompile_into_adaptive_cycles() {
             &IdentityInjection,
             &mut WormholePolicy::default(),
             cfg,
-            &genoc_core::interpreter::RunOptions { max_steps: 10_000, ..Default::default() },
+            &genoc_core::interpreter::RunOptions {
+                max_steps: 10_000,
+                ..Default::default()
+            },
         )
         .unwrap();
         if r.outcome == genoc_core::interpreter::Outcome::Deadlock {

@@ -38,7 +38,10 @@ fn ring_ablation() {
         &options,
     )
     .unwrap();
-    assert!(vc_result.evacuated(), "dateline ring evacuates the same workload");
+    assert!(
+        vc_result.evacuated(),
+        "dateline ring evacuates the same workload"
+    );
 }
 
 #[test]
@@ -54,7 +57,11 @@ fn torus_ablation() {
     let specs: Vec<MessageSpec> = (0..16)
         .map(|i| {
             let (x, y) = (i % 4, i / 4);
-            MessageSpec::new(NodeId::from_index(i), NodeId::from_index(y * 4 + (x + 2) % 4), 4)
+            MessageSpec::new(
+                NodeId::from_index(i),
+                NodeId::from_index(y * 4 + (x + 2) % 4),
+                4,
+            )
         })
         .collect();
     let plain_hunt = hunt_workload(
@@ -66,7 +73,10 @@ fn torus_ablation() {
         50_000,
     )
     .unwrap();
-    assert!(plain_hunt.is_some(), "row pressure deadlocks the plain torus");
+    assert!(
+        plain_hunt.is_some(),
+        "row pressure deadlocks the plain torus"
+    );
 
     let vc_result = simulate(
         &vc,
