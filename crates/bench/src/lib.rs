@@ -11,7 +11,9 @@
 //! * `evacuation` — Theorem 2 (GeNoC runs to evacuation);
 //! * `switching_compare` — wormhole vs cut-through vs store-and-forward;
 //! * `vc_ablation` — dateline virtual channels on ring/torus;
-//! * `discharge_strategies` — DFS vs SCC vs ranking for (C-3).
+//! * `discharge_strategies` — DFS vs SCC vs ranking for (C-3);
+//! * `detect_overhead` — online-detection overhead on clean runs and
+//!   time-to-detect/recover on the mixed XY/YX negative instance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,7 @@
 //! policies differ only in *which* admissible moves they perform per step.
 
 use crate::error::{Error, Result};
-use crate::ids::MsgId;
+use crate::ids::{MsgId, PortId};
 use crate::network::Network;
 use crate::routing::RoutingFunction;
 use crate::spec::MessageSpec;
@@ -137,6 +137,62 @@ impl Config {
         }
         self.travels.push(travel);
         Ok(())
+    }
+
+    /// Removes an in-flight travel from `T`, returning its flits' buffers and
+    /// its owned ports to the network. The aborted message is simply gone —
+    /// the recovery analogue of dropping a packet.
+    ///
+    /// This is the primitive behind abort-based deadlock recovery: evicting
+    /// one member of a wait-for cycle frees the port its predecessor is
+    /// blocked on, and the remaining messages drain (Theorem 2 applies to the
+    /// survivor configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTravel`] if `id` is not in flight, and
+    /// propagates state bookkeeping violations (which indicate a bug).
+    pub fn remove_travel(&mut self, id: MsgId) -> Result<Travel> {
+        let i = self
+            .travels
+            .iter()
+            .position(|t| t.id() == id)
+            .ok_or(Error::UnknownTravel(id))?;
+        let t = self.travels.remove(i);
+        for pos in t.flit_positions() {
+            if let FlitPos::InNetwork(j) = pos {
+                self.state.leave(t.route()[j], id, false)?;
+            }
+        }
+        if let Some((lo, hi)) = t.owned_route_range() {
+            for j in lo..=hi {
+                self.state.release(t.route()[j], id)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Reroutes an in-flight travel onto a new route that preserves its
+    /// claimed prefix (see [`Travel::reroute`]). Ownership never extends
+    /// beyond the head, so the network state is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTravel`] if `id` is not in flight and
+    /// propagates [`Travel::reroute`] validation failures (in which case the
+    /// configuration is unchanged).
+    pub fn reroute_travel(
+        &mut self,
+        net: &dyn Network,
+        id: MsgId,
+        new_route: Vec<PortId>,
+    ) -> Result<()> {
+        let i = self
+            .travels
+            .iter()
+            .position(|t| t.id() == id)
+            .ok_or(Error::UnknownTravel(id))?;
+        self.travels[i].reroute(net, new_route)
     }
 
     /// The arrived travel list `A`.

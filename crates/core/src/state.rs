@@ -199,6 +199,35 @@ impl NetworkState {
         }
     }
 
+    /// Releases ownership of `p` held by `m` without a flit leaving.
+    ///
+    /// Used when a travel is evicted from the network (deadlock recovery):
+    /// after its resident flits have left, the ports it still owns are
+    /// released in one sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the port is not owned by `m` or still
+    /// holds flits.
+    pub fn release(&mut self, p: PortId, m: MsgId) -> Result<()> {
+        let ps = &mut self.ports[p.index()];
+        match ps.owner {
+            Some(owner) if owner == m => {
+                if ps.occupied > 0 {
+                    return Err(Error::Invariant(format!(
+                        "releasing port {p} of {m} while {} flits remain",
+                        ps.occupied
+                    )));
+                }
+                ps.owner = None;
+                Ok(())
+            }
+            other => Err(Error::Invariant(format!(
+                "port {p} released by {m} but owned by {other:?}"
+            ))),
+        }
+    }
+
     /// The set of unavailable ports — the witness set `P` of the necessity
     /// direction of the deadlock theorem.
     pub fn unavailable_ports(&self) -> Vec<PortId> {

@@ -306,6 +306,60 @@ impl Travel {
         Some((tail_pos, head_extent))
     }
 
+    /// Replaces the not-yet-claimed suffix of the route, keeping everything
+    /// the worm has already claimed.
+    ///
+    /// This is the primitive behind escape-channel deadlock recovery: a
+    /// blocked travel keeps the route prefix its flits occupy and own (up to
+    /// and including the head's port) and continues along a new suffix —
+    /// typically through a reserved escape virtual channel. Since ownership
+    /// under wormhole semantics never extends beyond the head, no network
+    /// state changes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if the head has already been delivered,
+    /// if `new_route` does not preserve the claimed prefix (`route[0]` for a
+    /// pending head, `route[0..=k]` for a head at index `k`), does not end at
+    /// the original destination's local out-port (recovery re-routes *how* a
+    /// message travels, never *where* it is delivered), or visits a port
+    /// twice.
+    pub fn reroute(&mut self, net: &dyn Network, new_route: Vec<PortId>) -> Result<()> {
+        let keep = match self.flits[0] {
+            FlitPos::Pending => 1,
+            FlitPos::InNetwork(k) => k + 1,
+            FlitPos::Delivered => {
+                return Err(Error::InvalidSpec(format!(
+                    "travel {}: cannot reroute a delivered header",
+                    self.id
+                )))
+            }
+        };
+        if new_route.len() < keep || new_route[..keep] != self.route[..keep] {
+            return Err(Error::InvalidSpec(format!(
+                "travel {}: reroute must preserve the claimed prefix of {} ports",
+                self.id, keep
+            )));
+        }
+        let last = *new_route.last().expect("prefix is non-empty");
+        if !net.attrs(last).is_local_out() || net.attrs(last).node != self.dest_node {
+            return Err(Error::InvalidSpec(format!(
+                "travel {}: rerouted route must end at the destination's local out-port",
+                self.id
+            )));
+        }
+        for (i, p) in new_route.iter().enumerate() {
+            if new_route[..i].contains(p) {
+                return Err(Error::InvalidSpec(format!(
+                    "travel {}: rerouted route visits {p} twice",
+                    self.id
+                )));
+            }
+        }
+        self.route = new_route;
+        Ok(())
+    }
+
     /// Sets flit `i` to `pos`.
     ///
     /// This is a low-level mutator used by switching policies via
@@ -444,6 +498,26 @@ mod tests {
         assert_eq!(t.owned_route_range(), Some((1, last)));
         t.set_flit_pos(1, FlitPos::Delivered);
         assert_eq!(t.owned_route_range(), None);
+    }
+
+    #[test]
+    fn reroute_preserves_prefix_and_destination() {
+        let (net, mut t) = travel(2);
+        t.set_flit_pos(0, FlitPos::InNetwork(1));
+        t.set_flit_pos(1, FlitPos::InNetwork(0));
+        // Identity reroute is valid.
+        t.reroute(&net, t.route().to_vec()).unwrap();
+        // A route ending at another node's local out-port is rejected: the
+        // destination is part of the message contract.
+        let mut wrong_dest = t.route().to_vec();
+        *wrong_dest.last_mut().unwrap() = net.local_out(NodeId::from_index(1));
+        assert!(t.reroute(&net, wrong_dest).is_err());
+        // A route that does not preserve the claimed prefix is rejected.
+        assert!(t.reroute(&net, t.route()[..1].to_vec()).is_err());
+        // A delivered head cannot be rerouted.
+        let (net, mut done) = travel(1);
+        done.set_flit_pos(0, FlitPos::Delivered);
+        assert!(done.reroute(&net, done.route().to_vec()).is_err());
     }
 
     #[test]

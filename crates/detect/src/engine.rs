@@ -1,0 +1,376 @@
+//! The detection engine: detectors + recovery policy behind the runner hook.
+//!
+//! [`DetectionEngine`] implements [`genoc_sim::DetectorHook`], so plugging
+//! online detection (and optionally recovery) into a simulation is one call:
+//!
+//! ```
+//! use genoc_detect::{DetectionEngine, EngineOptions, AbortAndEvacuate};
+//! use genoc_routing::mixed::MixedXyYxRouting;
+//! use genoc_sim::{simulate_hooked, workload, SimOptions};
+//! use genoc_switching::wormhole::WormholePolicy;
+//! use genoc_topology::mesh::Mesh;
+//!
+//! # fn main() -> Result<(), genoc_core::Error> {
+//! let mesh = Mesh::new(2, 2, 1);
+//! let routing = MixedXyYxRouting::new(&mesh);
+//! let specs = workload::bit_complement(&mesh, 4); // deadlocks undetected
+//! let mut engine =
+//!     DetectionEngine::with_policy(EngineOptions::default(), Box::new(AbortAndEvacuate));
+//! let result = simulate_hooked(
+//!     &mesh,
+//!     &routing,
+//!     &mut WormholePolicy::default(),
+//!     &specs,
+//!     &SimOptions::default(),
+//!     &mut engine,
+//! )?;
+//! assert!(result.evacuated(), "recovery saves the run");
+//! let summary = engine.summary(&result);
+//! assert_eq!(summary.aborted.len(), 1, "at the price of one message");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+
+use genoc_core::blocking::{find_wait_cycle, WaitCycle};
+use genoc_core::config::Config;
+use genoc_core::error::{Error, Result};
+use genoc_core::network::Network;
+use genoc_core::travel::Travel;
+use genoc_sim::runner::DetectorHook;
+use genoc_sim::stats::RecoverySummary;
+use genoc_sim::SimResult;
+
+use crate::exact::ExactDetector;
+use crate::recovery::RecoveryPolicy;
+use crate::timeout::{TimeoutDetector, DEFAULT_THRESHOLD};
+
+/// Which detectors the engine runs and how hard it may try to recover.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Run the exact wait-for detector (drives recovery when a policy is
+    /// installed).
+    pub exact: bool,
+    /// Run the timeout heuristic with this stall threshold as a comparator
+    /// (`None` disables it).
+    pub heuristic_threshold: Option<u64>,
+    /// Give up (and let the run end as a deadlock) after this many recovery
+    /// invocations — the safety valve against recovery that never converges.
+    pub max_recoveries: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            exact: true,
+            heuristic_threshold: Some(DEFAULT_THRESHOLD),
+            max_recoveries: 1024,
+        }
+    }
+}
+
+/// One detection: when it happened and the cycle that was caught.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Switching step after which the cycle was observed.
+    pub step: u64,
+    /// The detected wait-for cycle.
+    pub cycle: WaitCycle,
+}
+
+/// Online deadlock detection (and optional recovery) as a runner hook.
+pub struct DetectionEngine {
+    options: EngineOptions,
+    exact: Option<ExactDetector>,
+    heuristic: Option<TimeoutDetector>,
+    policy: Option<Box<dyn RecoveryPolicy>>,
+    staged: VecDeque<Travel>,
+    detections: Vec<Detection>,
+    stats: RecoverySummary,
+}
+
+impl std::fmt::Debug for DetectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionEngine")
+            .field("options", &self.options)
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .field("detections", &self.detections.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DetectionEngine {
+    /// A detect-only engine: observes and records, never intervenes.
+    pub fn detector(options: EngineOptions) -> Self {
+        DetectionEngine {
+            exact: options.exact.then(ExactDetector::new),
+            heuristic: options.heuristic_threshold.map(TimeoutDetector::new),
+            options,
+            policy: None,
+            staged: VecDeque::new(),
+            detections: Vec::new(),
+            stats: RecoverySummary::default(),
+        }
+    }
+
+    /// An engine that recovers through `policy` whenever the exact detector
+    /// reports a cycle.
+    pub fn with_policy(options: EngineOptions, policy: Box<dyn RecoveryPolicy>) -> Self {
+        let mut engine = DetectionEngine::detector(EngineOptions {
+            // Recovery needs the exact detector's cycles.
+            exact: true,
+            ..options
+        });
+        engine.policy = Some(policy);
+        engine
+    }
+
+    /// Every detection so far, in order.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Whether any deadlock was detected.
+    pub fn fired(&self) -> bool {
+        !self.detections.is_empty()
+    }
+
+    /// The run statistics, completed with the result's delivery counts.
+    pub fn summary(&self, result: &SimResult) -> RecoverySummary {
+        let mut s = self.stats.clone();
+        s.delivered = result.run.config.arrived().len() as u64;
+        s.total_steps = result.run.steps;
+        s
+    }
+
+    fn record_detection(&mut self, step: u64, cycle: WaitCycle) {
+        self.stats.exact_detections += 1;
+        self.stats.first_exact_step.get_or_insert(step);
+        self.detections.push(Detection { step, cycle });
+    }
+
+    /// Applies the recovery policy to `cycle`, then keeps re-checking for
+    /// further cycles (several independent ones can coexist) until none
+    /// remains or the recovery budget runs out. Returns whether anything was
+    /// recovered.
+    fn recover(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        step: u64,
+        cycle: WaitCycle,
+    ) -> Result<bool> {
+        let Some(mut policy) = self.policy.take() else {
+            return Ok(false);
+        };
+        let result = self.recover_with(net, cfg, step, cycle, policy.as_mut());
+        self.policy = Some(policy);
+        result
+    }
+
+    fn recover_with(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        step: u64,
+        mut cycle: WaitCycle,
+        policy: &mut dyn RecoveryPolicy,
+    ) -> Result<bool> {
+        let mut acted = false;
+        loop {
+            if self.stats.recoveries >= self.options.max_recoveries {
+                return Ok(acted);
+            }
+            self.stats.recoveries += 1;
+            let outcome = policy.recover(net, cfg, &cycle)?;
+            if !outcome.acted() {
+                return Err(Error::Invariant(format!(
+                    "recovery policy {} did not act on a detected cycle",
+                    policy.name()
+                )));
+            }
+            acted = true;
+            self.stats.aborted.extend(outcome.aborted);
+            self.stats.rerouted.extend(outcome.rerouted);
+            if outcome.restarted {
+                self.stats.restarts += 1;
+                self.staged.extend(outcome.staged);
+                // The configuration was rebuilt wholesale; stale detector
+                // state would mis-diff against it.
+                if let Some(d) = self.exact.as_mut() {
+                    d.reset();
+                }
+                if let Some(h) = self.heuristic.as_mut() {
+                    h.reset();
+                }
+            }
+            match find_wait_cycle(cfg) {
+                Some(next) => {
+                    self.record_detection(step, next.clone());
+                    cycle = next;
+                }
+                None => return Ok(true),
+            }
+        }
+    }
+
+    /// Runs the detectors on the configuration as it stands after `step`,
+    /// applying recovery to any exact detection. The heuristic observes (and
+    /// a first alarm is classified as true/false) *before* recovery mutates
+    /// the configuration, so an alarm on a cycle the exact detector is about
+    /// to repair still counts as genuine.
+    fn handle(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
+        if let Some(heuristic) = self.heuristic.as_mut() {
+            let suspects = heuristic.observe(cfg);
+            if !suspects.is_empty() && self.stats.first_heuristic_step.is_none() {
+                self.stats.first_heuristic_step = Some(step);
+                if find_wait_cycle(cfg).is_none() {
+                    self.stats.heuristic_false_alarms += 1;
+                }
+            }
+        }
+        if let Some(detector) = self.exact.as_mut() {
+            if let Some(cycle) = detector.observe(cfg) {
+                self.record_detection(step, cycle.clone());
+                self.recover(net, cfg, step, cycle)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DetectorHook for DetectionEngine {
+    fn after_step(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
+        self.handle(net, cfg, step)
+    }
+
+    fn on_deadlock(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<bool> {
+        // The global predicate Ω can hold before any step ran (hand-built
+        // configurations) or for blockages the per-step detector recovered
+        // only partially; record the cycle if it is new, then recover.
+        if let Some(cycle) = find_wait_cycle(cfg) {
+            let known = self
+                .detections
+                .last()
+                .is_some_and(|d| d.cycle.msgs == cycle.msgs);
+            if !known {
+                self.record_detection(step, cycle.clone());
+            }
+            self.recover(net, cfg, step, cycle)
+        } else {
+            // Deadlocked without a wormhole wait-for cycle (e.g. stricter
+            // admission rules): nothing this engine can do.
+            Ok(false)
+        }
+    }
+
+    fn on_drained(&mut self, _net: &dyn Network, cfg: &mut Config, _step: u64) -> Result<bool> {
+        // Serialized re-injection after a drain-and-restart: one travel at a
+        // time, so the replay cannot re-create the deadlock.
+        match self.staged.pop_front() {
+            Some(travel) => {
+                cfg.push_travel(travel)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{AbortAndEvacuate, DrainAll};
+    use genoc_core::interpreter::Outcome;
+    use genoc_routing::mixed::MixedXyYxRouting;
+    use genoc_sim::workload::bit_complement;
+    use genoc_sim::{simulate, simulate_hooked, SimOptions};
+    use genoc_switching::wormhole::WormholePolicy;
+    use genoc_topology::mesh::Mesh;
+
+    fn storm() -> (Mesh, MixedXyYxRouting, Vec<genoc_core::spec::MessageSpec>) {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        (mesh, routing, specs)
+    }
+
+    #[test]
+    fn undetected_run_deadlocks_but_abort_recovery_evacuates() {
+        let (mesh, routing, specs) = storm();
+        let undetected = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(undetected.run.outcome, Outcome::Deadlock);
+
+        let mut engine =
+            DetectionEngine::with_policy(EngineOptions::default(), Box::new(AbortAndEvacuate));
+        let recovered = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(recovered.run.outcome, Outcome::Evacuated);
+        let summary = engine.summary(&recovered);
+        assert_eq!(summary.exact_detections as usize, engine.detections().len());
+        assert!(summary.first_exact_step.is_some());
+        assert_eq!(
+            summary.delivered as usize + summary.aborted.len(),
+            specs.len(),
+            "every message either arrived or was deliberately aborted"
+        );
+        assert!(summary.throughput() > 0.0);
+    }
+
+    #[test]
+    fn drain_all_delivers_every_message() {
+        let (mesh, routing, specs) = storm();
+        let mut engine = DetectionEngine::with_policy(EngineOptions::default(), Box::new(DrainAll));
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Evacuated);
+        let summary = engine.summary(&result);
+        assert_eq!(summary.delivered as usize, specs.len(), "nothing is lost");
+        assert!(summary.restarts >= 1);
+        assert!(summary.aborted.is_empty());
+    }
+
+    #[test]
+    fn detect_only_engine_observes_without_intervening() {
+        let (mesh, routing, specs) = storm();
+        let mut engine = DetectionEngine::detector(EngineOptions::default());
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Deadlock);
+        assert!(engine.fired());
+        let first = engine.detections()[0].step;
+        assert!(
+            first <= result.run.steps,
+            "online detection cannot be later than Ω"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Escape routes: reserved resources blocked travels can be re-routed onto.
+//!
+//! The escape-channel recovery of `remote-control`-style schemes reserves a
+//! virtual channel that normal traffic never routes through; when a deadlock
+//! is detected, cycle members are diverted onto it. This module defines the
+//! topology-facing trait and the ring instance: on a [`Ring`] built with two
+//! or more virtual channels whose router keeps to channel 0 (e.g. plain
+//! shortest-path routing), the highest channel is free by construction and
+//! serves as the escape.
+
+use genoc_core::network::{Direction, Network};
+use genoc_core::travel::Travel;
+use genoc_core::{NodeId, PortId};
+use genoc_topology::ring::{Ring, RingDir, RingPortKind};
+
+/// A provider of escape routes on topologies that expose reserved escape
+/// resources (typically a virtual channel normal traffic never uses).
+pub trait EscapeRoute {
+    /// Short display name, e.g. `"ring-escape-vc"`.
+    fn name(&self) -> String;
+
+    /// A full replacement route for the blocked `travel`: its current
+    /// claimed prefix followed by a continuation through the escape
+    /// resources to its destination. `None` when no escape exists from the
+    /// travel's current position.
+    fn escape_route(&self, net: &dyn Network, travel: &Travel) -> Option<Vec<PortId>>;
+}
+
+/// Escape provider for a multi-VC [`Ring`]: diverts blocked travels onto the
+/// highest virtual channel, circulating clockwise to the destination.
+///
+/// Clockwise-only circulation trades latency for simplicity: the escape path
+/// from any node to any other is unique and never revisits an escape port,
+/// so a diverted worm can always be expressed as a valid (duplicate-free)
+/// route.
+#[derive(Clone, Debug)]
+pub struct RingEscape {
+    ring: Ring,
+    vc: usize,
+}
+
+impl RingEscape {
+    /// Builds the escape provider for a ring instance, reserving its highest
+    /// virtual channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring has fewer than two virtual channels (nothing to
+    /// reserve).
+    pub fn new(ring: &Ring) -> Self {
+        assert!(
+            ring.vc_count() >= 2,
+            "an escape channel needs at least two virtual channels"
+        );
+        RingEscape {
+            vc: ring.vc_count() - 1,
+            ring: ring.clone(),
+        }
+    }
+
+    /// The reserved virtual-channel index.
+    pub fn vc(&self) -> usize {
+        self.vc
+    }
+
+    /// Escape continuation from `node` to the local out-port of `dest`,
+    /// clockwise on the reserved channel.
+    fn suffix_from(&self, node: usize, dest: NodeId) -> Vec<PortId> {
+        let n = self.ring.node_count();
+        let d = dest.index();
+        let mut suffix = Vec::new();
+        if node != d {
+            suffix.push(
+                self.ring
+                    .ring_port(node, RingDir::Cw, self.vc, Direction::Out),
+            );
+            let mut m = (node + 1) % n;
+            while m != d {
+                suffix.push(self.ring.ring_port(m, RingDir::Cw, self.vc, Direction::In));
+                suffix.push(self.ring.ring_port(m, RingDir::Cw, self.vc, Direction::Out));
+                m = (m + 1) % n;
+            }
+            suffix.push(self.ring.ring_port(d, RingDir::Cw, self.vc, Direction::In));
+        }
+        suffix.push(self.ring.local_out(dest));
+        suffix
+    }
+}
+
+impl EscapeRoute for RingEscape {
+    fn name(&self) -> String {
+        format!("ring-escape-vc{}", self.vc)
+    }
+
+    fn escape_route(&self, _net: &dyn Network, travel: &Travel) -> Option<Vec<PortId>> {
+        let head = travel.head_route_index()?;
+        let head_port = travel.route()[head];
+        let info = self.ring.info(head_port);
+        // Only in-ports can divert: the continuation of an out-port is fixed
+        // by the physical link it already committed to.
+        if info.dir != Direction::In {
+            return None;
+        }
+        // Never escape from the escape channel itself (a second diversion
+        // would revisit its ports).
+        if matches!(info.kind, RingPortKind::Ring { vc, .. } if vc == self.vc) {
+            return None;
+        }
+        let mut route = travel.route()[..=head].to_vec();
+        route.extend(self.suffix_from(info.node, travel.dest_node()));
+        Some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::config::Config;
+    use genoc_core::spec::MessageSpec;
+    use genoc_core::MsgId;
+    use genoc_routing::ring::RingShortestRouting;
+
+    #[test]
+    fn escape_runs_clockwise_on_the_reserved_channel() {
+        let ring = Ring::with_vcs(6, 2, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(2),
+            2,
+        )];
+        let mut cfg = Config::from_specs(&ring, &routing, &specs).unwrap();
+        let escape = RingEscape::new(&ring);
+        cfg.enter_flit(0, 0).unwrap();
+        cfg.advance_flit(0, 0).unwrap();
+        // Head at node 0's cw0 *out* port: committed to the link, no escape.
+        let t = cfg.travel_by_id(MsgId::from_index(0)).unwrap();
+        assert_eq!(ring.info(t.current()).dir, Direction::Out);
+        assert!(escape.escape_route(&ring, t).is_none());
+        // One more hop: head at node 1's cw0 *in* port, diversion possible.
+        cfg.advance_flit(0, 0).unwrap();
+        let t = cfg.travel_by_id(MsgId::from_index(0)).unwrap();
+        let head = t.head_route_index().unwrap();
+        assert_eq!(ring.info(t.route()[head]).dir, Direction::In);
+        let route = escape.escape_route(&ring, t).expect("in-port heads divert");
+        assert_eq!(&route[..=head], &t.route()[..=head]);
+        assert_eq!(*route.last().unwrap(), ring.local_out(t.dest_node()));
+        for &p in &route[head + 1..route.len() - 1] {
+            assert_eq!(
+                ring.info(p).kind,
+                RingPortKind::Ring {
+                    dir: RingDir::Cw,
+                    vc: 1
+                },
+                "escape continuation must stay on the reserved channel"
+            );
+        }
+        // A rerouted travel must pass its own validation.
+        let mut t2 = t.clone();
+        t2.reroute(&ring, route).unwrap();
+        t2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pending_travels_have_no_escape() {
+        let ring = Ring::with_vcs(4, 2, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(1),
+            1,
+        )];
+        let cfg = Config::from_specs(&ring, &routing, &specs).unwrap();
+        let escape = RingEscape::new(&ring);
+        assert!(escape
+            .escape_route(&ring, cfg.travel_by_id(MsgId::from_index(0)).unwrap())
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two virtual channels")]
+    fn single_vc_ring_is_rejected() {
+        let _ = RingEscape::new(&Ring::new(4, 1));
+    }
+}

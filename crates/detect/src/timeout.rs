@@ -1,0 +1,145 @@
+//! The timeout-threshold heuristic detector.
+//!
+//! The cheap comparator to the exact wait-for detector, mirroring the
+//! exact-vs-heuristic split of Verbeek–Schmaltz: keep one stall counter per
+//! in-flight message, reset it whenever the message moves a flit, and raise
+//! an alarm once some counter crosses a threshold. Per step this is `O(T)`
+//! counter arithmetic with no graph at all — but it trades precision both
+//! ways: a congested (not deadlocked) message can cross the threshold (a
+//! *false alarm*), and a genuine deadlock is only reported `threshold` steps
+//! after it forms (bounded *latency*). It can never miss a deadlock outright:
+//! deadlocked messages stall forever, so their counters cross any finite
+//! threshold — the zero-false-negatives property the verification cross-check
+//! (`genoc_verif::detect_check`) re-validates against the exact detector.
+
+use genoc_core::config::Config;
+use genoc_core::travel::Travel;
+use genoc_core::MsgId;
+
+/// Default stall threshold: comfortably above the longest legitimate stall
+/// of the registry instances, small enough for useful detection latency.
+pub const DEFAULT_THRESHOLD: u64 = 32;
+
+/// Per-message stall bookkeeping of the heuristic detector.
+#[derive(Clone, Copy, Debug)]
+struct Stall {
+    potential: u64,
+    stalled: u64,
+}
+
+/// The timeout-threshold heuristic deadlock detector.
+#[derive(Clone, Debug)]
+pub struct TimeoutDetector {
+    threshold: u64,
+    stalls: Vec<Option<Stall>>,
+}
+
+impl TimeoutDetector {
+    /// Creates a detector that suspects a message after it has made no
+    /// progress for `threshold` consecutive observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero (every message would be suspect on
+    /// arrival).
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "a zero threshold suspects everything");
+        TimeoutDetector {
+            threshold,
+            stalls: Vec::new(),
+        }
+    }
+
+    /// The configured stall threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Observes the configuration after a step (or after an idle period —
+    /// observing an unchanged configuration advances every stall counter)
+    /// and returns the messages currently suspected of being deadlocked, in
+    /// travel order. Empty while no counter has crossed the threshold.
+    pub fn observe(&mut self, cfg: &Config) -> Vec<MsgId> {
+        let mut suspects = Vec::new();
+        for t in cfg.travels() {
+            let id = t.id();
+            if id.index() >= self.stalls.len() {
+                self.stalls.resize(id.index() + 1, None);
+            }
+            let potential = Travel::progress_potential(t);
+            let slot = &mut self.stalls[id.index()];
+            let stalled = match *slot {
+                Some(s) if s.potential == potential => s.stalled + 1,
+                _ => 0,
+            };
+            *slot = Some(Stall { potential, stalled });
+            if stalled >= self.threshold {
+                suspects.push(id);
+            }
+        }
+        suspects
+    }
+
+    /// Clears all stall counters (used when recovery rebuilt the
+    /// configuration).
+    pub fn reset(&mut self) {
+        self.stalls.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::spec::MessageSpec;
+    use genoc_core::NodeId;
+    use genoc_routing::xy::XyRouting;
+    use genoc_topology::mesh::Mesh;
+
+    fn still_config() -> (Mesh, Config) {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            2,
+        )];
+        let cfg = Config::from_specs(&mesh, &routing, &specs).unwrap();
+        (mesh, cfg)
+    }
+
+    #[test]
+    fn stall_counters_cross_the_threshold_on_an_idle_config() {
+        let (_, cfg) = still_config();
+        let mut d = TimeoutDetector::new(4);
+        // First observation initialises; alarms fire once a message has
+        // been seen unchanged for `threshold` further observations.
+        for _ in 0..4 {
+            assert!(d.observe(&cfg).is_empty());
+        }
+        let suspects = d.observe(&cfg);
+        assert_eq!(suspects, vec![MsgId::from_index(0)]);
+    }
+
+    #[test]
+    fn movement_resets_the_counter() {
+        let (_, mut cfg) = still_config();
+        let mut d = TimeoutDetector::new(3);
+        for _ in 0..3 {
+            d.observe(&cfg);
+        }
+        cfg.enter_flit(0, 0).unwrap();
+        assert!(d.observe(&cfg).is_empty(), "movement must reset the stall");
+        for _ in 0..2 {
+            assert!(d.observe(&cfg).is_empty());
+        }
+        assert!(!d.observe(&cfg).is_empty());
+        d.reset();
+        assert!(d.observe(&cfg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threshold")]
+    fn zero_threshold_is_rejected() {
+        let _ = TimeoutDetector::new(0);
+    }
+}

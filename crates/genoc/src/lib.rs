@@ -20,8 +20,10 @@
 //! * [`depgraph`] — port/channel dependency graphs, cycle
 //!   search, SCCs, ranking certificates, flows, Theorem 1 witnesses;
 //! * [`sim`] — workloads, statistics, deadlock hunting;
-//! * [`verif`] — the obligation-discharge engine and the
-//!   Table I effort analogue.
+//! * [`detect`] — online deadlock detection (exact wait-for graph
+//!   plus timeout heuristic) and recovery (abort, escape channel, drain);
+//! * [`verif`] — the obligation-discharge engine, the Table I
+//!   effort analogue, and the runtime-vs-static detection cross-check.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@
 
 pub use genoc_core as core;
 pub use genoc_depgraph as depgraph;
+pub use genoc_detect as detect;
 pub use genoc_routing as routing;
 pub use genoc_sim as sim;
 pub use genoc_switching as switching;
@@ -61,6 +64,7 @@ pub use genoc_verif as verif;
 
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
+    pub use genoc_core::blocking::{block_events, find_wait_cycle, BlockEvent, WaitCycle};
     pub use genoc_core::config::Config;
     pub use genoc_core::ids::{MsgId, NodeId, PortId};
     pub use genoc_core::injection::{IdentityInjection, InjectionMethod, ScheduledInjection};
@@ -78,6 +82,10 @@ pub mod prelude {
         find_cycle, is_cyclic_by_scc, port_dependency_graph, to_dot, verify_ranking,
         xy_mesh_dependency_graph, xy_mesh_ranking, DiGraph,
     };
+    pub use genoc_detect::{
+        AbortAndEvacuate, DetectionEngine, DrainAll, EngineOptions, EscapeChannel, EscapeRoute,
+        ExactDetector, RecoveryPolicy, RingEscape, TimeoutDetector,
+    };
     pub use genoc_routing::{
         AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
         RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
@@ -85,15 +93,15 @@ pub mod prelude {
     };
     pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes};
     pub use genoc_sim::{
-        hunt_random, hunt_workload, simulate, Hunt, HuntOptions, LatencySummary, SimOptions,
-        SimResult,
+        hunt_random, hunt_workload, simulate, simulate_hooked, DetectorHook, Hunt, HuntOptions,
+        LatencySummary, RecoverySummary, SimOptions, SimResult,
     };
     pub use genoc_switching::{
         Arbitration, StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy,
     };
     pub use genoc_topology::{Cardinal, Fabric, Mesh, Ring, RingDir, Spidergon, Torus};
     pub use genoc_verif::{
-        check_all, check_theorem1, check_theorem2, effort_table, render_effort_table, Instance,
-        TextTable,
+        check_all, check_detection, check_theorem1, check_theorem2, effort_table,
+        render_effort_table, DetectionCheckOptions, DetectionReport, Instance, TextTable,
     };
 }

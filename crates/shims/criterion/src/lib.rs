@@ -13,11 +13,19 @@
 //! `group/name ... median <t> (<n> samples)`. There is no statistical
 //! analysis, plotting, or HTML report — the point is that `cargo bench`
 //! runs every experiment end-to-end and prints comparable numbers.
+//!
+//! For machine consumption, every bench binary additionally merges its
+//! per-benchmark medians into `target/bench-results.json` (see
+//! [`write_results_json`], invoked by [`criterion_main!`]), so perf
+//! trajectories can be accumulated across runs and uploaded as CI
+//! artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -187,6 +195,98 @@ impl Bencher {
     }
 }
 
+/// Results collected by this bench binary, for [`write_results_json`].
+static RESULTS: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
+
+/// Locates the Cargo `target` directory by walking up from the bench binary
+/// (which lives in `<target>/release/deps/`); falls back to a relative
+/// `target/` for unusual layouts.
+fn target_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from("target")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Merges this binary's benchmark medians into
+/// `<target>/bench-results.json`, preserving entries written by other bench
+/// binaries. Called automatically at the end of [`criterion_main!`]; a
+/// failure to write is reported on stderr but never fails the bench run.
+pub fn write_results_json() {
+    let results = RESULTS.lock().expect("bench results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let path = target_dir().join("bench-results.json");
+    // Merge with entries from previously run bench binaries: keep every
+    // existing benchmark this binary did not re-measure.
+    let mut entries: Vec<(String, u128, usize)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        entries = parse_results_json(&existing);
+    }
+    for (name, median, samples) in results.iter() {
+        entries.retain(|(n, _, _)| n != name);
+        entries.push((name.clone(), *median, *samples));
+    }
+    entries.sort();
+    let mut json = String::from("{\n  \"benches\": {\n");
+    for (i, (name, median, samples)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"median_ns\": {median}, \"samples\": {samples} }}{comma}\n",
+            json_escape(name)
+        ));
+    }
+    json.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench medians written to {}", path.display());
+    }
+}
+
+/// Parses the exact format emitted by [`write_results_json`] (one benchmark
+/// per line); anything unrecognised is skipped.
+fn parse_results_json(s: &str) -> Vec<(String, u128, usize)> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        // Split on the *last* occurrence of the name/value delimiter: the
+        // value object never contains `": {`, while an escaped name could.
+        let Some(split) = rest.rfind("\": {") else {
+            continue;
+        };
+        let (name, rest) = (&rest[..split], &rest[split + 4..]);
+        let field = |key: &str| {
+            rest.split_once(&format!("\"{key}\": "))
+                .map(|(_, v)| v)
+                .and_then(|v| {
+                    let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
+                    digits.parse::<u128>().ok()
+                })
+        };
+        if let (Some(median), Some(samples)) = (field("median_ns"), field("samples")) {
+            out.push((
+                name.replace("\\\"", "\"").replace("\\\\", "\\"),
+                median,
+                samples as usize,
+            ));
+        }
+    }
+    out
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
     label: &str,
@@ -210,6 +310,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
     bencher.samples.sort();
     let median = bencher.samples[bencher.samples.len() / 2];
+    RESULTS.lock().expect("bench results poisoned").push((
+        full.clone(),
+        median.as_nanos(),
+        bencher.samples.len(),
+    ));
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => {
             format!(", {:.0} elem/s", n as f64 / median.as_secs_f64())
@@ -242,12 +347,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the named groups.
+/// Generate `main` running the named groups, then persist the medians to
+/// `target/bench-results.json` (see [`write_results_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results_json();
         }
     };
 }
@@ -272,5 +379,33 @@ mod tests {
     fn groups_and_benchers_run() {
         let mut criterion = Criterion::default();
         demo(&mut criterion);
+        assert!(
+            RESULTS
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|(name, _, _)| name == "shim/sum/64"),
+            "benchmarks must register their medians"
+        );
+    }
+
+    #[test]
+    fn results_json_round_trips() {
+        let entries = vec![
+            ("a/b".to_string(), 125u128, 10usize),
+            ("weird \"name\"".to_string(), 7, 5),
+            // A name containing the name/value delimiter itself.
+            ("tricky\": { name".to_string(), 1, 2),
+        ];
+        let mut json = String::from("{\n  \"benches\": {\n");
+        for (i, (name, median, samples)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    \"{}\": {{ \"median_ns\": {median}, \"samples\": {samples} }}{comma}\n",
+                json_escape(name)
+            ));
+        }
+        json.push_str("  }\n}\n");
+        assert_eq!(parse_results_json(&json), entries);
     }
 }

@@ -9,6 +9,7 @@
 //! `tests/theorem1_equivalence.rs`) is the bounded empirical reading of the
 //! sufficiency direction.
 
+use genoc_core::blocking::{find_wait_cycle, WaitCycle};
 use genoc_core::config::Config;
 use genoc_core::error::Result;
 use genoc_core::interpreter::Outcome;
@@ -31,6 +32,12 @@ pub struct Hunt {
     pub steps: u64,
     /// The deadlocked configuration.
     pub config: Config,
+    /// Structured witness: the blocked-port cycle extracted from the
+    /// deadlocked configuration's wait-for structure. `Some` for every
+    /// wormhole deadlock; `None` only when the deadlock arose from a
+    /// stricter admission rule (virtual cut-through, store-and-forward)
+    /// that blocks heads the wormhole rules would admit.
+    pub witness: Option<WaitCycle>,
 }
 
 /// Hunting parameters.
@@ -106,11 +113,13 @@ pub fn hunt_workload(
     };
     let result = simulate(net, routing, policy, specs, &options)?;
     if result.run.outcome == Outcome::Deadlock {
+        let witness = find_wait_cycle(&result.run.config);
         Ok(Some(Hunt {
             seed,
             specs: specs.to_vec(),
             steps: result.run.steps,
             config: result.run.config,
+            witness,
         }))
     } else {
         Ok(None)
@@ -144,6 +153,12 @@ mod tests {
         .unwrap();
         let hunt = hunt.expect("the four-corner storm must deadlock mixed routing");
         assert!(!hunt.config.any_move_possible());
+        let witness = hunt.witness.expect("wormhole deadlocks carry a witness");
+        assert!(!witness.msgs.is_empty());
+        assert!(witness.ports.len() >= witness.msgs.len());
+        for &m in &witness.msgs {
+            assert!(hunt.config.travel_by_id(m).is_some());
+        }
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod workload;
 
 pub use crate::adaptive::{config_with_selected_routes, select_routes};
 pub use crate::deadlock_hunt::{hunt_random, hunt_workload, Hunt, HuntOptions};
-pub use crate::runner::{simulate, SimOptions, SimResult};
-pub use crate::stats::LatencySummary;
+pub use crate::runner::{simulate, simulate_hooked, DetectorHook, SimOptions, SimResult};
+pub use crate::stats::{LatencySummary, RecoverySummary};

@@ -1,14 +1,22 @@
 //! Driving the GeNoC interpreter over a workload and collecting statistics.
+//!
+//! Two entry points: [`simulate`] runs the plain interpreter, and
+//! [`simulate_hooked`] runs an equivalent loop that reports into a
+//! [`DetectorHook`] — the integration point for online deadlock detection
+//! and recovery (`genoc-detect`). The hook observes every step, may mutate
+//! the configuration when the deadlock predicate `Ω` holds (recovery), and
+//! may re-inject staged travels when the travel list drains, all without the
+//! runner knowing any detector specifics.
 
 use genoc_core::config::Config;
-use genoc_core::error::Result;
-use genoc_core::injection::IdentityInjection;
+use genoc_core::error::{Error, Result};
+use genoc_core::injection::{IdentityInjection, InjectionMethod};
 use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
 use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
 use genoc_core::switching::SwitchingPolicy;
-use genoc_core::trace::Zone;
+use genoc_core::trace::{Trace, Zone};
 use genoc_core::MsgId;
 
 use crate::stats::LatencySummary;
@@ -83,6 +91,147 @@ pub fn simulate(
         enforce_measure: true,
     };
     let run = run(net, &IdentityInjection, policy, cfg, &run_options)?;
+    let latencies = if options.record_trace {
+        per_message_latencies(&run, &injected)
+    } else {
+        Vec::new()
+    };
+    Ok(SimResult {
+        run,
+        injected,
+        latencies,
+    })
+}
+
+/// Observer/actor interface for detector-instrumented runs.
+///
+/// All methods have no-op defaults, so pure observers implement only
+/// [`after_step`](DetectorHook::after_step). The runner guarantees the
+/// following call discipline: `after_step` after every switching step (with
+/// newly arrived travels already drained), `on_deadlock` whenever the
+/// policy's `Ω` holds (return `true` after mutating the configuration to
+/// continue the run, `false` to end it with [`Outcome::Deadlock`]), and
+/// `on_drained` whenever `T` is empty (return `true` after injecting more
+/// work, `false` to end with [`Outcome::Evacuated`]).
+pub trait DetectorHook {
+    /// Called after each switching step; `step` is the index of the step
+    /// just executed. May mutate the configuration (e.g. break a wait-for
+    /// cycle the moment it is detected).
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn after_step(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
+        let _ = (net, cfg, step);
+        Ok(())
+    }
+
+    /// Called when the deadlock predicate holds. Return `true` iff the hook
+    /// recovered (mutated `cfg` so that progress is possible again).
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn on_deadlock(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<bool> {
+        let _ = (net, cfg, step);
+        Ok(false)
+    }
+
+    /// Called when the in-flight travel list drained. Return `true` iff the
+    /// hook injected more work (e.g. staged travels from a drain-and-restart
+    /// recovery).
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn on_drained(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<bool> {
+        let _ = (net, cfg, step);
+        Ok(false)
+    }
+}
+
+/// Like [`simulate`], but reports into `hook` (see [`DetectorHook`] for the
+/// call discipline). The loop mirrors the GeNoC interpreter, including its
+/// run-time (C-5) enforcement on every switching step; hook mutations happen
+/// between steps and are exempt (recovery may legitimately raise the
+/// measure, e.g. when a drain-and-restart resets flits to their sources).
+///
+/// # Errors
+///
+/// Propagates configuration, interpreter, and hook errors, and reports
+/// [`Error::Invariant`] if a hook keeps answering "continue" without the run
+/// making progress.
+pub fn simulate_hooked(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+) -> Result<SimResult> {
+    let mut cfg = Config::from_specs(net, routing, specs)?;
+    let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+    let mut trace = Trace::new(options.record_trace);
+    let mut arrival_order = Vec::new();
+    let mut steps: u64 = 0;
+    // Guard against hooks that answer "continue" forever without enabling a
+    // switching step (a recovery that never actually recovers).
+    let mut idle_continues: u32 = 0;
+    const MAX_IDLE_CONTINUES: u32 = 10_000;
+
+    let outcome = loop {
+        IdentityInjection.inject(net, &mut cfg)?;
+        if cfg.is_evacuated() {
+            if !hook.on_drained(net, &mut cfg, steps)? {
+                break Outcome::Evacuated;
+            }
+            idle_continues += 1;
+        } else if policy.is_deadlock(net, &cfg) {
+            if !hook.on_deadlock(net, &mut cfg, steps)? {
+                break Outcome::Deadlock;
+            }
+            idle_continues += 1;
+        } else {
+            if steps >= options.max_steps {
+                break Outcome::StepLimit;
+            }
+            let before = cfg.progress_measure();
+            trace.begin_step(steps);
+            let report = policy.step(net, &mut cfg, &mut trace)?;
+            arrival_order.extend(cfg.drain_arrived());
+            let after = cfg.progress_measure();
+            if report.moves() == 0 {
+                return Err(Error::ProgressViolation { step: steps });
+            }
+            if after >= before {
+                return Err(Error::MeasureViolation {
+                    step: steps,
+                    before,
+                    after,
+                });
+            }
+            if options.check_invariants {
+                cfg.validate(net)?;
+            }
+            hook.after_step(net, &mut cfg, steps)?;
+            steps += 1;
+            idle_continues = 0;
+        }
+        if idle_continues > MAX_IDLE_CONTINUES {
+            return Err(Error::Invariant(
+                "detector hook keeps continuing without the run progressing".into(),
+            ));
+        }
+    };
+
+    let run = RunResult {
+        outcome,
+        steps,
+        config: cfg,
+        trace,
+        measures: Vec::new(),
+        arrival_order,
+    };
     let latencies = if options.record_trace {
         per_message_latencies(&run, &injected)
     } else {

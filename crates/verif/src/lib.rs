@@ -4,7 +4,8 @@
 //! procedures for the proof obligations (C-1)…(C-5) ([`obligations`]), the
 //! executable deadlock theorem with both constructive directions
 //! ([`theorem1`]), the evacuation and correctness theorems ([`theorem2`]),
-//! the instance registry ([`instance`]), and the Table I effort analogue
+//! the runtime-vs-static detection cross-check ([`detect_check`]), the
+//! instance registry ([`instance`]), and the Table I effort analogue
 //! ([`effort`]).
 //!
 //! The GeNoC methodology (Fig. 2 of the paper): the user supplies the
@@ -16,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detect_check;
 pub mod effort;
 pub mod instance;
 pub mod obligations;
@@ -23,6 +25,7 @@ pub mod report;
 pub mod theorem1;
 pub mod theorem2;
 
+pub use crate::detect_check::{check_detection, DetectionCheckOptions, DetectionReport};
 pub use crate::effort::{effort_table, render_effort_table, EffortRow};
 pub use crate::instance::Instance;
 pub use crate::obligations::{check_all, check_c1, check_c2, check_c3, check_c4, check_c5};

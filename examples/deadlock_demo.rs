@@ -10,11 +10,27 @@
 //! 3. drives the simulator into a *live* deadlock with the four-corner
 //!    storm and decompiles it back into a dependency cycle (Theorem 1,
 //!    necessity);
-//! 4. shows the dateline-repaired ring for contrast.
+//! 4. hunts random traffic on a 3×3 mixed mesh for another deadlock and
+//!    prints its structured blocked-port witness;
+//! 5. shows the dateline-repaired ring for contrast.
 //!
 //! Run with: `cargo run -p genoc --example deadlock_demo`
+//!
+//! The random hunt is seeded from the `GENOC_SEED` environment variable
+//! (default 0), so hunts are reproducible *and* explorable:
+//! `GENOC_SEED=42 cargo run -p genoc --example deadlock_demo`.
 
 use genoc::prelude::*;
+
+/// The hunt seed: `GENOC_SEED` from the environment, defaulting to 0.
+fn hunt_seed() -> u64 {
+    match std::env::var("GENOC_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("GENOC_SEED must be an integer, got {v:?}")),
+        Err(_) => 0,
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Theorem 1, executable, on the mixed XY/YX router (2x2 mesh) ==\n");
@@ -66,7 +82,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(genoc::depgraph::cycle::is_cycle_of(&graph, &extracted));
     println!("the extracted cycle is a cycle of the dependency graph. qed (necessity)");
 
-    // (4) Contrast: the dateline repair on a ring.
+    // (4) Random hunt on a larger mesh, seeded from GENOC_SEED.
+    let seed = hunt_seed();
+    println!("\n== random hunt on the 3x3 mixed mesh (GENOC_SEED = {seed}) ==");
+    let big = Mesh::new(3, 3, 1);
+    let big_routing = MixedXyYxRouting::new(&big);
+    let options = HuntOptions {
+        attempts: 64,
+        first_seed: seed,
+        messages: 40,
+        flits: 8,
+        ..HuntOptions::default()
+    };
+    match hunt_random(&big, &big_routing, &mut WormholePolicy::default(), &options)? {
+        Some(found) => {
+            println!(
+                "deadlock on workload seed {} after {} steps; blocked-port witness:",
+                found.seed, found.steps
+            );
+            if let Some(witness) = &found.witness {
+                for &p in &witness.ports {
+                    println!("  {}", big.port_label(p));
+                }
+                let big_graph = port_dependency_graph(&big, &big_routing);
+                assert!(genoc::depgraph::cycle::is_cycle_of(
+                    &big_graph,
+                    &witness.ports
+                ));
+                println!("(a dependency-graph cycle, as Theorem 1 demands)");
+            }
+        }
+        None => println!(
+            "no deadlock in {} attempts from this seed",
+            options.attempts
+        ),
+    }
+
+    // (5) Contrast: the dateline repair on a ring.
     println!("\n== contrast: plain vs dateline ring (6 nodes) ==");
     let plain = Ring::new(6, 1);
     let plain_graph = port_dependency_graph(&plain, &RingShortestRouting::new(&plain));

@@ -1,0 +1,120 @@
+//! Property-based validation of the online deadlock detectors.
+//!
+//! Across randomly drawn workloads on three representative instances — the
+//! deadlock-prone mixed XY/YX mesh, the paper's XY mesh, and the
+//! dateline-repaired torus — the exact online detector fires *iff* the run
+//! ends in the interpreter's deadlock predicate `Ω`, every reported
+//! blocked-port cycle is a cycle of the statically built port dependency
+//! graph, detection is never later than `Ω`, and the timeout heuristic has
+//! no false negatives against the exact detector.
+
+use genoc::depgraph::cycle::is_cycle_of;
+use genoc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const HEURISTIC_THRESHOLD: u64 = 16;
+
+/// A workload drawn as (source, dest, flits) triples over `nodes` nodes.
+fn workload_strategy(
+    nodes: usize,
+    max_messages: usize,
+    max_flits: usize,
+) -> impl Strategy<Value = Vec<MessageSpec>> {
+    vec((0..nodes, 0..nodes, 1..=max_flits), 0..=max_messages).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, d, f)| MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f))
+            .collect()
+    })
+}
+
+fn check_detection_properties(
+    instance: &Instance,
+    specs: &[MessageSpec],
+) -> Result<(), TestCaseError> {
+    let net = instance.net.as_ref();
+    let routing = instance.routing.as_ref();
+    let graph = port_dependency_graph(net, routing);
+    let mut engine = DetectionEngine::detector(EngineOptions {
+        exact: true,
+        heuristic_threshold: Some(HEURISTIC_THRESHOLD),
+        ..EngineOptions::default()
+    });
+    let result = simulate_hooked(
+        net,
+        routing,
+        &mut WormholePolicy::default(),
+        specs,
+        &SimOptions::default(),
+        &mut engine,
+    )
+    .map_err(|e| TestCaseError::fail(format!("simulate_hooked: {e}")))?;
+
+    // The exact detector fires iff the run ends in Ω.
+    let deadlocked = result.run.outcome == Outcome::Deadlock;
+    prop_assert_eq!(
+        engine.fired(),
+        deadlocked,
+        "{}: fired = {}, outcome = {:?}",
+        instance.name,
+        engine.fired(),
+        result.run.outcome
+    );
+
+    for d in engine.detections() {
+        // Online detection is never later than the global predicate.
+        prop_assert!(
+            d.step <= result.run.steps,
+            "{}: detection at {} after Ω at {}",
+            instance.name,
+            d.step,
+            result.run.steps
+        );
+        // Every reported cycle is a cycle of the static dependency graph.
+        prop_assert!(
+            is_cycle_of(&graph, &d.cycle.ports),
+            "{}: runtime cycle is no dependency cycle: {:?}",
+            instance.name,
+            d.cycle.ports
+        );
+        prop_assert!(!d.cycle.msgs.is_empty());
+    }
+
+    // The heuristic has no false negatives: wherever the exact detector
+    // fired it fires too — during the run, or within threshold + 1 idle
+    // observations of the final (deadlocked, hence frozen) configuration.
+    if deadlocked {
+        let summary = engine.summary(&result);
+        if summary.first_heuristic_step.is_none() {
+            let mut heuristic = TimeoutDetector::new(HEURISTIC_THRESHOLD);
+            let fires = (0..=HEURISTIC_THRESHOLD + 1)
+                .any(|_| !heuristic.observe(&result.run.config).is_empty());
+            prop_assert!(
+                fires,
+                "{}: heuristic missed a deadlock the exact detector caught",
+                instance.name
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mixed_mesh_detection_is_exact(specs in workload_strategy(9, 32, 6)) {
+        check_detection_properties(&Instance::mesh_mixed(3, 3, 1), &specs)?;
+    }
+
+    #[test]
+    fn xy_mesh_never_alarms(specs in workload_strategy(9, 32, 6)) {
+        check_detection_properties(&Instance::mesh_xy(3, 3, 1), &specs)?;
+    }
+
+    #[test]
+    fn dateline_torus_never_alarms(specs in workload_strategy(12, 24, 5)) {
+        check_detection_properties(&Instance::torus_dor_dateline(4, 3, 1), &specs)?;
+    }
+}
