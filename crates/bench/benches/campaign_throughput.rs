@@ -1,0 +1,71 @@
+//! Campaign throughput: scenarios per second through the sharded executor.
+//!
+//! Two questions about the campaign runner itself:
+//!
+//! * what does one scenario's full battery cost? — `campaign/scenario-*`
+//!   times the per-scenario run on a cheap acyclic instance and on the
+//!   deadlock-prone comparator (hunts make the latter the expensive tail);
+//! * how does the executor scale with shards? — `campaign/smoke-jobs-*`
+//!   pushes the whole smoke matrix through the work-stealing executor at
+//!   1, 2, and 4 workers. On a multi-core machine the medians should fall
+//!   near-linearly until the core count; the ratio is the campaign
+//!   speedup CI tracks.
+//!
+//! Medians land in `target/bench-results.json` via the criterion shim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genoc_campaign::{
+    run_campaign, run_scenario, CampaignOptions, EffortProfile, ScenarioMatrix, ScenarioSpec,
+};
+use genoc_core::meta::{InstanceMeta, RoutingKind, SwitchingKind};
+use std::hint::black_box;
+
+fn bench_single_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/scenario");
+    group.sample_size(10);
+    let cases = [
+        ("mesh-3x3-xy-wormhole", RoutingKind::Xy),
+        ("mesh-3x3-mixed-wormhole", RoutingKind::MixedXyYx),
+    ];
+    for (label, routing) in cases {
+        let spec = ScenarioSpec {
+            meta: InstanceMeta::new(routing, 3, 3, 1),
+            switching: SwitchingKind::Wormhole,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = run_scenario(&spec, 0, &EffortProfile::standard());
+                assert!(outcome.passed(), "{label}");
+                black_box(outcome.checks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_executor_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/smoke");
+    group.sample_size(10);
+    let scenarios = ScenarioMatrix::smoke().expand();
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("jobs-{jobs}"), |b| {
+            b.iter(|| {
+                let report = run_campaign(
+                    &scenarios,
+                    &CampaignOptions {
+                        jobs,
+                        seed: 0,
+                        effort: EffortProfile::quick(),
+                        matrix: "smoke".into(),
+                    },
+                );
+                assert!(report.all_passed());
+                black_box(report.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_scenarios, bench_executor_scaling);
+criterion_main!(benches);

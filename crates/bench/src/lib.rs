@@ -13,7 +13,9 @@
 //! * `vc_ablation` — dateline virtual channels on ring/torus;
 //! * `discharge_strategies` — DFS vs SCC vs ranking for (C-3);
 //! * `detect_overhead` — online-detection overhead on clean runs and
-//!   time-to-detect/recover on the mixed XY/YX negative instance.
+//!   time-to-detect/recover on the mixed XY/YX negative instance;
+//! * `campaign_throughput` — per-scenario battery cost and work-stealing
+//!   executor scaling at 1/2/4 shards on the smoke matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,244 @@
+//! The sharded campaign executor: scenario specs dealt across per-worker
+//! deques, run on scoped threads, with idle workers stealing from the
+//! busiest shard.
+//!
+//! Scenario costs vary by two orders of magnitude (a 2×2 mesh obligation
+//! sweep vs an 8-attempt deadlock hunt on a 6×6 mesh), so static chunking
+//! would leave shards idle; stealing keeps every core busy until the queue
+//! drains. Determinism is preserved because per-scenario seeds derive from
+//! the campaign seed and scenario name ([`crate::run::scenario_seed`]) —
+//! `--jobs 1` and `--jobs 32` produce identical outcomes, in identical
+//! report order (results are written back by scenario index).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::matrix::ScenarioSpec;
+use crate::report::CampaignReport;
+use crate::run::{run_scenario, EffortProfile, ScenarioOutcome};
+
+/// Campaign-wide execution knobs.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Worker threads; 0 means one per available core.
+    pub jobs: usize,
+    /// Campaign seed, folded into every per-scenario seed.
+    pub seed: u64,
+    /// Per-scenario effort.
+    pub effort: EffortProfile,
+    /// Matrix name recorded in the report.
+    pub matrix: String,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            jobs: 0,
+            seed: 0,
+            effort: EffortProfile::standard(),
+            matrix: "custom".into(),
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The effective worker count: `jobs`, or the machine's available
+    /// parallelism when `jobs == 0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-worker deques with stealing: a worker pops the *front* of its own
+/// shard (cache-friendly sequential order) and steals from the *back* of
+/// the longest other shard. Indices are only ever removed, so an empty
+/// sweep means the campaign is drained.
+struct StealQueues {
+    shards: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Deals `items` indices round-robin across `workers` shards.
+    fn deal(workers: usize, items: usize) -> StealQueues {
+        let mut shards: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for index in 0..items {
+            shards[index % workers].push_back(index);
+        }
+        StealQueues {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next index for worker `me`: own shard first, then steal.
+    /// `None` only when every shard is empty.
+    fn next(&self, me: usize) -> Option<usize> {
+        if let Some(index) = self.shards[me].lock().expect("queue poisoned").pop_front() {
+            return Some(index);
+        }
+        loop {
+            let mut victim: Option<(usize, usize)> = None;
+            for (worker, shard) in self.shards.iter().enumerate() {
+                if worker == me {
+                    continue;
+                }
+                let len = shard.lock().expect("queue poisoned").len();
+                if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                    victim = Some((worker, len));
+                }
+            }
+            match victim {
+                None => return None,
+                Some((worker, _)) => {
+                    // The victim may have drained between the scan and the
+                    // steal; rescan rather than give up.
+                    if let Some(index) = self.shards[worker]
+                        .lock()
+                        .expect("queue poisoned")
+                        .pop_back()
+                    {
+                        return Some(index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs every scenario and aggregates the results into a
+/// [`CampaignReport`].
+///
+/// Workers are scoped threads ([`std::thread::scope`]), so the function
+/// borrows `scenarios` plainly and returns only when the queue is drained.
+pub fn run_campaign(scenarios: &[ScenarioSpec], options: &CampaignOptions) -> CampaignReport {
+    let start = Instant::now();
+    // More workers than scenarios would only spawn idle threads (and a
+    // pathological --jobs could exhaust thread creation), so clamp.
+    let jobs = options.effective_jobs().clamp(1, scenarios.len().max(1));
+    let queues = StealQueues::deal(jobs, scenarios.len());
+    let results: Vec<Mutex<Option<ScenarioOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let executed: Vec<Mutex<usize>> = (0..jobs).map(|_| Mutex::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let executed = &executed;
+            scope.spawn(move || {
+                while let Some(index) = queues.next(me) {
+                    let outcome = run_scenario(&scenarios[index], options.seed, &options.effort);
+                    *results[index].lock().expect("result poisoned") = Some(outcome);
+                    *executed[me].lock().expect("counter poisoned") += 1;
+                }
+            });
+        }
+    });
+
+    let outcomes: Vec<ScenarioOutcome> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result poisoned")
+                .expect("queue drained, so every scenario ran")
+        })
+        .collect();
+    CampaignReport {
+        matrix: options.matrix.clone(),
+        seed: options.seed,
+        jobs,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        worker_scenarios: executed
+            .into_iter()
+            .map(|c| c.into_inner().expect("counter poisoned"))
+            .collect(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+
+    fn smoke_options(jobs: usize) -> CampaignOptions {
+        CampaignOptions {
+            jobs,
+            seed: 42,
+            effort: EffortProfile::quick(),
+            matrix: "smoke".into(),
+        }
+    }
+
+    #[test]
+    fn queues_deal_and_drain_exactly_once() {
+        let q = StealQueues::deal(3, 10);
+        let mut seen = vec![false; 10];
+        // Worker 2 drains everything: its own shard plus steals.
+        while let Some(i) = q.next(2) {
+            assert!(!seen[i], "index {i} handed out twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        assert!(q.next(0).is_none());
+    }
+
+    #[test]
+    fn campaign_runs_every_scenario_and_preserves_order() {
+        let scenarios = ScenarioMatrix::smoke().expand();
+        let report = run_campaign(&scenarios, &smoke_options(2));
+        assert_eq!(report.outcomes.len(), scenarios.len());
+        for (spec, outcome) in scenarios.iter().zip(&report.outcomes) {
+            assert_eq!(spec.name(), outcome.name, "report preserves matrix order");
+        }
+        assert_eq!(report.jobs, 2);
+        assert_eq!(
+            report.worker_scenarios.iter().sum::<usize>(),
+            scenarios.len()
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_scenario_count() {
+        let scenarios: Vec<_> = ScenarioMatrix::smoke()
+            .expand()
+            .into_iter()
+            .take(3)
+            .collect();
+        let report = run_campaign(&scenarios, &smoke_options(4096));
+        assert_eq!(report.jobs, 3, "no idle threads beyond the queue length");
+        assert_eq!(report.worker_scenarios.len(), 3);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcomes() {
+        // The determinism contract: scheduling decides where a scenario
+        // runs, never what it computes.
+        let scenarios: Vec<_> = ScenarioMatrix::smoke()
+            .expand()
+            .into_iter()
+            .take(6)
+            .collect();
+        let serial = run_campaign(&scenarios, &smoke_options(1));
+        let parallel = run_campaign(&scenarios, &smoke_options(3));
+        for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.passed(), b.passed());
+            assert_eq!(a.deadlocks_seen, b.deadlocks_seen);
+            let statuses = |o: &ScenarioOutcome| {
+                o.checks
+                    .iter()
+                    .map(|c| (c.check, c.status, c.cases))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(statuses(a), statuses(b));
+        }
+    }
+}

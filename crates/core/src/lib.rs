@@ -67,6 +67,7 @@ pub mod injection;
 pub mod interpreter;
 pub mod line;
 pub mod measure;
+pub mod meta;
 pub mod network;
 pub mod obligations;
 #[cfg(test)]
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::injection::{IdentityInjection, InjectionMethod};
     pub use crate::interpreter::{run, Outcome, RunOptions, RunResult};
     pub use crate::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
+    pub use crate::meta::{InstanceMeta, RoutingKind, SwitchingKind, TopologyKind};
     pub use crate::network::{Direction, Network, PortAttrs};
     pub use crate::obligations::{ObligationId, ObligationReport};
     pub use crate::routing::{compute_route, RoutingFunction};

@@ -28,6 +28,40 @@
 //!   cost, throughput under recovery), and `genoc-verif`'s `detect_check`
 //!   cross-validates every runtime-detected cycle against the static
 //!   dependency graph.
+//!
+//! # Examples
+//!
+//! Watch a deadlock-prone run and catch the cycle the step it forms:
+//!
+//! ```
+//! use genoc_detect::{DetectionEngine, EngineOptions};
+//! use genoc_routing::mixed::MixedXyYxRouting;
+//! use genoc_sim::{simulate_hooked, workload, SimOptions};
+//! use genoc_switching::wormhole::WormholePolicy;
+//! use genoc_topology::mesh::Mesh;
+//!
+//! # fn main() -> Result<(), genoc_core::Error> {
+//! let mesh = Mesh::new(2, 2, 1);
+//! let routing = MixedXyYxRouting::new(&mesh); // deliberately deadlock-prone
+//! let mut engine = DetectionEngine::detector(EngineOptions::default());
+//! let result = simulate_hooked(
+//!     &mesh,
+//!     &routing,
+//!     &mut WormholePolicy::default(),
+//!     &workload::bit_complement(&mesh, 4),
+//!     &SimOptions::default(),
+//!     &mut engine,
+//! )?;
+//! assert!(!result.evacuated(), "no recovery policy installed — the run deadlocks");
+//! assert!(engine.fired(), "…but the detector caught the wait-for cycle");
+//! let detection = &engine.detections()[0];
+//! assert!(!detection.cycle.msgs.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Install a [`RecoveryPolicy`] (see its docs for the strategy trade-offs)
+//! and the same run evacuates instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

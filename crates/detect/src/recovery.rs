@@ -45,6 +45,45 @@ impl RecoveryOutcome {
 
 /// A deadlock recovery strategy, applied by the detection engine whenever
 /// the exact detector reports a wait-for cycle.
+///
+/// # Examples
+///
+/// Strategies differ in what they sacrifice. On the same deadlocked corner
+/// storm, [`AbortAndEvacuate`] drops one message while [`DrainAll`] delivers
+/// everything at the price of serialized re-injection:
+///
+/// ```
+/// use genoc_detect::{AbortAndEvacuate, DetectionEngine, DrainAll, EngineOptions, RecoveryPolicy};
+/// use genoc_routing::mixed::MixedXyYxRouting;
+/// use genoc_sim::{simulate_hooked, workload, SimOptions};
+/// use genoc_switching::wormhole::WormholePolicy;
+/// use genoc_topology::mesh::Mesh;
+///
+/// # fn main() -> Result<(), genoc_core::Error> {
+/// let mesh = Mesh::new(2, 2, 1);
+/// let routing = MixedXyYxRouting::new(&mesh);
+/// let storm = workload::bit_complement(&mesh, 4); // deadlocks untreated
+///
+/// for (policy, delivered) in [
+///     (Box::new(AbortAndEvacuate) as Box<dyn RecoveryPolicy>, 3),
+///     (Box::new(DrainAll::default()), 4),
+/// ] {
+///     let name = policy.name();
+///     let mut engine = DetectionEngine::with_policy(EngineOptions::default(), policy);
+///     let result = simulate_hooked(
+///         &mesh,
+///         &routing,
+///         &mut WormholePolicy::default(),
+///         &storm,
+///         &SimOptions::default(),
+///         &mut engine,
+///     )?;
+///     assert!(result.evacuated(), "{name} saves the run");
+///     assert_eq!(result.run.config.arrived().len(), delivered, "{name}");
+/// }
+/// # Ok(())
+/// # }
+/// ```
 pub trait RecoveryPolicy {
     /// Short display name, e.g. `"abort-and-evacuate"`.
     fn name(&self) -> String;

@@ -1,0 +1,136 @@
+//! The campaign CLI: expand a scenario matrix, shard it across worker
+//! threads, write `target/campaign.json`, and print a markdown summary.
+//!
+//! ```text
+//! cargo run --release -p genoc --bin campaign -- [FLAGS]
+//!
+//!   --matrix <smoke|default|full>   preset to expand        [default: default]
+//!   --jobs <N>                      worker threads, 0=auto  [default: 0]
+//!   --seed <N>                      campaign seed           [default: 0]
+//!   --filter <substring>            keep scenarios whose name contains this
+//!   --out <path>                    JSON path  [default: target/campaign.json]
+//!   --list                          print scenario names and exit
+//! ```
+//!
+//! Exit status is non-zero when any scenario fails, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use genoc::prelude::*;
+
+struct Args {
+    matrix: String,
+    jobs: usize,
+    seed: u64,
+    filter: Option<String>,
+    out: PathBuf,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        matrix: "default".into(),
+        jobs: 0,
+        seed: 0,
+        filter: None,
+        out: PathBuf::from("target/campaign.json"),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--matrix" => args.matrix = value("--matrix")?,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err("usage: campaign [--matrix smoke|default|full] [--jobs N] \
+                            [--seed N] [--filter SUBSTRING] [--out PATH] [--list]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(matrix) = ScenarioMatrix::named(&args.matrix) else {
+        eprintln!(
+            "unknown matrix {:?}: expected smoke, default, or full",
+            args.matrix
+        );
+        return ExitCode::FAILURE;
+    };
+    let expansion = matrix.expand_with_stats();
+    let mut scenarios = expansion.scenarios;
+    if let Some(filter) = &args.filter {
+        scenarios.retain(|s| s.name().contains(filter.as_str()));
+    }
+    eprintln!(
+        "matrix {:?}: {} scenarios ({} candidates, {} invalid dropped{})",
+        args.matrix,
+        scenarios.len(),
+        expansion.candidates,
+        expansion.invalid,
+        match &args.filter {
+            Some(f) => format!(", filter {f:?}"),
+            None => String::new(),
+        }
+    );
+    if args.list {
+        for s in &scenarios {
+            println!("{}", s.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if scenarios.is_empty() {
+        eprintln!("nothing to run");
+        return ExitCode::FAILURE;
+    }
+
+    let options = CampaignOptions {
+        jobs: args.jobs,
+        seed: args.seed,
+        effort: if args.matrix == "smoke" {
+            EffortProfile::quick()
+        } else {
+            EffortProfile::standard()
+        },
+        matrix: args.matrix.clone(),
+    };
+    eprintln!("running on {} worker thread(s)…", options.effective_jobs());
+    let report = run_campaign(&scenarios, &options);
+
+    if let Err(e) = report.write_json(&args.out) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{}", report.render_markdown());
+    println!("JSON report: {}", args.out.display());
+    if report.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} scenario(s) failed", report.failed());
+        ExitCode::FAILURE
+    }
+}

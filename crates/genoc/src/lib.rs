@@ -23,7 +23,10 @@
 //! * [`detect`] — online deadlock detection (exact wait-for graph
 //!   plus timeout heuristic) and recovery (abort, escape channel, drain);
 //! * [`verif`] — the obligation-discharge engine, the Table I
-//!   effort analogue, and the runtime-vs-static detection cross-check.
+//!   effort analogue, and the runtime-vs-static detection cross-check;
+//! * [`campaign`] — the sharded verification-campaign runner: scenario
+//!   matrices, the work-stealing executor, JSON/markdown reports
+//!   (`cargo run -p genoc --bin campaign`).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use genoc_campaign as campaign;
 pub use genoc_core as core;
 pub use genoc_depgraph as depgraph;
 pub use genoc_detect as detect;
@@ -64,12 +68,17 @@ pub use genoc_verif as verif;
 
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
+    pub use genoc_campaign::{
+        run_campaign, run_scenario, scenario_seed, CampaignOptions, CampaignReport, CheckStatus,
+        EffortProfile, ScenarioMatrix, ScenarioOutcome, ScenarioSpec,
+    };
     pub use genoc_core::blocking::{block_events, find_wait_cycle, BlockEvent, WaitCycle};
     pub use genoc_core::config::Config;
     pub use genoc_core::ids::{MsgId, NodeId, PortId};
     pub use genoc_core::injection::{IdentityInjection, InjectionMethod, ScheduledInjection};
     pub use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
     pub use genoc_core::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
+    pub use genoc_core::meta::{InstanceMeta, RoutingKind, SwitchingKind, TopologyKind};
     pub use genoc_core::network::{Direction, Network, PortAttrs};
     pub use genoc_core::obligations::{ObligationId, ObligationReport};
     pub use genoc_core::routing::{compute_route, RoutingFunction};
@@ -101,7 +110,8 @@ pub mod prelude {
     };
     pub use genoc_topology::{Cardinal, Fabric, Mesh, Ring, RingDir, Spidergon, Torus};
     pub use genoc_verif::{
-        check_all, check_detection, check_theorem1, check_theorem2, effort_table,
-        render_effort_table, DetectionCheckOptions, DetectionReport, Instance, TextTable,
+        check_all, check_c5_with, check_detection, check_theorem1, check_theorem2,
+        check_theorem2_with, effort_table, render_effort_table, DetectionCheckOptions,
+        DetectionReport, Instance, TextTable,
     };
 }

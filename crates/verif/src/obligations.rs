@@ -195,15 +195,27 @@ pub fn check_c4(instance: &Instance) -> ObligationReport {
 /// `μxy`. Reaching a deadlock ends the run without violating (C-5) — the
 /// obligation is conditional on `¬Ω(σ)`.
 pub fn check_c5(instance: &Instance) -> ObligationReport {
+    check_c5_with(instance, &mut WormholePolicy::default(), 4)
+}
+
+/// Like [`check_c5`], but under an arbitrary switching policy and with the
+/// workload's packet length capped at `max_flits` — cut-through and
+/// store-and-forward only admit packets that fit whole into a port buffer,
+/// so campaign scenarios cap `max_flits` at the port capacity.
+pub fn check_c5_with(
+    instance: &Instance,
+    policy: &mut dyn SwitchingPolicy,
+    max_flits: usize,
+) -> ObligationReport {
     let start = Instant::now();
     let net = instance.net.as_ref();
     let mut cases = 0u64;
     let mut violations = Vec::new();
-    let specs = genoc_sim::workload::uniform_random(net.node_count().max(2), 12, 1..=4, 7);
+    let specs =
+        genoc_sim::workload::uniform_random(net.node_count().max(2), 12, 1..=max_flits.max(1), 7);
     match Config::from_specs(net, instance.routing.as_ref(), &specs) {
         Err(e) => violations.push(format!("workload construction failed: {e}")),
         Ok(mut cfg) => {
-            let mut policy = WormholePolicy::default();
             let mut trace = Trace::new(false);
             let limit = 1_000_000u64;
             let mut steps = 0u64;

@@ -7,6 +7,7 @@
 
 use genoc_core::error::Result;
 use genoc_core::spec::MessageSpec;
+use genoc_core::switching::SwitchingPolicy;
 use genoc_core::theorems::{check_correctness, check_evacuation};
 use genoc_sim::runner::{simulate, SimOptions};
 use genoc_switching::wormhole::WormholePolicy;
@@ -44,14 +45,28 @@ impl Theorem2Report {
 ///
 /// Propagates configuration and interpreter errors.
 pub fn check_theorem2(instance: &Instance, specs: &[MessageSpec]) -> Result<Theorem2Report> {
+    check_theorem2_with(instance, specs, &mut WormholePolicy::default())
+}
+
+/// Like [`check_theorem2`], but under an arbitrary switching policy — the
+/// entry point campaign scenarios use to exercise Theorem 2 under virtual
+/// cut-through and store-and-forward as well.
+///
+/// # Errors
+///
+/// Propagates configuration and interpreter errors.
+pub fn check_theorem2_with(
+    instance: &Instance,
+    specs: &[MessageSpec],
+    policy: &mut dyn SwitchingPolicy,
+) -> Result<Theorem2Report> {
     let net = instance.net.as_ref();
     let routing = instance.routing.as_ref();
-    let mut policy = WormholePolicy::default();
     let options = SimOptions {
         record_trace: true,
         ..SimOptions::default()
     };
-    let result = simulate(net, routing, &mut policy, specs, &options)?;
+    let result = simulate(net, routing, policy, specs, &options)?;
     let mut notes = Vec::new();
 
     let evac = check_evacuation(&result.injected, &result.run);
@@ -97,6 +112,32 @@ mod tests {
         let specs = uniform_random(8, 24, 1..=5, 3);
         let report = check_theorem2(&instance, &specs).unwrap();
         assert!(report.holds(), "{:?}", report.notes);
+    }
+
+    #[test]
+    fn other_policies_evacuate_with_whole_packet_buffers() {
+        // Cut-through and store-and-forward admit a head only when the whole
+        // packet fits downstream, so buffers at least as deep as the longest
+        // worm keep the run admissible.
+        let specs = uniform_random(9, 12, 1..=4, 11);
+        let vct = check_theorem2_with(
+            &Instance::mesh_xy(3, 3, 4),
+            &specs,
+            &mut genoc_switching::VirtualCutThroughPolicy::new(),
+        )
+        .unwrap();
+        assert!(vct.holds(), "{:?}", vct.notes);
+        let saf = check_theorem2_with(
+            &Instance::mesh_xy(3, 3, 4),
+            &specs,
+            &mut genoc_switching::StoreForwardPolicy::new(),
+        )
+        .unwrap();
+        assert!(saf.holds(), "{:?}", saf.notes);
+        assert!(
+            saf.steps >= vct.steps,
+            "store-and-forward serialises every hop"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! The full verification report: proof obligations across the standard
-//! instance suite, Theorem 1 on the deadlock-prone comparators, and the
-//! Table I effort analogue for the paper's mesh/XY instantiation.
+//! The full verification report, driven by the campaign engine: the same
+//! `ScenarioMatrix` → shards → `CampaignReport` pipeline as
+//! `cargo run -p genoc --bin campaign`, so the example and the CLI cannot
+//! drift apart — plus the per-obligation detail for the standard instance
+//! suite and the Table I effort analogue for the paper's mesh/XY
+//! instantiation.
 //!
 //! Run with: `cargo run -p genoc --example verification_report [--size N]`
 
@@ -12,6 +15,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
+
+    println!("== smoke campaign: matrix -> shards -> report ==\n");
+    let scenarios = ScenarioMatrix::smoke().expand();
+    let report = run_campaign(
+        &scenarios,
+        &CampaignOptions {
+            jobs: 0, // one worker per core
+            seed: 0,
+            effort: EffortProfile::quick(),
+            matrix: "smoke".into(),
+        },
+    );
+    println!("{}", report.render_markdown());
+    assert!(report.all_passed(), "the smoke matrix must run green");
 
     println!("== proof obligations across the standard suite ==\n");
     let mut table = TextTable::new(["Instance", "C-1", "C-2", "C-3", "C-4", "C-5"]);
@@ -37,28 +54,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     println!("(C-3 FAIL rows are the deliberately deadlock-prone comparators.)\n");
 
-    println!("== Theorem 1 on representative instances ==\n");
-    let hunt = HuntOptions {
-        attempts: 16,
-        messages: 16,
-        flits: 4,
-        ..HuntOptions::default()
-    };
+    println!("== Theorem 1 detail on representative scenarios ==\n");
     let mut t1 = TextTable::new([
-        "Instance",
+        "Scenario",
         "cyclic",
         "witness Ω",
         "live deadlock",
         "cycle valid",
     ]);
-    for instance in [
-        Instance::mesh_xy(3, 3, 1),
-        Instance::mesh_mixed(2, 2, 1),
-        Instance::ring_shortest(6, 1),
-        Instance::ring_dateline(6, 1),
-        Instance::torus_dor(4, 4, 1),
-        Instance::torus_dor_dateline(4, 4, 1),
-    ] {
+    for spec in scenarios
+        .iter()
+        .filter(|s| s.switching == SwitchingKind::Wormhole && s.meta.routing.is_deterministic())
+    {
+        let instance =
+            Instance::from_meta(&spec.meta).map_err(|e| format!("{}: {e}", spec.name()))?;
+        let hunt = HuntOptions {
+            attempts: 16,
+            messages: 16,
+            flits: 4,
+            ..HuntOptions::default()
+        };
         let r = check_theorem1(&instance, &hunt)?;
         let show = |o: Option<bool>| match o {
             None => "-".to_string(),
@@ -66,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(false) => "no".to_string(),
         };
         t1.row([
-            r.instance.clone(),
+            spec.name(),
             if r.cyclic {
                 "yes".into()
             } else {
