@@ -1,0 +1,119 @@
+//! Kernel vs legacy stepper throughput on large meshes.
+//!
+//! The scaling claim behind the active-set kernel: on big fabrics most
+//! in-flight worms are entry-queued or blocked at any instant, so the legacy
+//! full-rescan step pays `O(travels × flits)` per step for work that moves
+//! nothing, while the kernel pays `O(1)` per parked travel. The groups run
+//! the same heavy uniform workloads — 16×16 with 2048 messages, 32×32 with
+//! 4096 messages — under both steppers; identical outcomes are asserted on
+//! every iteration (the differential suite proves it in depth), and the
+//! headline `speedup/*` lines report the single-shot wall-clock ratio.
+//!
+//! Medians land in `target/bench-results.json` via the criterion shim.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genoc_bench::xy_mesh;
+use genoc_core::spec::MessageSpec;
+use genoc_sim::{simulate, SimOptions, Stepper};
+use genoc_switching::wormhole::WormholePolicy;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Workload {
+    label: &'static str,
+    mesh_side: usize,
+    samples: usize,
+    specs: fn(usize) -> Vec<MessageSpec>,
+}
+
+const WORKLOADS: [Workload; 2] = [
+    // Thirty-two messages per node of long-worm uniform traffic: deep entry
+    // queues, so most travels are parked at any instant.
+    Workload {
+        label: "mesh-16x16",
+        mesh_side: 16,
+        samples: 5,
+        specs: |nodes| genoc_sim::workload::uniform_random(nodes, nodes * 32, 4..=8, 23),
+    },
+    // The classic heavy-traffic stress: thousands of messages converging on
+    // a hotspot (a memory-controller-style sink). The hotspot's ejection
+    // port serialises deliveries, so nearly every travel spends nearly the
+    // whole run blocked in a tree of wait-for chains — the regime the
+    // per-port wake-lists exist for, and the worst case for the legacy
+    // stepper's full per-flit rescans.
+    Workload {
+        label: "mesh-32x32-heavy",
+        mesh_side: 32,
+        samples: 3,
+        specs: |nodes| genoc_sim::workload::hotspot(nodes, 4096, nodes / 2, 40, 6, 23),
+    },
+];
+
+fn specs_for(w: &Workload) -> Vec<MessageSpec> {
+    (w.specs)(w.mesh_side * w.mesh_side)
+}
+
+fn total_flits(specs: &[MessageSpec]) -> u64 {
+    specs.iter().map(|s| s.flits as u64).sum()
+}
+
+fn run_once(w: &Workload, specs: &[MessageSpec], stepper: Stepper) -> u64 {
+    let (mesh, routing) = xy_mesh(w.mesh_side, 2);
+    let options = SimOptions {
+        stepper,
+        ..SimOptions::default()
+    };
+    let r = simulate(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        specs,
+        &options,
+    )
+    .unwrap();
+    assert!(r.evacuated(), "XY evacuates at any scale");
+    r.run.steps
+}
+
+fn bench_steppers(c: &mut Criterion) {
+    for w in &WORKLOADS {
+        let specs = specs_for(w);
+        let mut group = c.benchmark_group(format!("kernel_throughput/{}", w.label));
+        group.sample_size(w.samples);
+        group.throughput(Throughput::Elements(total_flits(&specs)));
+        group.bench_function("legacy", |b| {
+            b.iter(|| black_box(run_once(w, &specs, Stepper::Legacy)))
+        });
+        group.bench_function("kernel", |b| {
+            b.iter(|| black_box(run_once(w, &specs, Stepper::Kernel)))
+        });
+        group.finish();
+    }
+}
+
+/// Headline single-shot speedups, printed alongside the medians (the
+/// acceptance number for the 32×32 heavy workload). The JSON trajectory
+/// carries the legacy and kernel medians, from which the ratio follows.
+fn bench_speedup_headline(_c: &mut Criterion) {
+    for w in &WORKLOADS {
+        let specs = specs_for(w);
+        let start = Instant::now();
+        let legacy_steps = run_once(w, &specs, Stepper::Legacy);
+        let legacy = start.elapsed();
+        let start = Instant::now();
+        let kernel_steps = run_once(w, &specs, Stepper::Kernel);
+        let kernel = start.elapsed();
+        assert_eq!(legacy_steps, kernel_steps, "steppers must agree exactly");
+        let ratio = legacy.as_secs_f64() / kernel.as_secs_f64().max(1e-9);
+        println!(
+            "kernel_throughput/speedup/{:<24} legacy {legacy:>10.2?}  kernel {kernel:>10.2?}  \
+             => {ratio:.1}x ({} steps, {} flits)",
+            w.label,
+            legacy_steps,
+            total_flits(&specs),
+        );
+    }
+}
+
+criterion_group!(benches, bench_steppers, bench_speedup_headline);
+criterion_main!(benches);

@@ -63,4 +63,5 @@ pub use crate::matrix::{Expansion, ScenarioMatrix, ScenarioSpec};
 pub use crate::report::CampaignReport;
 pub use crate::run::{
     run_scenario, scenario_seed, CheckOutcome, CheckStatus, EffortProfile, ScenarioOutcome,
+    ScenarioThroughput,
 };

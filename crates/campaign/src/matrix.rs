@@ -282,13 +282,37 @@ impl ScenarioMatrix {
             .capacities([1, 2, 4, 8])
     }
 
+    /// The scale sweep: 16×16 and 32×32 meshes (plus a big torus and ring)
+    /// under wormhole switching, the workloads the incremental kernel was
+    /// built for — thousands of messages per evacuation run. Cyclicity
+    /// comparators are deliberately absent: at this scale the point is
+    /// throughput on deadlock-free fabrics, and the 32×32 cells are capped
+    /// at capacity 4 to keep the obligation sweeps proportionate.
+    pub fn large() -> ScenarioMatrix {
+        ScenarioMatrix::empty()
+            .routings([
+                RoutingKind::Xy,
+                RoutingKind::Yx,
+                RoutingKind::WestFirst,
+                RoutingKind::TorusDorDateline,
+                RoutingKind::RingDateline,
+            ])
+            .switchings([SwitchingKind::Wormhole])
+            .mesh_sizes([(8, 8), (16, 16), (32, 32)])
+            .torus_sizes([(8, 8), (16, 16)])
+            .ring_sizes([32, 64])
+            .capacities([2, 4])
+            .filter(|s| s.meta.nodes() < 1024 || s.meta.capacity >= 4)
+    }
+
     /// Looks a preset up by name (`"smoke"`, `"default"`/`"standard"`,
-    /// `"full"`).
+    /// `"full"`, `"large"`).
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         match name {
             "smoke" => Some(ScenarioMatrix::smoke()),
             "default" | "standard" => Some(ScenarioMatrix::standard()),
             "full" => Some(ScenarioMatrix::full()),
+            "large" => Some(ScenarioMatrix::large()),
             _ => None,
         }
     }
@@ -381,6 +405,32 @@ mod tests {
                 "{topo:?} missing from smoke"
             );
         }
+    }
+
+    #[test]
+    fn large_matrix_reaches_32x32_and_stays_wormhole() {
+        let e = ScenarioMatrix::large().expand_with_stats();
+        assert!(
+            e.scenarios
+                .iter()
+                .all(|s| s.switching == SwitchingKind::Wormhole),
+            "the scale sweep runs wormhole only"
+        );
+        assert!(
+            e.scenarios
+                .iter()
+                .any(|s| s.meta.width == 32 && s.meta.height == 32),
+            "32x32 cells present"
+        );
+        assert!(
+            e.scenarios
+                .iter()
+                .all(|s| s.meta.nodes() < 1024 || s.meta.capacity >= 4),
+            "1024-node cells are capped to capacity >= 4"
+        );
+        assert_eq!(ScenarioMatrix::named("large").map(|m| m.expand().len()), {
+            Some(e.scenarios.len())
+        });
     }
 
     #[test]

@@ -139,23 +139,45 @@ impl CampaignReport {
             balance.join(", ")
         ));
 
-        // Per (topology × switching) breakdown.
-        let mut groups: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+        // Per (topology × switching) breakdown, with aggregate throughput
+        // of the Theorem 2 evacuation runs.
+        #[derive(Default)]
+        struct Group {
+            total: usize,
+            passed: usize,
+            steps: u64,
+            flits: u64,
+            run_secs: f64,
+        }
+        let mut groups: BTreeMap<(String, String), Group> = BTreeMap::new();
         for o in &self.outcomes {
             let key = (
                 o.spec.meta.topology.label().to_string(),
                 o.spec.switching.label().to_string(),
             );
-            let entry = groups.entry(key).or_insert((0, 0));
-            entry.0 += 1;
+            let entry = groups.entry(key).or_default();
+            entry.total += 1;
             if o.passed() {
-                entry.1 += 1;
+                entry.passed += 1;
+            }
+            if let Some(t) = &o.throughput {
+                entry.steps += t.steps;
+                entry.flits += t.delivered_flits;
+                entry.run_secs += t.run_ms / 1e3;
             }
         }
-        out.push_str("| topology | switching | passed | scenarios |\n");
-        out.push_str("|---|---|---:|---:|\n");
-        for ((topo, sw), (total, passed)) in &groups {
-            out.push_str(&format!("| {topo} | {sw} | {passed} | {total} |\n"));
+        out.push_str("| topology | switching | passed | scenarios | steps | flits | kflit/s |\n");
+        out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+        for ((topo, sw), g) in &groups {
+            let rate = if g.run_secs > 0.0 {
+                g.flits as f64 / g.run_secs / 1e3
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "| {topo} | {sw} | {} | {} | {} | {} | {rate:.0} |\n",
+                g.passed, g.total, g.steps, g.flits
+            ));
         }
 
         let mut failures = self.failures().peekable();
@@ -208,6 +230,18 @@ fn outcome_json(o: &ScenarioOutcome) -> Json {
         ("passed", Json::Bool(o.passed())),
         ("deadlocks_seen", Json::U64(o.deadlocks_seen)),
         ("elapsed_ms", Json::F64(o.elapsed_ms)),
+        (
+            "throughput",
+            match &o.throughput {
+                Some(t) => Json::obj([
+                    ("steps", Json::U64(t.steps)),
+                    ("delivered_flits", Json::U64(t.delivered_flits)),
+                    ("run_ms", Json::F64(t.run_ms)),
+                    ("flits_per_sec", Json::F64(t.flits_per_sec)),
+                ]),
+                None => Json::Null,
+            },
+        ),
         (
             "checks",
             Json::Arr(

@@ -67,6 +67,34 @@ impl EffortProfile {
             detect_seeds: 6,
         }
     }
+
+    /// Effort for the `large` matrix: thousands of messages per evacuation
+    /// run (the workloads the incremental kernel exists for), with the
+    /// randomized sweeps trimmed — on a 32×32 mesh one heavy run says more
+    /// than sixteen light ones.
+    pub fn large() -> EffortProfile {
+        EffortProfile {
+            messages_per_node: 4,
+            max_flits: 4,
+            hunt_attempts: 2,
+            hunt_messages: 256,
+            max_steps: 200_000,
+            detect_seeds: 1,
+        }
+    }
+}
+
+/// Throughput of a scenario's main evacuation run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioThroughput {
+    /// Switching steps until the run terminated.
+    pub steps: u64,
+    /// Flits delivered into destination IP cores.
+    pub delivered_flits: u64,
+    /// Wall-clock milliseconds of the run.
+    pub run_ms: f64,
+    /// Delivered flits per wall-clock second of the run.
+    pub flits_per_sec: f64,
 }
 
 /// Verdict of one check within a scenario.
@@ -137,6 +165,9 @@ pub struct ScenarioOutcome {
     pub deadlocks_seen: u64,
     /// The individual checks, in battery order.
     pub checks: Vec<CheckOutcome>,
+    /// Throughput of the Theorem 2 evacuation run (`None` only when the
+    /// scenario failed before running it).
+    pub throughput: Option<ScenarioThroughput>,
     /// Wall-clock milliseconds for the whole scenario.
     pub elapsed_ms: f64,
 }
@@ -213,6 +244,7 @@ pub fn run_scenario(
                 deterministic: spec.meta.routing.is_deterministic(),
                 deadlocks_seen,
                 checks,
+                throughput: None,
                 elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             };
         }
@@ -331,14 +363,9 @@ pub fn run_scenario(
     }
 
     // Theorem 2 / evacuation under the scenario's switching policy.
-    checks.push(run_evacuation(
-        &instance,
-        spec,
-        seed,
-        effort,
-        flits,
-        &mut deadlocks_seen,
-    ));
+    let (evacuation, throughput) =
+        run_evacuation(&instance, spec, seed, effort, flits, &mut deadlocks_seen);
+    checks.push(evacuation);
 
     // Bounded deadlock hunt under the scenario's switching policy.
     if deterministic {
@@ -459,14 +486,29 @@ pub fn run_scenario(
         deterministic,
         deadlocks_seen,
         checks,
+        throughput,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn throughput_of(steps: u64, delivered_flits: u64, millis: f64) -> ScenarioThroughput {
+    ScenarioThroughput {
+        steps,
+        delivered_flits,
+        run_ms: millis,
+        flits_per_sec: if millis > 0.0 {
+            delivered_flits as f64 / (millis / 1e3)
+        } else {
+            0.0
+        },
     }
 }
 
 /// Theorem 2 under the scenario's policy. Deterministic instances run the
 /// verif checker directly; adaptive instances fix one admissible route per
-/// message (seeded) and run the interpreter, as the paper's future-work
-/// section suggests.
+/// message (seeded) and simulate the selection, as the paper's future-work
+/// section suggests. Both paths execute on the incremental kernel and
+/// report the run's throughput alongside the verdict.
 fn run_evacuation(
     instance: &Instance,
     spec: &ScenarioSpec,
@@ -474,7 +516,7 @@ fn run_evacuation(
     effort: &EffortProfile,
     flits: usize,
     deadlocks_seen: &mut u64,
-) -> CheckOutcome {
+) -> (CheckOutcome, Option<ScenarioThroughput>) {
     let nodes = instance.net.node_count();
     let messages = (nodes * effort.messages_per_node).max(4);
     let specs = genoc_sim::workload::uniform_random(nodes.max(2), messages, 1..=flits, seed);
@@ -495,88 +537,98 @@ fn run_evacuation(
                     notes.push(format!("run ended after {} steps", report.steps));
                 }
                 let failed = !report.correct || (must_evacuate && !report.evacuated);
+                let throughput = throughput_of(report.steps, report.delivered_flits, report.sim_ms);
+                (
+                    CheckOutcome {
+                        check: "theorem2",
+                        status: if failed {
+                            CheckStatus::Fail
+                        } else {
+                            CheckStatus::Pass
+                        },
+                        cases: report.messages as u64,
+                        millis,
+                        notes,
+                    },
+                    Some(throughput),
+                )
+            }
+            Err(e) => (
                 CheckOutcome {
                     check: "theorem2",
-                    status: if failed {
-                        CheckStatus::Fail
-                    } else {
-                        CheckStatus::Pass
-                    },
-                    cases: report.messages as u64,
+                    status: CheckStatus::Fail,
+                    cases: 0,
                     millis,
-                    notes,
-                }
-            }
-            Err(e) => CheckOutcome {
-                check: "theorem2",
-                status: CheckStatus::Fail,
-                cases: 0,
-                millis,
-                notes: vec![format!("harness error: {e}")],
-            },
+                    notes: vec![format!("harness error: {e}")],
+                },
+                None,
+            ),
         }
     } else {
-        let (result, millis) = timed(|| -> Result<_, genoc_core::Error> {
-            let cfg = genoc_sim::adaptive::config_with_selected_routes(
-                instance.net.as_ref(),
-                instance.routing.as_ref(),
-                &specs,
-                seed,
-            )?;
-            let injected: Vec<genoc_core::MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
-            let mut policy = policy_for(spec.switching);
-            let run = genoc_core::interpreter::run(
-                instance.net.as_ref(),
-                &genoc_core::injection::IdentityInjection,
-                policy.as_mut(),
-                cfg,
-                &genoc_core::interpreter::RunOptions {
-                    max_steps: effort.max_steps,
-                    record_trace: true,
-                    ..Default::default()
-                },
-            )?;
-            Ok((injected, run))
-        });
+        let mut policy = policy_for(spec.switching);
+        let check_start = Instant::now();
+        let result = genoc_sim::simulate_selected(
+            instance.net.as_ref(),
+            instance.routing.as_ref(),
+            policy.as_mut(),
+            &specs,
+            seed,
+            &genoc_sim::SimOptions {
+                max_steps: effort.max_steps,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        // Route selection + run; the trace checks below are kept out of the
+        // throughput figure but inside the check's own wall clock.
+        let sim_ms = check_start.elapsed().as_secs_f64() * 1e3;
         match result {
-            Ok((injected, run)) => {
-                let evac = check_evacuation(&injected, &run);
+            Ok(sim) => {
+                let evac = check_evacuation(&sim.injected, &sim.run);
                 let corr = check_correctness(
                     instance.net.as_ref(),
                     instance.routing.as_ref(),
                     &specs,
-                    &run,
+                    &sim.run,
                 );
                 let mut notes: Vec<String> = corr.violations.clone();
                 if !evac.holds {
-                    *deadlocks_seen += u64::from(run.outcome == Outcome::Deadlock);
+                    *deadlocks_seen += u64::from(sim.run.outcome == Outcome::Deadlock);
                     notes.push(format!(
                         "selection did not evacuate: outcome {:?} after {} steps",
-                        run.outcome, run.steps
+                        sim.run.outcome, sim.run.steps
                     ));
                 }
                 // Any selection from an acyclic adaptive relation is itself
                 // acyclic, so turn-model instances must evacuate (wormhole).
                 let failed = !corr.holds() || (must_evacuate && !evac.holds);
+                let throughput =
+                    throughput_of(sim.run.steps, sim.run.config.delivered_flits(), sim_ms);
+                (
+                    CheckOutcome {
+                        check: "theorem2",
+                        status: if failed {
+                            CheckStatus::Fail
+                        } else {
+                            CheckStatus::Pass
+                        },
+                        cases: sim.injected.len() as u64,
+                        millis: check_start.elapsed().as_secs_f64() * 1e3,
+                        notes,
+                    },
+                    Some(throughput),
+                )
+            }
+            Err(e) => (
                 CheckOutcome {
                     check: "theorem2",
-                    status: if failed {
-                        CheckStatus::Fail
-                    } else {
-                        CheckStatus::Pass
-                    },
-                    cases: injected.len() as u64,
-                    millis,
-                    notes,
-                }
-            }
-            Err(e) => CheckOutcome {
-                check: "theorem2",
-                status: CheckStatus::Fail,
-                cases: 0,
-                millis,
-                notes: vec![format!("harness error: {e}")],
-            },
+                    status: CheckStatus::Fail,
+                    cases: 0,
+                    millis: sim_ms,
+                    notes: vec![format!("harness error: {e}")],
+                },
+                None,
+            ),
         }
     }
 }
@@ -624,6 +676,26 @@ mod tests {
         );
         assert_eq!(outcome.deadlocks_seen, 0, "XY is deadlock-free");
         assert!(outcome.checks.iter().all(|c| c.status != CheckStatus::Skip));
+        let throughput = outcome.throughput.expect("evacuation ran");
+        assert!(throughput.steps > 0);
+        assert!(
+            throughput.delivered_flits > 0,
+            "an evacuated run delivered flits"
+        );
+        assert!(throughput.flits_per_sec > 0.0);
+    }
+
+    #[test]
+    fn adaptive_scenarios_report_throughput_too() {
+        let s = spec(RoutingKind::WestFirst, 3, 3, 2, SwitchingKind::Wormhole);
+        let outcome = run_scenario(&s, 3, &EffortProfile::quick());
+        assert!(
+            outcome.passed(),
+            "{:?}",
+            outcome.failures().collect::<Vec<_>>()
+        );
+        let throughput = outcome.throughput.expect("selection ran");
+        assert!(throughput.delivered_flits > 0);
     }
 
     #[test]

@@ -200,6 +200,13 @@ impl Config {
         &self.arrived
     }
 
+    /// Total flits delivered into destination IP cores: the flits of every
+    /// arrived travel. The single definition behind every throughput figure
+    /// (campaign reports, Theorem 2 reports).
+    pub fn delivered_flits(&self) -> u64 {
+        self.arrived.iter().map(|t| t.flit_count() as u64).sum()
+    }
+
     /// The network state `ST`.
     pub fn state(&self) -> &NetworkState {
         &self.state
@@ -354,16 +361,23 @@ impl Config {
 
     /// Moves every fully-delivered travel from `T` to `A`, preserving order.
     /// Returns the identifiers of the newly arrived travels.
+    ///
+    /// One order-preserving pass; the cheap pre-scan keeps arrival-free
+    /// steps allocation-free (a per-removal `Vec::remove` here was
+    /// quadratic and dominated large-workload runs).
     pub fn drain_arrived(&mut self) -> Vec<MsgId> {
+        if !self.travels.iter().any(Travel::is_arrived) {
+            return Vec::new();
+        }
         let mut newly = Vec::new();
-        let mut i = 0;
-        while i < self.travels.len() {
-            if self.travels[i].is_arrived() {
-                let t = self.travels.remove(i);
+        let drained = std::mem::take(&mut self.travels);
+        self.travels = Vec::with_capacity(drained.len());
+        for t in drained {
+            if t.is_arrived() {
                 newly.push(t.id());
                 self.arrived.push(t);
             } else {
-                i += 1;
+                self.travels.push(t);
             }
         }
         newly

@@ -65,6 +65,7 @@ pub mod error;
 pub mod ids;
 pub mod injection;
 pub mod interpreter;
+pub mod kernel;
 pub mod line;
 pub mod measure;
 pub mod meta;
@@ -92,13 +93,14 @@ pub mod prelude {
     pub use crate::ids::{MsgId, NodeId, PortId};
     pub use crate::injection::{IdentityInjection, InjectionMethod};
     pub use crate::interpreter::{run, Outcome, RunOptions, RunResult};
+    pub use crate::kernel::{run_kernelised, Kernel, Transition, TravelStatus};
     pub use crate::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
     pub use crate::meta::{InstanceMeta, RoutingKind, SwitchingKind, TopologyKind};
     pub use crate::network::{Direction, Network, PortAttrs};
     pub use crate::obligations::{ObligationId, ObligationReport};
     pub use crate::routing::{compute_route, RoutingFunction};
     pub use crate::spec::MessageSpec;
-    pub use crate::switching::{StepReport, SwitchingPolicy};
+    pub use crate::switching::{Arbitration, KernelSpec, StepReport, SwitchingPolicy};
     pub use crate::theorems::{check_correctness, check_evacuation};
     pub use crate::travel::{FlitPos, Travel};
 }

@@ -12,8 +12,8 @@ use crate::error::Result;
 use crate::ids::{NodeId, PortId};
 use crate::network::{Direction, Network, PortAttrs};
 use crate::routing::RoutingFunction;
-use crate::step::{step_all, StepScratch};
-use crate::switching::{StepReport, SwitchingPolicy};
+use crate::step::{step_all, AlwaysAdmit, StepScratch};
+use crate::switching::{Arbitration, KernelSpec, StepReport, SwitchingPolicy};
 use crate::trace::Trace;
 
 /// Port names of the line network.
@@ -247,6 +247,15 @@ impl SwitchingPolicy for LineSwitching {
 
     fn is_deadlock(&self, _net: &dyn Network, cfg: &Config) -> bool {
         !cfg.is_evacuated() && !cfg.any_move_possible()
+    }
+
+    fn kernel_spec(&self) -> Option<KernelSpec> {
+        static ADMISSION: AlwaysAdmit = AlwaysAdmit;
+        Some(KernelSpec {
+            arbitration: Arbitration::FixedPriority,
+            admission: &ADMISSION,
+            first_step: 0,
+        })
     }
 }
 

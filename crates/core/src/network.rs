@@ -150,6 +150,16 @@ pub trait Network {
     }
 }
 
+/// Iterates over all valid destination ports (the local ejection ports) of
+/// `net`, in node order, without allocating.
+///
+/// The iterator-based variant of [`Network::destinations`]: prefer it
+/// wherever the destinations are scanned in a loop (obligation checkers,
+/// witness compilation) so repeated calls do not re-collect a `Vec`.
+pub fn destination_ports(net: &dyn Network) -> impl Iterator<Item = PortId> + '_ {
+    net.nodes().map(move |n| net.local_out(n))
+}
+
 /// Iterator over all [`PortId`]s of a network, produced by
 /// [`Network::ports`].
 #[derive(Clone, Debug)]
@@ -235,9 +245,11 @@ mod tests {
         let net = LineNetwork::new(3, 1);
         let dests = net.destinations();
         assert_eq!(dests.len(), 3);
-        for d in dests {
-            assert!(net.attrs(d).is_local_out());
+        for d in &dests {
+            assert!(net.attrs(*d).is_local_out());
         }
+        let iterated: Vec<_> = destination_ports(&net).collect();
+        assert_eq!(iterated, dests, "iterator variant agrees with the Vec");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The canonical greedy wormhole step, shared by concrete switching
-//! policies.
+//! policies, generalised over a per-policy *head admission* predicate.
 //!
 //! One step processes every in-flight travel in a given priority order and
 //! every flit head-to-tail, performing each admissible move. Link bandwidth
@@ -8,20 +8,69 @@
 //! first admissible move encountered is always performed, a step moves at
 //! least one flit whenever the configuration is not a deadlock — the
 //! progress half of proof obligation (C-5).
+//!
+//! All three switching policies of `genoc-switching` move flits the same way
+//! — body flits follow their predecessor under the ownership rules of this
+//! crate — and differ only in when a *header* flit may claim the next port.
+//! That policy-specific condition is the [`HeadAdmission`] predicate;
+//! [`AlwaysAdmit`] recovers plain wormhole switching. The incremental
+//! [`Kernel`](crate::kernel::Kernel) steps travels through the same
+//! [`step_travel_with`] function, so legacy and kernel execution are
+//! move-for-move identical by construction.
 
 use crate::config::Config;
 use crate::error::Result;
 use crate::ids::PortId;
 use crate::switching::StepReport;
 use crate::trace::{Trace, Zone};
+use crate::travel::FlitPos;
 
-/// Per-step scratch state: which ports already accepted/ejected a flit.
+/// Where a header flit is about to move from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeadMove {
+    /// Entry from the source IP core into `route[0]`.
+    Entry,
+    /// Advance from `route[k]` to `route[k + 1]`.
+    Advance {
+        /// Current route index of the header.
+        from: usize,
+    },
+}
+
+/// Extra admission condition a policy imposes on header moves, on top of the
+/// core wormhole rules (free buffer, ownership).
+pub trait HeadAdmission {
+    /// Whether the header of travel `i` may perform `mv` in configuration
+    /// `cfg`.
+    fn admit(&self, cfg: &Config, i: usize, mv: HeadMove) -> bool;
+}
+
+/// Admits every header move: plain wormhole switching.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysAdmit;
+
+impl HeadAdmission for AlwaysAdmit {
+    fn admit(&self, _cfg: &Config, _i: usize, _mv: HeadMove) -> bool {
+        true
+    }
+}
+
+/// Per-step scratch state: which ports already accepted/ejected a flit, and
+/// which ports were *freed* during the step (a flit left, or — via a tail
+/// leaving — ownership was released).
+///
+/// The freed-port log is the signal the incremental
+/// [`Kernel`](crate::kernel::Kernel) turns into wake-ups for parked travels:
+/// a fully blocked travel can only become movable again through a
+/// `leave`/`release` on the single port its head waits for, so the log is a
+/// complete wake condition.
 ///
 /// Reusable across steps to avoid reallocation; see [`StepScratch::reset`].
 #[derive(Clone, Debug, Default)]
 pub struct StepScratch {
     entered: Vec<bool>,
     ejected: Vec<bool>,
+    freed: Vec<PortId>,
 }
 
 impl StepScratch {
@@ -30,15 +79,18 @@ impl StepScratch {
         StepScratch {
             entered: vec![false; port_count],
             ejected: vec![false; port_count],
+            freed: Vec::new(),
         }
     }
 
-    /// Clears the per-step flags, resizing if the port count changed.
+    /// Clears the per-step flags and the freed-port log, resizing if the
+    /// port count changed.
     pub fn reset(&mut self, port_count: usize) {
         self.entered.clear();
         self.entered.resize(port_count, false);
         self.ejected.clear();
         self.ejected.resize(port_count, false);
+        self.freed.clear();
     }
 
     /// Whether no flit has entered `p` during the current step.
@@ -60,21 +112,41 @@ impl StepScratch {
     pub fn mark_ejected(&mut self, p: PortId) {
         self.ejected[p.index()] = true;
     }
+
+    /// Records that a flit left `p` (possibly releasing ownership).
+    pub fn mark_freed(&mut self, p: PortId) {
+        self.freed.push(p);
+    }
+
+    /// The ports freed since the last [`reset`](StepScratch::reset) or
+    /// [`clear_freed`](StepScratch::clear_freed), in move order (may contain
+    /// duplicates).
+    pub fn freed(&self) -> &[PortId] {
+        &self.freed
+    }
+
+    /// Empties the freed-port log.
+    pub fn clear_freed(&mut self) {
+        self.freed.clear();
+    }
 }
 
 /// Performs all admissible moves for travel `i`, head to tail, honouring the
-/// per-step bandwidth flags in `scratch`. Returns the number of
+/// per-step bandwidth flags in `scratch` and the policy's head-admission
+/// predicate. Every port a flit leaves is logged via
+/// [`StepScratch::mark_freed`]. Returns the number of
 /// (entries, advances, ejections) performed.
 ///
 /// # Errors
 ///
 /// Propagates invariant violations from the movement primitives (these
 /// indicate a bug: every move is guarded by its `can_*` predicate).
-pub fn step_travel(
+pub fn step_travel_with(
     cfg: &mut Config,
     i: usize,
     scratch: &mut StepScratch,
     trace: &mut Trace,
+    admission: &dyn HeadAdmission,
 ) -> Result<StepReport> {
     let mut report = StepReport::default();
     let flit_count = cfg.travel(i).flit_count();
@@ -85,6 +157,7 @@ pub fn step_travel(
             if scratch.may_eject(port) {
                 cfg.eject_flit(i, f)?;
                 scratch.mark_ejected(port);
+                scratch.mark_freed(port);
                 trace.record(id, f, Zone::Port(port), Zone::Delivered);
                 report.ejections += 1;
             }
@@ -93,20 +166,28 @@ pub fn step_travel(
         if cfg.can_advance_flit(i, f) {
             let t = cfg.travel(i);
             let k = match t.flit_pos(f) {
-                crate::travel::FlitPos::InNetwork(k) => k,
+                FlitPos::InNetwork(k) => k,
                 _ => unreachable!("can_advance_flit implies in-network"),
             };
+            if f == 0 && !admission.admit(cfg, i, HeadMove::Advance { from: k }) {
+                continue;
+            }
+            let t = cfg.travel(i);
             let from = t.route()[k];
             let to = t.route()[k + 1];
             if scratch.may_enter(to) {
                 cfg.advance_flit(i, f)?;
                 scratch.mark_entered(to);
+                scratch.mark_freed(from);
                 trace.record(id, f, Zone::Port(from), Zone::Port(to));
                 report.advances += 1;
             }
             continue;
         }
         if cfg.can_enter_flit(i, f) {
+            if f == 0 && !admission.admit(cfg, i, HeadMove::Entry) {
+                continue;
+            }
             let port = cfg.travel(i).route()[0];
             if scratch.may_enter(port) {
                 cfg.enter_flit(i, f)?;
@@ -118,6 +199,21 @@ pub fn step_travel(
         }
     }
     Ok(report)
+}
+
+/// Performs all admissible moves for travel `i` under plain wormhole
+/// admission (see [`step_travel_with`]).
+///
+/// # Errors
+///
+/// Propagates invariant violations from the movement primitives.
+pub fn step_travel(
+    cfg: &mut Config,
+    i: usize,
+    scratch: &mut StepScratch,
+    trace: &mut Trace,
+) -> Result<StepReport> {
+    step_travel_with(cfg, i, scratch, trace, &AlwaysAdmit)
 }
 
 /// One greedy wormhole step over every travel, in the order given by
@@ -144,6 +240,62 @@ pub fn step_all(
         total.ejections += r.ejections;
     }
     Ok(total)
+}
+
+/// Whether some flit of travel `i` can move under the policy's admission
+/// rules (ignoring the per-step bandwidth flags).
+pub fn travel_can_move_with(cfg: &Config, i: usize, admission: &dyn HeadAdmission) -> bool {
+    let flit_count = cfg.travel(i).flit_count();
+    (0..flit_count).any(|f| {
+        if cfg.can_eject_flit(i, f) {
+            return true;
+        }
+        if cfg.can_advance_flit(i, f) {
+            if f > 0 {
+                return true;
+            }
+            let k = match cfg.travel(i).flit_pos(f) {
+                FlitPos::InNetwork(k) => k,
+                _ => unreachable!(),
+            };
+            return admission.admit(cfg, i, HeadMove::Advance { from: k });
+        }
+        if cfg.can_enter_flit(i, f) {
+            return f > 0 || admission.admit(cfg, i, HeadMove::Entry);
+        }
+        false
+    })
+}
+
+/// Whether any flit of any travel can move under the policy's admission
+/// rules — the complement of the policy's deadlock predicate `Ω`.
+pub fn any_move_possible_with(cfg: &Config, admission: &dyn HeadAdmission) -> bool {
+    (0..cfg.travels().len()).any(|i| travel_can_move_with(cfg, i, admission))
+}
+
+/// The port whose state keeps travel `i` from moving, or `None` if some flit
+/// of it can still move under the policy's admission rules.
+///
+/// A fully blocked worm is gated solely by its head's next port (`route[0]`
+/// for a pending head, `route[k + 1]` for a head at route index `k`): body
+/// flits only wait on ports the worm itself owns, which drain exclusively
+/// through the worm's own moves, and a head at the destination port can
+/// always eject. A `leave` or `release` on the returned port is therefore
+/// the *only* event that can make the travel movable again — the invariant
+/// behind the kernel's per-port wake-lists.
+pub fn blocked_port_with(cfg: &Config, i: usize, admission: &dyn HeadAdmission) -> Option<PortId> {
+    if travel_can_move_with(cfg, i, admission) {
+        return None;
+    }
+    let t = cfg.travel(i);
+    match t.flit_pos(0) {
+        FlitPos::Pending => Some(t.route()[0]),
+        FlitPos::InNetwork(k) if k + 1 < t.route().len() => Some(t.route()[k + 1]),
+        // A head at the destination port can always eject, and a delivered
+        // head leaves only body flits that drain through the worm's owned
+        // suffix — neither state can coexist with a blocked travel.
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -202,8 +354,54 @@ mod tests {
     fn scratch_reset_resizes() {
         let mut s = StepScratch::new(2);
         s.mark_entered(PortId::from_index(1));
+        s.mark_freed(PortId::from_index(0));
         s.reset(4);
         assert!(s.may_enter(PortId::from_index(1)));
         assert!(s.may_enter(PortId::from_index(3)));
+        assert!(s.freed().is_empty());
+    }
+
+    #[test]
+    fn advances_and_ejections_log_freed_ports() {
+        let net = LineNetwork::new(2, 1);
+        let routing = LineRouting::new(&net);
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(1),
+            1,
+        )];
+        let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        let mut scratch = StepScratch::new(net.port_count());
+        let mut trace = Trace::new(false);
+        scratch.reset(net.port_count());
+        step_all(&mut cfg, &[0], &mut scratch, &mut trace).unwrap();
+        assert!(scratch.freed().is_empty(), "entry frees nothing");
+        while cfg.drain_arrived().is_empty() {
+            let prev = cfg.travel(0).current();
+            scratch.reset(net.port_count());
+            let r = step_all(&mut cfg, &[0], &mut scratch, &mut trace).unwrap();
+            assert_eq!(r.moves(), 1);
+            assert_eq!(scratch.freed(), &[prev], "the vacated port is logged");
+        }
+        assert!(cfg.is_evacuated());
+    }
+
+    #[test]
+    fn blocked_port_points_at_the_heads_next_hop() {
+        let net = LineNetwork::new(3, 1);
+        let routing = LineRouting::new(&net);
+        // Two messages from node 0: the second is blocked at entry while the
+        // first owns the shared local in-port.
+        let specs = [
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2),
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 1),
+        ];
+        let mut cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        cfg.enter_flit(0, 0).unwrap();
+        assert_eq!(blocked_port_with(&cfg, 0, &AlwaysAdmit), None);
+        assert_eq!(
+            blocked_port_with(&cfg, 1, &AlwaysAdmit),
+            Some(cfg.travel(1).route()[0]),
+        );
     }
 }

@@ -77,14 +77,15 @@ pub fn deadlock_from_cycle_with(
     if cycle.is_empty() {
         return Err(Error::InvalidSpec("empty cycle".into()));
     }
-    let dests = analysis.destinations().to_vec();
     let mut travels = Vec::with_capacity(cycle.len());
     let mut destinations = Vec::with_capacity(cycle.len());
     for (i, &p) in cycle.iter().enumerate() {
         let next = cycle[(i + 1) % cycle.len()];
         // (C-2) witness search: a reachable destination routing p into next.
+        // Iterating the analysis's destination slice directly (no re-collect
+        // per edge) keeps repeated witness compilation cheap in hunts.
         let mut hops = Vec::with_capacity(4);
-        let witness = dests.iter().copied().find(|&d| {
+        let witness = analysis.destinations().iter().copied().find(|&d| {
             if !analysis.reachable(p, d) || p == d {
                 return false;
             }

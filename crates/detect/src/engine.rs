@@ -36,6 +36,7 @@ use std::collections::VecDeque;
 use genoc_core::blocking::{find_wait_cycle, WaitCycle};
 use genoc_core::config::Config;
 use genoc_core::error::{Error, Result};
+use genoc_core::kernel::Transition;
 use genoc_core::network::Network;
 use genoc_core::travel::Travel;
 use genoc_sim::runner::DetectorHook;
@@ -221,6 +222,40 @@ impl DetectionEngine {
     /// the configuration, so an alarm on a cycle the exact detector is about
     /// to repair still counts as genuine.
     fn handle(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
+        self.observe_heuristic(cfg, step);
+        if let Some(detector) = self.exact.as_mut() {
+            if let Some(cycle) = detector.observe(cfg) {
+                self.record_detection(step, cycle.clone());
+                self.recover(net, cfg, step, cycle)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Kernel-driven variant of [`handle`](DetectionEngine::handle): the
+    /// exact detector folds the kernel's status transitions into its
+    /// wait-for graph directly (a `Blocked(p)` transition *is* a wait-for
+    /// edge) instead of re-deriving every travel's blocking event. Returns
+    /// whether recovery mutated the configuration.
+    fn handle_kernel(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        transitions: &[Transition],
+        step: u64,
+    ) -> Result<bool> {
+        self.observe_heuristic(cfg, step);
+        let mut mutated = false;
+        if let Some(detector) = self.exact.as_mut() {
+            if let Some(cycle) = detector.apply_kernel_transitions(cfg, transitions) {
+                self.record_detection(step, cycle.clone());
+                mutated = self.recover(net, cfg, step, cycle)?;
+            }
+        }
+        Ok(mutated)
+    }
+
+    fn observe_heuristic(&mut self, cfg: &Config, step: u64) {
         if let Some(heuristic) = self.heuristic.as_mut() {
             let suspects = heuristic.observe(cfg);
             if !suspects.is_empty() && self.stats.first_heuristic_step.is_none() {
@@ -230,19 +265,22 @@ impl DetectionEngine {
                 }
             }
         }
-        if let Some(detector) = self.exact.as_mut() {
-            if let Some(cycle) = detector.observe(cfg) {
-                self.record_detection(step, cycle.clone());
-                self.recover(net, cfg, step, cycle)?;
-            }
-        }
-        Ok(())
     }
 }
 
 impl DetectorHook for DetectionEngine {
     fn after_step(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
         self.handle(net, cfg, step)
+    }
+
+    fn after_kernel_step(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        transitions: &[Transition],
+        step: u64,
+    ) -> Result<bool> {
+        self.handle_kernel(net, cfg, transitions, step)
     }
 
     fn on_deadlock(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<bool> {

@@ -21,6 +21,7 @@
 
 use genoc_core::blocking::{block_event, find_wait_cycle, WaitCycle};
 use genoc_core::config::Config;
+use genoc_core::kernel::{Transition, TravelStatus};
 use genoc_core::{MsgId, PortId};
 
 /// One wait-for edge: the blocked travel's wanted port and its owner.
@@ -39,6 +40,9 @@ struct Edge {
 pub struct ExactDetector {
     /// Out-edge per message id index (`None` = not blocked on an owner).
     edges: Vec<Option<Edge>>,
+    /// Reusable id → travel-index scratch for the kernel-transition feed
+    /// (valid only within one `apply_kernel_transitions` call).
+    index_scratch: Vec<usize>,
 }
 
 impl ExactDetector {
@@ -78,6 +82,76 @@ impl ExactDetector {
             // The edges just refreshed mirror the configuration exactly, so
             // the chase over the live wait-for structure is authoritative —
             // stale entries of departed travels are unreachable from it.
+            find_wait_cycle(cfg)
+        } else {
+            None
+        }
+    }
+
+    /// Folds a kernel step's status [`Transition`]s into the wait-for graph
+    /// and returns a cycle if one newly closed.
+    ///
+    /// This is the incremental feed the kernel's wake-list bookkeeping
+    /// provides for free: a travel transitions to
+    /// [`TravelStatus::Blocked`] exactly when its blocking event first
+    /// holds, stays parked while the event is unchanged (the owner of the
+    /// wanted port cannot change without a wake), and transitions to
+    /// `Active`/`Delivered` exactly when the event dissolves. So only the
+    /// transitioned travels need their edges re-derived — `O(transitions)`
+    /// instead of [`observe`](ExactDetector::observe)'s `O(travels)` rescan
+    /// — and the cycle chase still runs only when an edge was added,
+    /// reporting the same cycles at the same steps.
+    pub fn apply_kernel_transitions(
+        &mut self,
+        cfg: &Config,
+        transitions: &[Transition],
+    ) -> Option<WaitCycle> {
+        // One dense id → travel-index map per call (only when some travel
+        // parked, and into a reused buffer) keeps the edge re-derivation
+        // O(travels + transitions) instead of a linear scan per transition.
+        let parked = transitions
+            .iter()
+            .any(|t| matches!(t.status, TravelStatus::Blocked(_)));
+        if parked {
+            let slots = cfg
+                .travels()
+                .iter()
+                .map(|t| t.id().index())
+                .max()
+                .map_or(0, |m| m + 1);
+            self.index_scratch.clear();
+            self.index_scratch.resize(slots, usize::MAX);
+            for (i, t) in cfg.travels().iter().enumerate() {
+                self.index_scratch[t.id().index()] = i;
+            }
+        }
+        let mut added = false;
+        for tr in transitions {
+            self.ensure(tr.msg);
+            let new = match tr.status {
+                TravelStatus::Blocked(_) => self
+                    .index_scratch
+                    .get(tr.msg.index())
+                    .copied()
+                    .filter(|&i| i != usize::MAX)
+                    .and_then(|i| block_event(cfg, i))
+                    .and_then(|e| {
+                        e.on.map(|owner| Edge {
+                            wants: e.wants,
+                            on: owner,
+                        })
+                    }),
+                TravelStatus::Pending | TravelStatus::Active | TravelStatus::Delivered => None,
+            };
+            // A travel that parks may re-derive the same edge its *stale*
+            // slot still holds (e.g. after a recovery mutated the
+            // configuration without transitions), so the chase is gated on
+            // the transition itself, not on the slot changing — exactly
+            // when the legacy per-step rescan would have chased.
+            added |= new.is_some();
+            self.edges[tr.msg.index()] = new;
+        }
+        if added {
             find_wait_cycle(cfg)
         } else {
             None

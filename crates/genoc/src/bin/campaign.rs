@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p genoc --bin campaign -- [FLAGS]
 //!
-//!   --matrix <smoke|default|full>   preset to expand        [default: default]
+//!   --matrix <smoke|default|full|large>  preset to expand   [default: default]
 //!   --jobs <N>                      worker threads, 0=auto  [default: 0]
 //!   --seed <N>                      campaign seed           [default: 0]
 //!   --filter <substring>            keep scenarios whose name contains this
@@ -56,9 +56,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--list" => args.list = true,
             "--help" | "-h" => {
-                return Err("usage: campaign [--matrix smoke|default|full] [--jobs N] \
+                return Err(
+                    "usage: campaign [--matrix smoke|default|full|large] [--jobs N] \
                             [--seed N] [--filter SUBSTRING] [--out PATH] [--list]"
-                    .into());
+                        .into(),
+                );
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
@@ -76,7 +78,7 @@ fn main() -> ExitCode {
     };
     let Some(matrix) = ScenarioMatrix::named(&args.matrix) else {
         eprintln!(
-            "unknown matrix {:?}: expected smoke, default, or full",
+            "unknown matrix {:?}: expected smoke, default, full, or large",
             args.matrix
         );
         return ExitCode::FAILURE;
@@ -111,10 +113,10 @@ fn main() -> ExitCode {
     let options = CampaignOptions {
         jobs: args.jobs,
         seed: args.seed,
-        effort: if args.matrix == "smoke" {
-            EffortProfile::quick()
-        } else {
-            EffortProfile::standard()
+        effort: match args.matrix.as_str() {
+            "smoke" => EffortProfile::quick(),
+            "large" => EffortProfile::large(),
+            _ => EffortProfile::standard(),
         },
         matrix: args.matrix.clone(),
     };

@@ -77,13 +77,14 @@ pub mod prelude {
     pub use genoc_core::ids::{MsgId, NodeId, PortId};
     pub use genoc_core::injection::{IdentityInjection, InjectionMethod, ScheduledInjection};
     pub use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
+    pub use genoc_core::kernel::{run_kernelised, Kernel, Transition, TravelStatus};
     pub use genoc_core::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
     pub use genoc_core::meta::{InstanceMeta, RoutingKind, SwitchingKind, TopologyKind};
     pub use genoc_core::network::{Direction, Network, PortAttrs};
     pub use genoc_core::obligations::{ObligationId, ObligationReport};
     pub use genoc_core::routing::{compute_route, RoutingFunction};
     pub use genoc_core::spec::MessageSpec;
-    pub use genoc_core::switching::{StepReport, SwitchingPolicy};
+    pub use genoc_core::switching::{KernelSpec, StepReport, SwitchingPolicy};
     pub use genoc_core::theorems::{check_correctness, check_evacuation};
     pub use genoc_core::travel::{FlitPos, Travel};
     pub use genoc_depgraph::{
@@ -100,10 +101,10 @@ pub mod prelude {
         RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
         TurnModel, TurnModelRouting, XyRouting, YxRouting,
     };
-    pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes};
+    pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes, simulate_selected};
     pub use genoc_sim::{
-        hunt_random, hunt_workload, simulate, simulate_hooked, DetectorHook, Hunt, HuntOptions,
-        LatencySummary, RecoverySummary, SimOptions, SimResult,
+        hunt_random, hunt_workload, run_policy, simulate, simulate_hooked, DetectorHook, Hunt,
+        HuntOptions, LatencySummary, RecoverySummary, SimOptions, SimResult, Stepper,
     };
     pub use genoc_switching::{
         Arbitration, StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy,

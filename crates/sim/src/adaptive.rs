@@ -14,11 +14,13 @@ use genoc_core::error::{Error, Result};
 use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
+use genoc_core::switching::SwitchingPolicy;
 use genoc_core::travel::Travel;
 use genoc_core::{MsgId, PortId};
 use rand::RngExt;
 
 use crate::rng::seeded;
+use crate::runner::{run_policy, SimOptions, SimResult};
 
 /// Selects one admissible route per message by walking the adaptive relation
 /// and picking uniformly among the offered hops.
@@ -90,6 +92,39 @@ pub fn config_with_selected_routes(
     seed: u64,
 ) -> Result<Config> {
     Config::from_travels(net, select_routes(net, routing, specs, seed)?)
+}
+
+/// Selects one admissible route per message (seeded by `route_seed`) and
+/// runs the resulting configuration to termination — on the incremental
+/// kernel whenever the policy supports it, like [`simulate`].
+///
+/// This is how adaptive routing functions ride the kernel: the selection
+/// fixes deterministic routes up front, and the stepper never needs to know
+/// the relation was adaptive.
+///
+/// # Errors
+///
+/// As for [`select_routes`], plus interpreter/kernel errors.
+///
+/// [`simulate`]: crate::runner::simulate
+pub fn simulate_selected(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+    route_seed: u64,
+    options: &SimOptions,
+) -> Result<SimResult> {
+    let cfg = config_with_selected_routes(net, routing, specs, route_seed)?;
+    let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+    let run = run_policy(
+        net,
+        policy,
+        cfg,
+        &crate::runner::run_options(options),
+        options.stepper,
+    )?;
+    Ok(crate::runner::finish(run, injected, options))
 }
 
 #[cfg(test)]

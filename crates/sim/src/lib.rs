@@ -15,7 +15,9 @@ pub mod runner;
 pub mod stats;
 pub mod workload;
 
-pub use crate::adaptive::{config_with_selected_routes, select_routes};
+pub use crate::adaptive::{config_with_selected_routes, select_routes, simulate_selected};
 pub use crate::deadlock_hunt::{hunt_random, hunt_workload, Hunt, HuntOptions};
-pub use crate::runner::{simulate, simulate_hooked, DetectorHook, SimOptions, SimResult};
+pub use crate::runner::{
+    run_policy, simulate, simulate_hooked, DetectorHook, SimOptions, SimResult, Stepper,
+};
 pub use crate::stats::{LatencySummary, RecoverySummary};

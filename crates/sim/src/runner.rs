@@ -1,17 +1,26 @@
-//! Driving the GeNoC interpreter over a workload and collecting statistics.
+//! Driving a workload to termination and collecting statistics.
 //!
-//! Two entry points: [`simulate`] runs the plain interpreter, and
+//! Two entry points: [`simulate`] runs a plain workload, and
 //! [`simulate_hooked`] runs an equivalent loop that reports into a
 //! [`DetectorHook`] — the integration point for online deadlock detection
 //! and recovery (`genoc-detect`). The hook observes every step, may mutate
 //! the configuration when the deadlock predicate `Ω` holds (recovery), and
 //! may re-inject staged travels when the travel list drains, all without the
 //! runner knowing any detector specifics.
+//!
+//! Both entry points execute on the incremental [`Kernel`] whenever the
+//! switching policy
+//! exposes a [`KernelSpec`](genoc_core::switching::KernelSpec) (all the
+//! concrete policies do), falling back to the legacy full-rescan
+//! [`interpreter`](genoc_core::interpreter::run) otherwise — or when
+//! [`SimOptions::stepper`] forces it, which the differential equivalence
+//! tests use to prove the two produce identical runs.
 
 use genoc_core::config::Config;
 use genoc_core::error::{Error, Result};
 use genoc_core::injection::{IdentityInjection, InjectionMethod};
 use genoc_core::interpreter::{run, Outcome, RunOptions, RunResult};
+use genoc_core::kernel::{run_kernelised, Kernel, Transition};
 use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
@@ -20,6 +29,19 @@ use genoc_core::trace::{Trace, Zone};
 use genoc_core::MsgId;
 
 use crate::stats::LatencySummary;
+
+/// Which step engine drives the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Stepper {
+    /// The incremental kernel (wake-lists, `O(active)` steps) whenever the
+    /// policy exposes a `KernelSpec`; identical semantics, much faster on
+    /// large or contended workloads.
+    #[default]
+    Kernel,
+    /// The legacy full-rescan step loop, kept for differential testing and
+    /// as the fallback for policies without a kernel description.
+    Legacy,
+}
 
 /// Knobs for a simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +53,8 @@ pub struct SimOptions {
     pub record_trace: bool,
     /// Re-validate configuration invariants each step (slow).
     pub check_invariants: bool,
+    /// The step engine (incremental kernel by default).
+    pub stepper: Stepper,
 }
 
 impl Default for SimOptions {
@@ -39,6 +63,7 @@ impl Default for SimOptions {
             max_steps: 1_000_000,
             record_trace: false,
             check_invariants: false,
+            stepper: Stepper::default(),
         }
     }
 }
@@ -68,6 +93,55 @@ impl SimResult {
     }
 }
 
+/// The interpreter/kernel options a [`SimOptions`] translates to.
+pub(crate) fn run_options(options: &SimOptions) -> RunOptions {
+    RunOptions {
+        max_steps: options.max_steps,
+        record_trace: options.record_trace,
+        record_measures: false,
+        check_invariants: options.check_invariants,
+        enforce_measure: true,
+    }
+}
+
+/// Assembles a [`SimResult`], deriving latencies when a trace was recorded.
+pub(crate) fn finish(run: RunResult, injected: Vec<MsgId>, options: &SimOptions) -> SimResult {
+    let latencies = if options.record_trace {
+        per_message_latencies(&run, &injected)
+    } else {
+        Vec::new()
+    };
+    SimResult {
+        run,
+        injected,
+        latencies,
+    }
+}
+
+/// Runs `cfg` to termination under `policy`, on the kernel when the policy
+/// supports it and `stepper` allows, on the legacy interpreter otherwise.
+/// Outcomes are identical either way; only the stepping cost differs.
+///
+/// # Errors
+///
+/// Propagates interpreter/kernel errors.
+pub fn run_policy(
+    net: &dyn Network,
+    policy: &mut dyn SwitchingPolicy,
+    cfg: Config,
+    options: &RunOptions,
+    stepper: Stepper,
+) -> Result<RunResult> {
+    if stepper == Stepper::Kernel {
+        if let Some(spec) = policy.kernel_spec() {
+            let result = run_kernelised(net, &IdentityInjection, spec, cfg, options)?;
+            policy.note_kernel_steps(result.steps);
+            return Ok(result);
+        }
+    }
+    run(net, &IdentityInjection, policy, cfg, options)
+}
+
 /// Builds the initial configuration for `specs` and runs it to termination
 /// under the identity injection.
 ///
@@ -83,36 +157,21 @@ pub fn simulate(
 ) -> Result<SimResult> {
     let cfg = Config::from_specs(net, routing, specs)?;
     let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
-    let run_options = RunOptions {
-        max_steps: options.max_steps,
-        record_trace: options.record_trace,
-        record_measures: false,
-        check_invariants: options.check_invariants,
-        enforce_measure: true,
-    };
-    let run = run(net, &IdentityInjection, policy, cfg, &run_options)?;
-    let latencies = if options.record_trace {
-        per_message_latencies(&run, &injected)
-    } else {
-        Vec::new()
-    };
-    Ok(SimResult {
-        run,
-        injected,
-        latencies,
-    })
+    let run = run_policy(net, policy, cfg, &run_options(options), options.stepper)?;
+    Ok(finish(run, injected, options))
 }
 
 /// Observer/actor interface for detector-instrumented runs.
 ///
 /// All methods have no-op defaults, so pure observers implement only
 /// [`after_step`](DetectorHook::after_step). The runner guarantees the
-/// following call discipline: `after_step` after every switching step (with
-/// newly arrived travels already drained), `on_deadlock` whenever the
-/// policy's `Ω` holds (return `true` after mutating the configuration to
-/// continue the run, `false` to end it with [`Outcome::Deadlock`]), and
-/// `on_drained` whenever `T` is empty (return `true` after injecting more
-/// work, `false` to end with [`Outcome::Evacuated`]).
+/// following call discipline: `after_step` (or, on kernel-driven runs,
+/// `after_kernel_step`) after every switching step (with newly arrived
+/// travels already drained), `on_deadlock` whenever the policy's `Ω` holds
+/// (return `true` after mutating the configuration to continue the run,
+/// `false` to end it with [`Outcome::Deadlock`]), and `on_drained` whenever
+/// `T` is empty (return `true` after injecting more work, `false` to end
+/// with [`Outcome::Evacuated`]).
 pub trait DetectorHook {
     /// Called after each switching step; `step` is the index of the step
     /// just executed. May mutate the configuration (e.g. break a wait-for
@@ -124,6 +183,31 @@ pub trait DetectorHook {
     fn after_step(&mut self, net: &dyn Network, cfg: &mut Config, step: u64) -> Result<()> {
         let _ = (net, cfg, step);
         Ok(())
+    }
+
+    /// Kernel-driven variant of [`after_step`](DetectorHook::after_step):
+    /// additionally receives the step's status [`Transition`]s — a
+    /// `Blocked(p)` transition *is* a wait-for edge, so incremental
+    /// detectors need not rescan the configuration. Returns whether the
+    /// hook mutated the configuration (the runner then resynchronises the
+    /// kernel).
+    ///
+    /// The default delegates to `after_step` and conservatively reports a
+    /// mutation, so hooks unaware of the kernel stay correct.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn after_kernel_step(
+        &mut self,
+        net: &dyn Network,
+        cfg: &mut Config,
+        transitions: &[Transition],
+        step: u64,
+    ) -> Result<bool> {
+        let _ = transitions;
+        self.after_step(net, cfg, step)?;
+        Ok(true)
     }
 
     /// Called when the deadlock predicate holds. Return `true` iff the hook
@@ -156,6 +240,10 @@ pub trait DetectorHook {
 /// between steps and are exempt (recovery may legitimately raise the
 /// measure, e.g. when a drain-and-restart resets flits to their sources).
 ///
+/// On the kernel path every hook mutation is followed by a kernel resync,
+/// so the wake-list invariant survives recovery aborts, reroutes, and
+/// re-injection.
+///
 /// # Errors
 ///
 /// Propagates configuration, interpreter, and hook errors, and reports
@@ -169,15 +257,134 @@ pub fn simulate_hooked(
     options: &SimOptions,
     hook: &mut dyn DetectorHook,
 ) -> Result<SimResult> {
-    let mut cfg = Config::from_specs(net, routing, specs)?;
+    let cfg = Config::from_specs(net, routing, specs)?;
     let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+
+    if options.stepper == Stepper::Kernel {
+        if let Some(spec) = policy.kernel_spec() {
+            let run = hooked_kernel_loop(net, spec, cfg, options, hook)?;
+            policy.note_kernel_steps(run.steps);
+            return Ok(finish(run, injected, options));
+        }
+    }
+    let run = hooked_legacy_loop(net, policy, cfg, options, hook)?;
+    Ok(finish(run, injected, options))
+}
+
+// Guard against hooks that answer "continue" forever without enabling a
+// switching step (a recovery that never actually recovers).
+const MAX_IDLE_CONTINUES: u32 = 10_000;
+
+fn hooked_kernel_loop(
+    net: &dyn Network,
+    spec: genoc_core::switching::KernelSpec,
+    mut cfg: Config,
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+) -> Result<RunResult> {
+    let mut kernel = Kernel::new(net, &cfg, spec);
     let mut trace = Trace::new(options.record_trace);
     let mut arrival_order = Vec::new();
     let mut steps: u64 = 0;
-    // Guard against hooks that answer "continue" forever without enabling a
-    // switching step (a recovery that never actually recovers).
     let mut idle_continues: u32 = 0;
-    const MAX_IDLE_CONTINUES: u32 = 10_000;
+    let mut ledger = cfg.progress_measure();
+
+    let outcome = loop {
+        IdentityInjection.inject(net, &mut cfg)?;
+        ledger += kernel.sync_new_travels(&cfg);
+        if cfg.is_evacuated() {
+            if !hook.on_drained(net, &mut cfg, steps)? {
+                break Outcome::Evacuated;
+            }
+            kernel.resync(&cfg);
+            ledger = cfg.progress_measure();
+            idle_continues += 1;
+        } else if kernel.is_deadlock(&cfg) {
+            if !hook.on_deadlock(net, &mut cfg, steps)? {
+                break Outcome::Deadlock;
+            }
+            kernel.resync(&cfg);
+            ledger = cfg.progress_measure();
+            idle_continues += 1;
+        } else {
+            if steps >= options.max_steps {
+                break Outcome::StepLimit;
+            }
+            trace.begin_step(steps);
+            let report = kernel.step(&mut cfg, &mut trace)?;
+            let newly = if kernel.take_saw_arrival() {
+                cfg.drain_arrived()
+            } else {
+                Vec::new()
+            };
+            kernel.note_arrivals(&cfg, &newly);
+            arrival_order.extend(newly);
+            if report.moves() == 0 {
+                return Err(Error::ProgressViolation { step: steps });
+            }
+            ledger = ledger.saturating_sub(report.moves() as u64);
+            if options.check_invariants {
+                cfg.validate(net)?;
+            }
+            // Audit the (C-5) measure ledger before the hook gets a chance
+            // to mutate: the legacy hooked loop checks the measure every
+            // step, and deferring the audit past a hook mutation would let
+            // the post-recovery rebase absorb an earlier violation.
+            let actual = cfg.progress_measure();
+            if actual != ledger {
+                return Err(Error::MeasureViolation {
+                    step: steps,
+                    before: ledger,
+                    after: actual,
+                });
+            }
+            if hook.after_kernel_step(net, &mut cfg, kernel.transitions(), steps)? {
+                kernel.resync(&cfg);
+                ledger = cfg.progress_measure();
+            }
+            steps += 1;
+            idle_continues = 0;
+        }
+        if idle_continues > MAX_IDLE_CONTINUES {
+            return Err(Error::Invariant(
+                "detector hook keeps continuing without the run progressing".into(),
+            ));
+        }
+    };
+
+    // Terminal audit of the (C-5) measure ledger: every flit move must have
+    // decreased the progress measure by exactly one (the legacy loop checks
+    // this per step; the ledger is recomputed after every hook mutation, so
+    // any divergence here is a genuine contract violation).
+    let actual = cfg.progress_measure();
+    if actual != ledger {
+        return Err(Error::MeasureViolation {
+            step: steps,
+            before: ledger,
+            after: actual,
+        });
+    }
+    Ok(RunResult {
+        outcome,
+        steps,
+        config: cfg,
+        trace,
+        measures: Vec::new(),
+        arrival_order,
+    })
+}
+
+fn hooked_legacy_loop(
+    net: &dyn Network,
+    policy: &mut dyn SwitchingPolicy,
+    mut cfg: Config,
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+) -> Result<RunResult> {
+    let mut trace = Trace::new(options.record_trace);
+    let mut arrival_order = Vec::new();
+    let mut steps: u64 = 0;
+    let mut idle_continues: u32 = 0;
 
     let outcome = loop {
         IdentityInjection.inject(net, &mut cfg)?;
@@ -224,47 +431,52 @@ pub fn simulate_hooked(
         }
     };
 
-    let run = RunResult {
+    Ok(RunResult {
         outcome,
         steps,
         config: cfg,
         trace,
         measures: Vec::new(),
         arrival_order,
-    };
-    let latencies = if options.record_trace {
-        per_message_latencies(&run, &injected)
-    } else {
-        Vec::new()
-    };
-    Ok(SimResult {
-        run,
-        injected,
-        latencies,
     })
 }
 
-fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<u64> {
-    let mut latencies = Vec::new();
-    for &id in injected {
-        let mut first: Option<u64> = None;
-        let mut last: Option<u64> = None;
-        for e in run.trace.events() {
-            if e.msg != id {
-                continue;
-            }
-            if first.is_none() {
-                first = Some(e.step);
-            }
-            if e.to == Zone::Delivered {
-                last = Some(e.step);
-            }
+/// Per-message latencies in a single pass over the trace: the first movement
+/// event and the last delivery event of every injected message are recorded
+/// as the events stream by, instead of rescanning the whole trace once per
+/// message.
+pub(crate) fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<u64> {
+    let slots = injected
+        .iter()
+        .map(|id| id.index())
+        .max()
+        .map_or(0, |m| m + 1);
+    const UNSEEN: u64 = u64::MAX;
+    let mut first = vec![UNSEEN; slots];
+    let mut delivered = vec![UNSEEN; slots];
+    for e in run.trace.events() {
+        let i = e.msg.index();
+        if i >= slots {
+            continue;
         }
-        if let (Some(f), Some(l)) = (first, last) {
-            latencies.push(l - f + 1);
+        if first[i] == UNSEEN {
+            first[i] = e.step;
+        }
+        if e.to == Zone::Delivered {
+            delivered[i] = e.step;
         }
     }
-    latencies
+    injected
+        .iter()
+        .filter_map(|id| {
+            let i = id.index();
+            if first[i] != UNSEEN && delivered[i] != UNSEEN {
+                Some(delivered[i] - first[i] + 1)
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -314,5 +526,74 @@ mod tests {
         assert!(result.evacuated());
         assert!(result.latencies.is_empty());
         assert!(result.latency_summary().is_none());
+    }
+
+    #[test]
+    fn kernel_and_legacy_steppers_agree_on_a_mesh_workload() {
+        let mesh = Mesh::new(4, 4, 1);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::uniform_random(16, 48, 1..=5, 17);
+        let mut results = Vec::new();
+        for stepper in [Stepper::Kernel, Stepper::Legacy] {
+            let options = SimOptions {
+                record_trace: true,
+                check_invariants: true,
+                stepper,
+                ..SimOptions::default()
+            };
+            results.push(
+                simulate(
+                    &mesh,
+                    &routing,
+                    &mut WormholePolicy::default(),
+                    &specs,
+                    &options,
+                )
+                .unwrap(),
+            );
+        }
+        let (kernel, legacy) = (&results[0], &results[1]);
+        assert_eq!(kernel.run.outcome, legacy.run.outcome);
+        assert_eq!(kernel.run.steps, legacy.run.steps);
+        assert_eq!(kernel.run.arrival_order, legacy.run.arrival_order);
+        assert_eq!(kernel.run.trace.events(), legacy.run.trace.events());
+        assert_eq!(kernel.latencies, legacy.latencies);
+    }
+
+    #[test]
+    fn large_mesh_16x16_with_a_thousand_messages_evacuates() {
+        // The kernel's reason to exist: a 16x16 mesh under a thousand
+        // messages of uniform traffic finishes promptly because blocked and
+        // entry-queued worms cost O(1) per step instead of a flit rescan.
+        let mesh = Mesh::new(16, 16, 2);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::uniform_random(256, 1024, 1..=6, 5);
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(result.evacuated(), "XY is deadlock-free at any scale");
+        assert_eq!(result.run.config.arrived().len(), 1024);
+    }
+
+    #[test]
+    fn large_mesh_32x32_heavy_traffic_evacuates() {
+        let mesh = Mesh::new(32, 32, 2);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::uniform_random(1024, 2048, 2..=4, 9);
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(result.evacuated());
+        assert_eq!(result.run.config.arrived().len(), 2048);
     }
 }

@@ -1,59 +1,20 @@
 //! Arbitration: the order in which a switching step serves the travels.
+//!
+//! The type itself lives in [`genoc_core::switching`] (the incremental
+//! kernel consumes it too); this module re-exports it for the policies and
+//! their historical import path.
 
-/// Travel service order within a switching step.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-pub enum Arbitration {
-    /// Travels are served in message-id order every step. Simple, but can
-    /// starve high-id messages under sustained contention.
-    #[default]
-    FixedPriority,
-    /// The starting travel rotates every step, spreading contention fairly.
-    RoundRobin,
-}
-
-impl Arbitration {
-    /// Short label used in policy names.
-    pub fn label(self) -> &'static str {
-        match self {
-            Arbitration::FixedPriority => "fixed",
-            Arbitration::RoundRobin => "round-robin",
-        }
-    }
-
-    /// The service order for `n` travels at step `step`.
-    pub fn order(self, n: usize, step: u64) -> Vec<usize> {
-        match self {
-            Arbitration::FixedPriority => (0..n).collect(),
-            Arbitration::RoundRobin => {
-                if n == 0 {
-                    return Vec::new();
-                }
-                let start = (step % n as u64) as usize;
-                (0..n).map(|i| (start + i) % n).collect()
-            }
-        }
-    }
-}
+pub use genoc_core::switching::Arbitration;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn fixed_priority_is_stable() {
-        assert_eq!(Arbitration::FixedPriority.order(3, 0), vec![0, 1, 2]);
-        assert_eq!(Arbitration::FixedPriority.order(3, 7), vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn round_robin_rotates() {
-        assert_eq!(Arbitration::RoundRobin.order(3, 0), vec![0, 1, 2]);
-        assert_eq!(Arbitration::RoundRobin.order(3, 1), vec![1, 2, 0]);
-        assert_eq!(Arbitration::RoundRobin.order(3, 5), vec![2, 0, 1]);
-    }
-
-    #[test]
-    fn empty_travel_list_yields_empty_order() {
-        assert_eq!(Arbitration::RoundRobin.order(0, 9), Vec::<usize>::new());
+    fn re_export_is_the_core_type() {
+        let order = Arbitration::RoundRobin.order(3, 1);
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(Arbitration::FixedPriority.label(), "fixed");
+        assert_eq!(Arbitration::RoundRobin.label(), "round-robin");
     }
 }

@@ -16,6 +16,13 @@
 //! `genoc-core`. Every policy satisfies the (C-5) contract: a step on a
 //! non-deadlocked configuration moves at least one flit and strictly
 //! decreases the progress measure.
+//!
+//! Every policy also exposes a
+//! [`KernelSpec`](genoc_core::switching::KernelSpec) — its arbitration order
+//! plus admission predicate — turning it into an ordering strategy over the
+//! incremental [`Kernel`](genoc_core::kernel::Kernel)'s active set. Runners
+//! (`genoc-sim`) execute policies through the kernel by default, with
+//! move-for-move identical semantics to stepping them directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

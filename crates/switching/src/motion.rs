@@ -1,51 +1,29 @@
-//! Generalised flit motion: the wormhole step parameterised by a
-//! head-admission predicate.
+//! Policy-specific head-admission predicates, layered over the generalised
+//! flit motion of `genoc-core`.
 //!
 //! All three switching policies move flits the same way — body flits follow
 //! their predecessor under the ownership rules of `genoc-core` — and differ
 //! only in when a *header* flit may claim the next port:
 //!
-//! * wormhole: whenever the port has a free buffer;
-//! * virtual cut-through: only when the port could buffer the whole packet;
+//! * wormhole: whenever the port has a free buffer ([`AlwaysAdmit`]);
+//! * virtual cut-through: only when the port could buffer the whole packet
+//!   ([`WholePacketRoom`]);
 //! * store-and-forward: additionally, only when the whole packet has been
-//!   received in the header's current port.
+//!   received in the header's current port ([`StoreAndForwardAdmission`]).
+//!
+//! The motion machinery itself ([`step_travel_with`],
+//! [`any_move_possible_with`], the [`HeadAdmission`] trait) lives in
+//! [`genoc_core::step`] so that the incremental
+//! [`Kernel`](genoc_core::kernel::Kernel) can drive the exact same moves;
+//! this module re-exports it and contributes the two non-trivial admission
+//! predicates.
+
+pub use genoc_core::step::{
+    any_move_possible_with, step_travel_with, AlwaysAdmit, HeadAdmission, HeadMove,
+};
 
 use genoc_core::config::Config;
-use genoc_core::error::Result;
-use genoc_core::step::StepScratch;
-use genoc_core::switching::StepReport;
-use genoc_core::trace::{Trace, Zone};
 use genoc_core::travel::FlitPos;
-
-/// Where a header flit is about to move from.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum HeadMove {
-    /// Entry from the source IP core into `route[0]`.
-    Entry,
-    /// Advance from `route[k]` to `route[k + 1]`.
-    Advance {
-        /// Current route index of the header.
-        from: usize,
-    },
-}
-
-/// Extra admission condition a policy imposes on header moves, on top of the
-/// core wormhole rules (free buffer, ownership).
-pub trait HeadAdmission {
-    /// Whether the header of travel `i` may perform `mv` in configuration
-    /// `cfg`.
-    fn admit(&self, cfg: &Config, i: usize, mv: HeadMove) -> bool;
-}
-
-/// Admits every header move: plain wormhole switching.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct AlwaysAdmit;
-
-impl HeadAdmission for AlwaysAdmit {
-    fn admit(&self, _cfg: &Config, _i: usize, _mv: HeadMove) -> bool {
-        true
-    }
-}
 
 fn head_target_free(cfg: &Config, i: usize, mv: HeadMove) -> u32 {
     let t = cfg.travel(i);
@@ -86,98 +64,6 @@ impl HeadAdmission for StoreAndForwardAdmission {
             }
         }
     }
-}
-
-/// Performs all admissible moves for travel `i`, head to tail, honouring the
-/// per-step bandwidth flags in `scratch` and the policy's head-admission
-/// predicate.
-///
-/// # Errors
-///
-/// Propagates invariant violations from the movement primitives.
-pub fn step_travel_with(
-    cfg: &mut Config,
-    i: usize,
-    scratch: &mut StepScratch,
-    trace: &mut Trace,
-    admission: &dyn HeadAdmission,
-) -> Result<StepReport> {
-    let mut report = StepReport::default();
-    let flit_count = cfg.travel(i).flit_count();
-    let id = cfg.travel(i).id();
-    for f in 0..flit_count {
-        if cfg.can_eject_flit(i, f) {
-            let port = cfg.travel(i).dest();
-            if scratch.may_eject(port) {
-                cfg.eject_flit(i, f)?;
-                scratch.mark_ejected(port);
-                trace.record(id, f, Zone::Port(port), Zone::Delivered);
-                report.ejections += 1;
-            }
-            continue;
-        }
-        if cfg.can_advance_flit(i, f) {
-            let t = cfg.travel(i);
-            let k = match t.flit_pos(f) {
-                FlitPos::InNetwork(k) => k,
-                _ => unreachable!("can_advance_flit implies in-network"),
-            };
-            if f == 0 && !admission.admit(cfg, i, HeadMove::Advance { from: k }) {
-                continue;
-            }
-            let t = cfg.travel(i);
-            let from = t.route()[k];
-            let to = t.route()[k + 1];
-            if scratch.may_enter(to) {
-                cfg.advance_flit(i, f)?;
-                scratch.mark_entered(to);
-                trace.record(id, f, Zone::Port(from), Zone::Port(to));
-                report.advances += 1;
-            }
-            continue;
-        }
-        if cfg.can_enter_flit(i, f) {
-            if f == 0 && !admission.admit(cfg, i, HeadMove::Entry) {
-                continue;
-            }
-            let port = cfg.travel(i).route()[0];
-            if scratch.may_enter(port) {
-                cfg.enter_flit(i, f)?;
-                scratch.mark_entered(port);
-                trace.record(id, f, Zone::Source, Zone::Port(port));
-                report.entries += 1;
-            }
-            continue;
-        }
-    }
-    Ok(report)
-}
-
-/// Whether any flit of any travel can move under the policy's admission
-/// rules — the complement of the policy's deadlock predicate `Ω`.
-pub fn any_move_possible_with(cfg: &Config, admission: &dyn HeadAdmission) -> bool {
-    (0..cfg.travels().len()).any(|i| {
-        let flit_count = cfg.travel(i).flit_count();
-        (0..flit_count).any(|f| {
-            if cfg.can_eject_flit(i, f) {
-                return true;
-            }
-            if cfg.can_advance_flit(i, f) {
-                if f > 0 {
-                    return true;
-                }
-                let k = match cfg.travel(i).flit_pos(f) {
-                    FlitPos::InNetwork(k) => k,
-                    _ => unreachable!(),
-                };
-                return admission.admit(cfg, i, HeadMove::Advance { from: k });
-            }
-            if cfg.can_enter_flit(i, f) {
-                return f > 0 || admission.admit(cfg, i, HeadMove::Entry);
-            }
-            false
-        })
-    })
 }
 
 #[cfg(test)]

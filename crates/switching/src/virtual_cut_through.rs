@@ -10,10 +10,12 @@ use genoc_core::config::Config;
 use genoc_core::error::Result;
 use genoc_core::network::Network;
 use genoc_core::step::StepScratch;
-use genoc_core::switching::{StepReport, SwitchingPolicy};
+use genoc_core::switching::{Arbitration, KernelSpec, StepReport, SwitchingPolicy};
 use genoc_core::trace::Trace;
 
 use crate::motion::{any_move_possible_with, step_travel_with, WholePacketRoom};
+
+static ADMISSION: WholePacketRoom = WholePacketRoom;
 
 /// The virtual cut-through switching policy.
 ///
@@ -64,6 +66,14 @@ impl SwitchingPolicy for VirtualCutThroughPolicy {
 
     fn is_deadlock(&self, _net: &dyn Network, cfg: &Config) -> bool {
         !cfg.is_evacuated() && !any_move_possible_with(cfg, &WholePacketRoom)
+    }
+
+    fn kernel_spec(&self) -> Option<KernelSpec> {
+        Some(KernelSpec {
+            arbitration: Arbitration::FixedPriority,
+            admission: &ADMISSION,
+            first_step: 0,
+        })
     }
 }
 

@@ -11,11 +11,13 @@ use genoc_core::config::Config;
 use genoc_core::error::Result;
 use genoc_core::network::Network;
 use genoc_core::step::StepScratch;
-use genoc_core::switching::{StepReport, SwitchingPolicy};
+use genoc_core::switching::{KernelSpec, StepReport, SwitchingPolicy};
 use genoc_core::trace::Trace;
 
 use crate::arbitration::Arbitration;
 use crate::motion::{any_move_possible_with, step_travel_with, AlwaysAdmit};
+
+static ADMISSION: AlwaysAdmit = AlwaysAdmit;
 
 /// The wormhole switching policy.
 ///
@@ -90,6 +92,18 @@ impl SwitchingPolicy for WormholePolicy {
 
     fn is_deadlock(&self, _net: &dyn Network, cfg: &Config) -> bool {
         !cfg.is_evacuated() && !any_move_possible_with(cfg, &AlwaysAdmit)
+    }
+
+    fn kernel_spec(&self) -> Option<KernelSpec> {
+        Some(KernelSpec {
+            arbitration: self.arbitration,
+            admission: &ADMISSION,
+            first_step: self.step_count,
+        })
+    }
+
+    fn note_kernel_steps(&mut self, steps: u64) {
+        self.step_count += steps;
     }
 }
 

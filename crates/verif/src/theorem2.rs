@@ -23,6 +23,13 @@ pub struct Theorem2Report {
     pub messages: usize,
     /// Switching steps until termination.
     pub steps: u64,
+    /// Flits delivered into destination IP cores (all of them when
+    /// evacuated; the partial count on a deadlocked run).
+    pub delivered_flits: u64,
+    /// Wall-clock milliseconds of the simulation alone (the correctness
+    /// and evacuation checks over the trace are not included) — the basis
+    /// for throughput figures.
+    pub sim_ms: f64,
     /// Whether `GeNoC(σ).A = σ.T` held.
     pub evacuated: bool,
     /// Whether every arrived message satisfied the correctness theorem.
@@ -66,7 +73,9 @@ pub fn check_theorem2_with(
         record_trace: true,
         ..SimOptions::default()
     };
+    let sim_start = std::time::Instant::now();
     let result = simulate(net, routing, policy, specs, &options)?;
+    let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
     let mut notes = Vec::new();
 
     let evac = check_evacuation(&result.injected, &result.run);
@@ -82,10 +91,13 @@ pub fn check_theorem2_with(
     if !corr.holds() {
         notes.extend(corr.violations.iter().cloned());
     }
+    let delivered_flits = result.run.config.delivered_flits();
     Ok(Theorem2Report {
         instance: instance.name.clone(),
         messages: specs.len(),
         steps: result.run.steps,
+        delivered_flits,
+        sim_ms,
         evacuated: evac.holds,
         correct: corr.holds(),
         notes,

@@ -1,0 +1,260 @@
+//! Differential equivalence of the incremental kernel and the legacy
+//! full-rescan stepper.
+//!
+//! The kernel's contract is *move-for-move identity*: same greedy order
+//! among runnable travels, same one-entry/one-ejection-per-port bandwidth
+//! rule, same deadlock verdicts at the same steps — so obligations
+//! (C-1)…(C-5) and Theorems 1–2 transfer to kernel-driven runs unchanged.
+//! This suite checks the contract three ways:
+//!
+//! * every scenario of the `smoke` campaign matrix, deterministic and
+//!   adaptive, under its own switching policy and workload;
+//! * a property test over random workloads on the paper's XY mesh and the
+//!   deadlock-prone mixed XY/YX comparator (both arbitrations);
+//! * a detector-hooked run, where the kernel feeds status transitions to
+//!   the exact detector instead of per-step blocking-event diffs.
+
+use genoc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn policy_for(kind: SwitchingKind) -> Box<dyn SwitchingPolicy> {
+    match kind {
+        SwitchingKind::Wormhole => Box::new(WormholePolicy::default()),
+        SwitchingKind::VirtualCutThrough => Box::new(VirtualCutThroughPolicy::new()),
+        SwitchingKind::StoreForward => Box::new(StoreForwardPolicy::new()),
+    }
+}
+
+/// Runs the same workload on both steppers and asserts the runs are
+/// indistinguishable: outcome, step count, arrival order, the full movement
+/// trace, per-message latencies, and the final configuration.
+fn assert_equivalent(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    kind: SwitchingKind,
+    specs: &[MessageSpec],
+) {
+    let mut results = Vec::new();
+    for stepper in [Stepper::Kernel, Stepper::Legacy] {
+        let options = SimOptions {
+            record_trace: true,
+            check_invariants: true,
+            max_steps: 50_000,
+            stepper,
+        };
+        let mut policy = policy_for(kind);
+        results.push(simulate(net, routing, policy.as_mut(), specs, &options).unwrap());
+    }
+    let (kernel, legacy) = (&results[0], &results[1]);
+    assert_eq!(kernel.run.outcome, legacy.run.outcome);
+    assert_eq!(kernel.run.steps, legacy.run.steps);
+    assert_eq!(kernel.run.arrival_order, legacy.run.arrival_order);
+    assert_eq!(kernel.run.trace.events(), legacy.run.trace.events());
+    assert_eq!(kernel.latencies, legacy.latencies);
+    assert_eq!(kernel.run.config, legacy.run.config);
+}
+
+#[test]
+fn every_smoke_scenario_is_stepper_invariant() {
+    for spec in ScenarioMatrix::smoke().expand() {
+        let instance = Instance::from_meta(&spec.meta).unwrap();
+        let net = instance.net.as_ref();
+        let nodes = net.node_count();
+        let flits = spec.workload_flits(3);
+        let seed = scenario_seed(7, &spec.name());
+        let specs = genoc::sim::workload::uniform_random(nodes.max(2), nodes * 2, 1..=flits, seed);
+        if instance.deterministic {
+            assert_equivalent(net, instance.routing.as_ref(), spec.switching, &specs);
+        } else {
+            // Adaptive instances fix one admissible route per message, then
+            // both steppers must agree on the selection's run.
+            let mut results = Vec::new();
+            for stepper in [Stepper::Kernel, Stepper::Legacy] {
+                let options = SimOptions {
+                    record_trace: true,
+                    max_steps: 50_000,
+                    stepper,
+                    ..SimOptions::default()
+                };
+                let mut policy = policy_for(spec.switching);
+                results.push(
+                    simulate_selected(
+                        net,
+                        instance.routing.as_ref(),
+                        policy.as_mut(),
+                        &specs,
+                        seed,
+                        &options,
+                    )
+                    .unwrap(),
+                );
+            }
+            assert_eq!(
+                results[0].run.outcome,
+                results[1].run.outcome,
+                "{}",
+                spec.name()
+            );
+            assert_eq!(
+                results[0].run.steps,
+                results[1].run.steps,
+                "{}",
+                spec.name()
+            );
+            assert_eq!(
+                results[0].run.trace.events(),
+                results[1].run.trace.events(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn deadlock_verdicts_and_witnesses_agree_on_the_corner_storm() {
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc::sim::workload::bit_complement(&mesh, 4);
+    let mut outcomes = Vec::new();
+    for stepper in [Stepper::Kernel, Stepper::Legacy] {
+        let options = SimOptions {
+            stepper,
+            ..SimOptions::default()
+        };
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Deadlock);
+        let cycle = find_wait_cycle(&result.run.config).expect("wormhole deadlocks carry a cycle");
+        outcomes.push((result.run.steps, cycle));
+    }
+    assert_eq!(outcomes[0].0, outcomes[1].0, "Ω at the same step");
+    assert_eq!(outcomes[0].1, outcomes[1].1, "same wait-for cycle");
+}
+
+#[test]
+fn hooked_detection_sees_the_same_cycles_either_way() {
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc::sim::workload::bit_complement(&mesh, 4);
+    let mut observed = Vec::new();
+    for stepper in [Stepper::Kernel, Stepper::Legacy] {
+        let mut engine = DetectionEngine::detector(EngineOptions::default());
+        let options = SimOptions {
+            stepper,
+            ..SimOptions::default()
+        };
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Deadlock);
+        assert!(engine.fired());
+        let detections: Vec<(u64, Vec<MsgId>)> = engine
+            .detections()
+            .iter()
+            .map(|d| (d.step, d.cycle.msgs.clone()))
+            .collect();
+        observed.push((result.run.steps, detections));
+    }
+    assert_eq!(
+        observed[0], observed[1],
+        "kernel transitions and per-step diffs must report identical detections"
+    );
+}
+
+#[test]
+fn hooked_recovery_round_trips_identically() {
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc::sim::workload::bit_complement(&mesh, 4);
+    let mut outcomes = Vec::new();
+    for stepper in [Stepper::Kernel, Stepper::Legacy] {
+        let mut engine =
+            DetectionEngine::with_policy(EngineOptions::default(), Box::new(AbortAndEvacuate));
+        let options = SimOptions {
+            stepper,
+            ..SimOptions::default()
+        };
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Evacuated, "recovery saves it");
+        let summary = engine.summary(&result);
+        outcomes.push((result.run.steps, summary.delivered, summary.aborted.clone()));
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+/// A workload drawn as (source, dest, flits) triples over `nodes` nodes.
+fn workload_strategy(
+    nodes: usize,
+    max_messages: usize,
+    max_flits: usize,
+) -> impl Strategy<Value = Vec<MessageSpec>> {
+    vec((0..nodes, 0..nodes, 1..=max_flits), 0..=max_messages).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, d, f)| MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_workloads_are_stepper_invariant_on_xy(
+        specs in workload_strategy(9, 24, 5),
+    ) {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        assert_equivalent(&mesh, &routing, SwitchingKind::Wormhole, &specs);
+    }
+
+    #[test]
+    fn random_workloads_are_stepper_invariant_on_the_cyclic_comparator(
+        specs in workload_strategy(9, 24, 4),
+    ) {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        assert_equivalent(&mesh, &routing, SwitchingKind::Wormhole, &specs);
+    }
+
+    #[test]
+    fn round_robin_arbitration_is_stepper_invariant(
+        specs in workload_strategy(9, 16, 3),
+    ) {
+        let mesh = Mesh::new(3, 3, 2);
+        let routing = XyRouting::new(&mesh);
+        let mut results = Vec::new();
+        for stepper in [Stepper::Kernel, Stepper::Legacy] {
+            let options = SimOptions {
+                record_trace: true,
+                stepper,
+                ..SimOptions::default()
+            };
+            let mut policy = WormholePolicy::new(Arbitration::RoundRobin);
+            results.push(simulate(&mesh, &routing, &mut policy, &specs, &options).unwrap());
+        }
+        prop_assert_eq!(results[0].run.trace.events(), results[1].run.trace.events());
+        prop_assert_eq!(results[0].run.steps, results[1].run.steps);
+        prop_assert_eq!(&results[0].run.arrival_order, &results[1].run.arrival_order);
+    }
+}
