@@ -305,14 +305,25 @@ impl ScenarioMatrix {
             .filter(|s| s.meta.nodes() < 1024 || s.meta.capacity >= 4)
     }
 
+    /// The exhaustive-oracle matrix: the smoke cells swept at capacities 1
+    /// and 2, sized so [`genoc_verif::explore_check()`] terminates on every
+    /// cell. Capacity 1 matters here: whole-packet pressure deadlocks the
+    /// cyclic comparators within a few thousand states at capacity 1, while
+    /// at capacity 2 the same patterns need worms longer than any CI budget
+    /// can exhaust — the c1 twins are where the counterexamples come from.
+    pub fn oracle() -> ScenarioMatrix {
+        ScenarioMatrix::smoke().capacities([1, 2])
+    }
+
     /// Looks a preset up by name (`"smoke"`, `"default"`/`"standard"`,
-    /// `"full"`, `"large"`).
+    /// `"full"`, `"large"`, `"oracle"`).
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         match name {
             "smoke" => Some(ScenarioMatrix::smoke()),
             "default" | "standard" => Some(ScenarioMatrix::standard()),
             "full" => Some(ScenarioMatrix::full()),
             "large" => Some(ScenarioMatrix::large()),
+            "oracle" => Some(ScenarioMatrix::oracle()),
             _ => None,
         }
     }
@@ -431,6 +442,24 @@ mod tests {
         assert_eq!(ScenarioMatrix::named("large").map(|m| m.expand().len()), {
             Some(e.scenarios.len())
         });
+    }
+
+    #[test]
+    fn oracle_matrix_doubles_smoke_with_capacity_one_twins() {
+        let smoke = ScenarioMatrix::smoke().expand();
+        let oracle = ScenarioMatrix::oracle().expand();
+        assert!(oracle.len() > smoke.len());
+        for s in &smoke {
+            assert!(oracle.contains(s), "{} missing from oracle", s.name());
+        }
+        assert!(
+            oracle.iter().any(|s| s.meta.capacity == 1),
+            "capacity-1 twins supply the cheap counterexamples"
+        );
+        assert_eq!(
+            ScenarioMatrix::named("oracle").map(|m| m.expand().len()),
+            Some(oracle.len())
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use genoc_switching::{StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolic
 use genoc_verif::Instance;
 use genoc_verif::{check_c1, check_c2, check_c3, check_c4, check_c5_with};
 use genoc_verif::{check_detection, check_theorem1, check_theorem2_with, DetectionCheckOptions};
+use genoc_verif::{explore_check, ExploreCheckOptions};
 
 use crate::matrix::ScenarioSpec;
 
@@ -40,6 +41,11 @@ pub struct EffortProfile {
     pub max_steps: u64,
     /// Seeds the detection cross-check sweeps (0 disables the check).
     pub detect_seeds: u64,
+    /// State bound for the exhaustive-exploration oracle
+    /// ([`genoc_verif::explore_check()`]); 0 disables the check. Only the
+    /// `oracle` preset turns this on — the exploration is exponential in the
+    /// workload and belongs in its own dedicated campaign.
+    pub explore_states: usize,
 }
 
 impl EffortProfile {
@@ -52,6 +58,7 @@ impl EffortProfile {
             hunt_messages: 12,
             max_steps: 50_000,
             detect_seeds: 2,
+            explore_states: 0,
         }
     }
 
@@ -65,6 +72,7 @@ impl EffortProfile {
             hunt_messages: 32,
             max_steps: 100_000,
             detect_seeds: 6,
+            explore_states: 0,
         }
     }
 
@@ -80,6 +88,18 @@ impl EffortProfile {
             hunt_messages: 256,
             max_steps: 200_000,
             detect_seeds: 1,
+            explore_states: 0,
+        }
+    }
+
+    /// Effort for the `oracle` matrix: quick randomized sweeps plus the
+    /// exhaustive state-space oracle on every cell. The 200k state bound is
+    /// sized so the heaviest smoke-scale exhaustive tier (3-message pressure
+    /// on the 3×3 mesh, ~111k states) completes with headroom.
+    pub fn oracle() -> EffortProfile {
+        EffortProfile {
+            explore_states: 200_000,
+            ..EffortProfile::quick()
         }
     }
 }
@@ -478,6 +498,55 @@ pub fn run_scenario(
         ));
     }
 
+    // Exhaustive state-space oracle: explores *every* move interleaving of
+    // small pressure workloads, cross-validating the static verdict and the
+    // greedy hunts (see `genoc_verif::explore_check` for the implication
+    // lattice). Deterministic instances only — the explorer executes the
+    // workload's pre-computed routes.
+    if effort.explore_states > 0 && deterministic {
+        let options = ExploreCheckOptions {
+            max_states: effort.explore_states,
+            ..ExploreCheckOptions::default()
+        };
+        let (result, millis) = timed(|| explore_check(&instance, spec.switching, &options));
+        match result {
+            Ok(report) => {
+                deadlocks_seen += u64::from(report.counterexample_found);
+                let mut notes: Vec<String> =
+                    report.tiers.iter().map(|tier| tier.summary()).collect();
+                notes.extend(report.violations.iter().cloned());
+                checks.push(CheckOutcome {
+                    check: "oracle",
+                    status: if report.holds() {
+                        CheckStatus::Pass
+                    } else {
+                        CheckStatus::Fail
+                    },
+                    cases: report.states_explored(),
+                    millis,
+                    notes,
+                });
+            }
+            Err(e) => checks.push(CheckOutcome {
+                check: "oracle",
+                status: CheckStatus::Fail,
+                cases: 0,
+                millis,
+                notes: vec![format!("harness error: {e}")],
+            }),
+        }
+    } else if effort.explore_states > 0 {
+        checks.push(CheckOutcome::skip(
+            "oracle",
+            "the explorer executes pre-computed routes (deterministic only)",
+        ));
+    } else {
+        checks.push(CheckOutcome::skip(
+            "oracle",
+            "exhaustive exploration runs in the oracle preset only",
+        ));
+    }
+
     ScenarioOutcome {
         name,
         spec: *spec,
@@ -668,7 +737,7 @@ mod tests {
     #[test]
     fn xy_wormhole_passes_the_full_battery() {
         let s = spec(RoutingKind::Xy, 3, 3, 1, SwitchingKind::Wormhole);
-        let outcome = run_scenario(&s, 0, &EffortProfile::quick());
+        let outcome = run_scenario(&s, 0, &EffortProfile::oracle());
         assert!(
             outcome.passed(),
             "{:?}",
@@ -719,6 +788,32 @@ mod tests {
         );
         assert!(!outcome.expect_acyclic);
         assert!(outcome.deadlocks_seen > 0, "heavy traffic must deadlock");
+    }
+
+    #[test]
+    fn oracle_check_finds_the_ring_counterexample_and_quick_skips_it() {
+        // Capacity 1 is the cheap cell: whole-packet pressure deadlocks the
+        // plain ring within a few thousand explored states.
+        let s = spec(RoutingKind::RingShortest, 4, 1, 1, SwitchingKind::Wormhole);
+        let outcome = run_scenario(&s, 0, &EffortProfile::oracle());
+        assert!(
+            outcome.passed(),
+            "{:?}",
+            outcome.failures().collect::<Vec<_>>()
+        );
+        let oracle = outcome.checks.iter().find(|c| c.check == "oracle").unwrap();
+        assert_eq!(oracle.status, CheckStatus::Pass);
+        assert!(oracle.cases > 0, "explored states are the case count");
+        assert!(
+            oracle.notes.iter().any(|n| n.contains("verdict=deadlock")),
+            "the cyclic ring's pressure tier must reach a deadlock: {:?}",
+            oracle.notes
+        );
+        assert!(outcome.deadlocks_seen > 0);
+
+        let quick = run_scenario(&s, 0, &EffortProfile::quick());
+        let oracle = quick.checks.iter().find(|c| c.check == "oracle").unwrap();
+        assert_eq!(oracle.status, CheckStatus::Skip);
     }
 
     #[test]

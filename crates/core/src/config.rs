@@ -418,6 +418,55 @@ impl Config {
         self.travels.iter().map(Travel::progress_potential).sum()
     }
 
+    /// A compact canonical encoding of the configuration's dynamic part:
+    /// every flit position of every message (in-flight *and* arrived),
+    /// concatenated in [`MsgId`] order.
+    ///
+    /// Routes are static for a fixed workload, and the network state `ST` is
+    /// a function of the flit positions (see [`Config::from_travels`]), so
+    /// two configurations of the same workload are equal exactly when their
+    /// position keys are equal. Encoding per flit: `0` for pending,
+    /// `k + 1` for in-network at route index `k`, [`u16::MAX`] for
+    /// delivered. Route indices are *relative* positions, invariant under
+    /// port relabeling — which is what makes this key the right carrier for
+    /// symmetry reduction in `genoc-explore`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route is longer than `u16::MAX - 1` hops (no supported
+    /// topology comes anywhere near this).
+    pub fn position_key(&self) -> Vec<u16> {
+        let mut slots: Vec<&Travel> = self.travels.iter().chain(self.arrived.iter()).collect();
+        slots.sort_by_key(|t| t.id().index());
+        let total: usize = slots.iter().map(|t| t.flit_count()).sum();
+        let mut key = Vec::with_capacity(total);
+        for t in slots {
+            for pos in t.flit_positions() {
+                key.push(match pos {
+                    FlitPos::Pending => 0,
+                    FlitPos::InNetwork(k) => {
+                        u16::try_from(k + 1).expect("route index exceeds u16 encoding")
+                    }
+                    FlitPos::Delivered => u16::MAX,
+                });
+            }
+        }
+        key
+    }
+
+    /// FNV-1a hash of [`Config::position_key`]: a cheap 64-bit state
+    /// fingerprint for visited sets and duplicate detection.
+    pub fn state_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in self.position_key() {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Verifies the cross-structure invariants: worm shapes, buffer
     /// occupancy matching flit positions, and ownership matching the owned
     /// route ranges.

@@ -69,6 +69,7 @@ pub mod kernel;
 pub mod line;
 pub mod measure;
 pub mod meta;
+pub mod moves;
 pub mod network;
 pub mod obligations;
 #[cfg(test)]
@@ -96,6 +97,7 @@ pub mod prelude {
     pub use crate::kernel::{run_kernelised, Kernel, Transition, TravelStatus};
     pub use crate::measure::{ProgressMeasure, RouteLengthMeasure, TerminationMeasure};
     pub use crate::meta::{InstanceMeta, RoutingKind, SwitchingKind, TopologyKind};
+    pub use crate::moves::{Move, MoveEnumerator, MoveKind};
     pub use crate::network::{Direction, Network, PortAttrs};
     pub use crate::obligations::{ObligationId, ObligationReport};
     pub use crate::routing::{compute_route, RoutingFunction};

@@ -1,0 +1,514 @@
+//! The bounded model checker: BFS over nondeterministic move interleavings.
+//!
+//! Where the kernel commits *every* admissible flit move per step in a fixed
+//! arbitration order, the explorer branches on *each* admissible move
+//! individually ([`MoveEnumerator`]) and searches the resulting transition
+//! system breadth-first. Every configuration any greedy schedule can reach
+//! decomposes into single-flit moves, so the explored graph contains every
+//! kernel-reachable state — and many more: a deadlock is reachable in this
+//! graph if and only if *some* interleaving of the workload deadlocks.
+//!
+//! BFS order makes the first deadlock found depth-minimal: its trace is the
+//! shortest move sequence from the initial (all-pending) configuration to
+//! any configuration satisfying `Ω`. This is the native analogue of
+//! `lps2lts -Dt` + `tracepp` in the mCRL2 workflow the paper's authors used
+//! (SNIPPETS.md): exhaustive enumeration with witness traces, rather than
+//! schedule sampling.
+
+use genoc_core::config::Config;
+use genoc_core::error::{Error, Result};
+use genoc_core::meta::InstanceMeta;
+use genoc_core::moves::{Move, MoveEnumerator};
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_core::spec::MessageSpec;
+use genoc_core::step::{AlwaysAdmit, HeadAdmission};
+use genoc_core::switching::SwitchingPolicy;
+use genoc_core::MsgId;
+
+use crate::state::{StateTable, Workload};
+use crate::symmetry::slot_perms;
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Maximum number of (canonical) states to discover before giving up
+    /// with [`Verdict::BoundExceeded`].
+    pub max_states: usize,
+    /// Quotient the state space by verified node automorphisms.
+    pub symmetry: bool,
+    /// Record the full transition graph for `.aut`/DOT export (memory
+    /// proportional to the number of transitions).
+    pub record_graph: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 100_000,
+            symmetry: true,
+            record_graph: false,
+        }
+    }
+}
+
+/// Exploration outcome.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The *entire* reachable state space was enumerated and no
+    /// configuration satisfies `Ω`: an exhaustive deadlock-freedom proof
+    /// for this workload under every move interleaving.
+    NoReachableDeadlock,
+    /// A reachable deadlock exists; the counterexample trace is
+    /// depth-minimal.
+    Deadlock(Counterexample),
+    /// The state bound was hit with frontier states unexpanded: no verdict.
+    BoundExceeded,
+}
+
+impl Verdict {
+    /// Short machine-readable label (`no-deadlock`, `deadlock`, `bound`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::NoReachableDeadlock => "no-deadlock",
+            Verdict::Deadlock(_) => "deadlock",
+            Verdict::BoundExceeded => "bound",
+        }
+    }
+}
+
+/// A depth-minimal move sequence from the initial configuration to a
+/// configuration where `Ω` holds, in the *concrete* frame (symmetry
+/// canonicalizations folded back out), replayable via [`replay`].
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The moves, in order.
+    pub trace: Vec<Move>,
+    /// The deadlocked configuration the trace reaches.
+    pub config: Config,
+}
+
+/// Terminal status of a recorded state (graph export only).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateStatus {
+    /// Some move is admissible.
+    Live,
+    /// All messages delivered.
+    Evacuated,
+    /// `Ω` holds.
+    Deadlock,
+}
+
+/// A recorded transition graph (see [`ExploreOptions::record_graph`]).
+pub struct StateGraph {
+    /// Transitions `(source id, move, target id)`, moves labelled in the
+    /// source state's canonical frame.
+    pub edges: Vec<(u32, Move, u32)>,
+    /// Per-state terminal status, indexed by state id. States never
+    /// expanded (bound hit, or discovered after a deadlock) are `Live`.
+    pub status: Vec<StateStatus>,
+}
+
+/// Result of an exploration.
+pub struct Exploration {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Canonical states discovered.
+    pub states: usize,
+    /// Transitions traversed (successor applications).
+    pub transitions: u64,
+    /// Largest BFS depth expanded.
+    pub depth: usize,
+    /// Size of the symmetry group used (1 = identity only).
+    pub group_size: usize,
+    /// The recorded graph, if requested.
+    pub graph: Option<StateGraph>,
+}
+
+impl Exploration {
+    /// The counterexample, if the verdict is a deadlock.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.verdict {
+            Verdict::Deadlock(cex) => Some(cex),
+            _ => None,
+        }
+    }
+}
+
+struct Edge {
+    parent: u32,
+    mv: Move,
+    /// Canonicalization permutation applied when this state was interned
+    /// (`None` = identity): `canonical_child[j] = concrete_child[perm[j]]`.
+    perm: Option<Box<[usize]>>,
+    depth: u32,
+}
+
+/// Explores every reachable configuration of `specs` on the instance under
+/// the given head-admission rule, breadth-first, up to
+/// [`ExploreOptions::max_states`].
+///
+/// `meta` drives symmetry-candidate generation only; pass the instance's
+/// own metadata (or disable symmetry).
+///
+/// # Errors
+///
+/// Propagates route-computation errors and configuration-invariant
+/// violations (which indicate bugs, not deadlocks).
+pub fn explore(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    meta: &InstanceMeta,
+    specs: &[MessageSpec],
+    admission: &dyn HeadAdmission,
+    options: &ExploreOptions,
+) -> Result<Exploration> {
+    let workload = Workload::new(net, routing, specs)?;
+    let perms = if options.symmetry {
+        slot_perms(net, meta, &workload.routes())
+    } else {
+        vec![(0..workload.slots()).collect()]
+    };
+    explore_with_perms(net, routing, specs, admission, options, workload, perms)
+}
+
+/// Explores without symmetry reduction and therefore without instance
+/// metadata — the entry point for callers that only hold the constituents
+/// (e.g. the deadlock hunter shrinking a witness on a workload it drew).
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_workload(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    admission: &dyn HeadAdmission,
+    options: &ExploreOptions,
+) -> Result<Exploration> {
+    let workload = Workload::new(net, routing, specs)?;
+    let identity = vec![(0..workload.slots()).collect()];
+    explore_with_perms(net, routing, specs, admission, options, workload, identity)
+}
+
+fn explore_with_perms(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    admission: &dyn HeadAdmission,
+    options: &ExploreOptions,
+    workload: Workload,
+    perms: Vec<Vec<usize>>,
+) -> Result<Exploration> {
+    let group_size = perms.len();
+    let enumerator = MoveEnumerator::new(admission);
+
+    let mut table = StateTable::new();
+    let mut edges: Vec<Option<Edge>> = Vec::new();
+    let (root, _) = table.intern(workload.initial_key());
+    edges.push(None);
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut graph = options.record_graph.then(|| StateGraph {
+        edges: Vec::new(),
+        status: vec![StateStatus::Live],
+    });
+
+    let mut transitions = 0u64;
+    let mut depth = 0usize;
+    let mut moves = Vec::new();
+    let mut bounded = false;
+
+    while let Some(id) = queue.pop_front() {
+        let cfg = workload.decode(net, table.key(id))?;
+        let at_depth = edges[id as usize].as_ref().map_or(0, |e| e.depth) as usize;
+        depth = depth.max(at_depth);
+        moves.clear();
+        enumerator.push_moves(&cfg, &mut moves);
+        if moves.is_empty() {
+            // Decoding partitions fully-delivered travels into `A`, so an
+            // empty `T` is exactly the evacuated case.
+            let evacuated = cfg.is_evacuated();
+            if let Some(g) = graph.as_mut() {
+                g.status[id as usize] = if evacuated {
+                    StateStatus::Evacuated
+                } else {
+                    StateStatus::Deadlock
+                };
+            }
+            if !evacuated {
+                let cex = rebuild_counterexample(net, routing, specs, &edges, id, &workload)?;
+                return Ok(Exploration {
+                    verdict: Verdict::Deadlock(cex),
+                    states: table.len(),
+                    transitions,
+                    depth: at_depth,
+                    group_size,
+                    graph,
+                });
+            }
+            continue;
+        }
+        for &mv in &moves {
+            let mut child = cfg.clone();
+            enumerator.apply(&mut child, mv)?;
+            transitions += 1;
+            let key = child.position_key();
+            let (ckey, perm) = workload.canonicalize(&key, &perms);
+            let identity = perm.iter().enumerate().all(|(j, &s)| j == s);
+            let (child_id, fresh) = table.intern(ckey);
+            if fresh {
+                edges.push(Some(Edge {
+                    parent: id,
+                    mv,
+                    perm: (!identity).then(|| perm.into_boxed_slice()),
+                    depth: at_depth as u32 + 1,
+                }));
+                if let Some(g) = graph.as_mut() {
+                    g.status.push(StateStatus::Live);
+                }
+                queue.push_back(child_id);
+            }
+            if let Some(g) = graph.as_mut() {
+                g.edges.push((id, mv, child_id));
+            }
+            if table.len() >= options.max_states {
+                bounded = true;
+                break;
+            }
+        }
+        if bounded {
+            break;
+        }
+    }
+
+    let verdict = if bounded || !queue.is_empty() {
+        Verdict::BoundExceeded
+    } else {
+        Verdict::NoReachableDeadlock
+    };
+    Ok(Exploration {
+        verdict,
+        states: table.len(),
+        transitions,
+        depth,
+        group_size,
+        graph,
+    })
+}
+
+/// Explores under a switching policy's admission rule (wormhole admission
+/// if the policy exposes no kernel spec).
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_policy(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    meta: &InstanceMeta,
+    specs: &[MessageSpec],
+    policy: &dyn SwitchingPolicy,
+    options: &ExploreOptions,
+) -> Result<Exploration> {
+    let admission = policy
+        .kernel_spec()
+        .map_or(&AlwaysAdmit as &dyn HeadAdmission, |s| s.admission);
+    explore(net, routing, meta, specs, admission, options)
+}
+
+/// Folds the canonical parent chain of `id` back into the concrete frame:
+/// walking from the root, each stored move's slot is routed through the
+/// composition of the canonicalization permutations seen so far.
+fn rebuild_counterexample(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    edges: &[Option<Edge>],
+    id: u32,
+    workload: &Workload,
+) -> Result<Counterexample> {
+    let mut chain = Vec::new();
+    let mut at = id;
+    while let Some(edge) = edges[at as usize].as_ref() {
+        chain.push(edge);
+        at = edge.parent;
+    }
+    chain.reverse();
+
+    let slots = workload.slots();
+    // pi maps canonical slots to concrete slots: canonical[j] = concrete[pi[j]].
+    let mut pi: Vec<usize> = (0..slots).collect();
+    let mut trace = Vec::with_capacity(chain.len());
+    for edge in chain {
+        let canonical_slot = edge.mv.msg.index();
+        trace.push(Move {
+            msg: MsgId::from_index(pi[canonical_slot]),
+            ..edge.mv
+        });
+        if let Some(perm) = edge.perm.as_deref() {
+            pi = perm.iter().map(|&s| pi[s]).collect();
+        }
+    }
+    let config = replay(net, routing, specs, &trace)?;
+    Ok(Counterexample { trace, config })
+}
+
+/// Replays a move trace from the initial configuration of `specs`,
+/// re-validating every move, and returns the configuration reached.
+///
+/// Replay is admission-agnostic on purpose: it checks each move against the
+/// *wormhole* rules (the weakest admission), so traces produced under any
+/// stricter policy replay too. Callers wanting the policy's own `Ω` should
+/// test the result with a [`MoveEnumerator`] over that policy's admission.
+///
+/// # Errors
+///
+/// [`Error::Invariant`] if some move is inadmissible where the trace plays
+/// it — a trace/instance mismatch or an explorer bug.
+pub fn replay(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    trace: &[Move],
+) -> Result<Config> {
+    let mut cfg = Config::from_specs(net, routing, specs)?;
+    let enumerator = MoveEnumerator::new(&AlwaysAdmit);
+    for (i, mv) in trace.iter().enumerate() {
+        enumerator.apply(&mut cfg, *mv).map_err(|e| {
+            Error::Invariant(format!(
+                "counterexample replay failed at move {i} ({mv}): {e}"
+            ))
+        })?;
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::meta::RoutingKind;
+    use genoc_core::step::any_move_possible_with;
+    use genoc_core::NodeId;
+    use genoc_routing::ring::RingShortestRouting;
+    use genoc_routing::xy::XyRouting;
+    use genoc_topology::mesh::Mesh;
+    use genoc_topology::ring::Ring;
+
+    fn spec(s: usize, d: usize, flits: usize) -> MessageSpec {
+        MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), flits)
+    }
+
+    #[test]
+    fn xy_cross_traffic_is_exhaustively_deadlock_free() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        // Routes of opposing corner pairs are disjoint, so the state space
+        // is near-multiplicative: three messages keep it comfortably under
+        // the default bound while still interleaving on shared links.
+        let specs = [spec(0, 3, 2), spec(3, 0, 2), spec(1, 2, 2)];
+        let result = explore(
+            &mesh,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(result.verdict, Verdict::NoReachableDeadlock),
+            "XY must be deadlock-free under every interleaving ({} states)",
+            result.states
+        );
+        assert!(result.states > 1);
+    }
+
+    #[test]
+    fn ring_pressure_yields_minimal_counterexample() {
+        let ring = Ring::new(4, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let meta = InstanceMeta::new(RoutingKind::RingShortest, 4, 1, 1);
+        // Every node sends two hops clockwise (cw wins the distance tie):
+        // four worms saturate the cw cycle.
+        let specs: Vec<MessageSpec> = (0..4).map(|i| spec(i, (i + 2) % 4, 2)).collect();
+        let result = explore(
+            &ring,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let cex = result
+            .counterexample()
+            .expect("saturating the cw ring cycle must deadlock");
+        assert_eq!(cex.trace.len(), result.depth);
+        assert!(!any_move_possible_with(&cex.config, &AlwaysAdmit));
+        assert!(cex.config.travels().iter().any(|t| !t.is_arrived()));
+        // Replay from scratch reproduces the same configuration.
+        let replayed = replay(&ring, &routing, &specs, &cex.trace).unwrap();
+        assert_eq!(replayed.position_key(), cex.config.position_key());
+    }
+
+    #[test]
+    fn symmetry_reduces_without_changing_the_verdict() {
+        let ring = Ring::new(4, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let meta = InstanceMeta::new(RoutingKind::RingShortest, 4, 1, 1);
+        let specs: Vec<MessageSpec> = (0..4).map(|i| spec(i, (i + 2) % 4, 2)).collect();
+        let base = ExploreOptions {
+            symmetry: false,
+            ..ExploreOptions::default()
+        };
+        let full = explore(&ring, &routing, &meta, &specs, &AlwaysAdmit, &base).unwrap();
+        let reduced = explore(
+            &ring,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(reduced.group_size > 1, "rotational symmetry must survive");
+        assert_eq!(full.verdict.label(), reduced.verdict.label());
+        // Minimal depth is a graph invariant; the quotient preserves it.
+        assert_eq!(full.depth, reduced.depth);
+    }
+
+    #[test]
+    fn bound_is_respected() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 3, 3, 1);
+        let specs: Vec<MessageSpec> = (0..8).map(|i| spec(i, (i + 4) % 9, 3)).collect();
+        let options = ExploreOptions {
+            max_states: 50,
+            symmetry: false,
+            ..ExploreOptions::default()
+        };
+        let result = explore(&mesh, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
+        assert!(matches!(result.verdict, Verdict::BoundExceeded));
+        assert!(result.states <= 50);
+    }
+
+    #[test]
+    fn empty_workload_is_trivially_evacuated() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        let result = explore(
+            &mesh,
+            &routing,
+            &meta,
+            &[],
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(result.verdict, Verdict::NoReachableDeadlock));
+        assert_eq!(result.states, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! State-graph export: Aldebaran (`.aut`) and Graphviz DOT.
+//!
+//! The `.aut` format is what `lps2lts` emits in the mCRL2 toolchain the
+//! paper's authors used — `des (initial, transitions, states)` followed by
+//! one `(source, "label", target)` line per transition — so an exported
+//! explorer graph drops straight into `ltsgraph`/`ltsconvert`. The DOT
+//! export mirrors the depgraph's Graphviz idiom for side-by-side figures.
+//!
+//! Both exports need the graph recorded during exploration
+//! ([`ExploreOptions::record_graph`](crate::ExploreOptions::record_graph));
+//! a graph cut short by the state bound or by an early deadlock stop is
+//! exported as far as it was built.
+
+use std::fmt::Write as _;
+
+use crate::explorer::{Exploration, StateStatus};
+
+/// Renders the recorded state graph in Aldebaran (`.aut`) format, or `None`
+/// if the graph was not recorded.
+pub fn to_aut(exploration: &Exploration) -> Option<String> {
+    let graph = exploration.graph.as_ref()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "des (0,{},{})", graph.edges.len(), exploration.states);
+    for (src, mv, dst) in &graph.edges {
+        let _ = writeln!(
+            out,
+            "({src},\"{}_{}_{}\",{dst})",
+            mv.kind.label(),
+            mv.msg,
+            mv.flit
+        );
+    }
+    Some(out)
+}
+
+/// Renders the recorded state graph as Graphviz DOT, or `None` if the graph
+/// was not recorded. Evacuated states are doubly circled, deadlocked states
+/// filled.
+pub fn to_dot(exploration: &Exploration, name: &str) -> Option<String> {
+    let graph = exploration.graph.as_ref()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for (id, status) in graph.status.iter().enumerate() {
+        match status {
+            StateStatus::Live => {
+                let _ = writeln!(out, "  s{id} [label=\"{id}\"];");
+            }
+            StateStatus::Evacuated => {
+                let _ = writeln!(out, "  s{id} [label=\"{id}\", peripheries=2];");
+            }
+            StateStatus::Deadlock => {
+                let _ = writeln!(
+                    out,
+                    "  s{id} [label=\"{id}\", style=filled, fillcolor=\"#d62728\", fontcolor=white];"
+                );
+            }
+        }
+    }
+    for (src, mv, dst) in &graph.edges {
+        let _ = writeln!(
+            out,
+            "  s{src} -> s{dst} [label=\"{} {}.{}\"];",
+            mv.kind.label(),
+            mv.msg,
+            mv.flit
+        );
+    }
+    let _ = writeln!(out, "}}");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, ExploreOptions};
+    use genoc_core::meta::{InstanceMeta, RoutingKind};
+    use genoc_core::spec::MessageSpec;
+    use genoc_core::step::AlwaysAdmit;
+    use genoc_core::NodeId;
+    use genoc_routing::xy::XyRouting;
+    use genoc_topology::mesh::Mesh;
+
+    #[test]
+    fn exports_render_the_recorded_graph() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        let specs = [MessageSpec::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            2,
+        )];
+        let options = ExploreOptions {
+            record_graph: true,
+            symmetry: false,
+            ..ExploreOptions::default()
+        };
+        let result = explore(&mesh, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
+        let aut = to_aut(&result).expect("graph was recorded");
+        let header = aut.lines().next().unwrap().to_string();
+        assert!(header.starts_with("des (0,"));
+        assert_eq!(aut.lines().count(), 1 + result.transitions as usize);
+        let dot = to_dot(&result, "state-graph").expect("graph was recorded");
+        assert!(dot.contains("digraph \"state-graph\""));
+        assert!(dot.contains("peripheries=2"), "evacuated state is marked");
+    }
+
+    #[test]
+    fn exports_absent_without_recording() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        let result = explore(
+            &mesh,
+            &routing,
+            &meta,
+            &[],
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(to_aut(&result).is_none());
+        assert!(to_dot(&result, "g").is_none());
+    }
+}

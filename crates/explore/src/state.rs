@@ -1,0 +1,289 @@
+//! State encoding, decoding, and canonicalization.
+//!
+//! A configuration of a fixed workload is fully determined by its flit
+//! positions ([`Config::position_key`]): routes are static and the network
+//! state `ST` is a function of the positions. The explorer therefore stores
+//! each state as the flattened `u16` position key, hash-consed in a
+//! [`StateTable`], and decodes keys back into full [`Config`]s (via
+//! [`Config::from_travels`]) only when a state is expanded.
+//!
+//! With symmetry reduction enabled, the key stored is the *canonical*
+//! representative of the state's orbit: the lexicographic minimum, over
+//! every workload-preserving slot permutation (see
+//! [`slot_perms`](crate::symmetry::slot_perms)) composed with the sort of
+//! any identical-message groups, of the permuted key. The permutation that
+//! achieved the minimum is reported alongside, so counterexample traces can
+//! be folded back into the concrete frame.
+
+use std::collections::HashMap;
+
+use genoc_core::config::Config;
+use genoc_core::error::Result;
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_core::spec::MessageSpec;
+use genoc_core::travel::{FlitPos, Travel};
+use genoc_core::PortId;
+
+/// Static per-workload data: the all-pending travel templates and the
+/// per-slot layout of the flattened key.
+pub struct Workload {
+    templates: Vec<Travel>,
+    /// Byte offsets of each slot's block in the flattened key.
+    offsets: Vec<usize>,
+    /// Flit count per slot.
+    lens: Vec<usize>,
+    /// Slots with identical `(route, flits)`, grouped; only groups of ≥ 2.
+    duplicate_groups: Vec<Vec<usize>>,
+}
+
+impl Workload {
+    /// Builds the template from the instance constituents and a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates route-computation and spec-validation errors from
+    /// [`Config::from_specs`].
+    pub fn new(
+        net: &dyn Network,
+        routing: &dyn RoutingFunction,
+        specs: &[MessageSpec],
+    ) -> Result<Workload> {
+        let initial = Config::from_specs(net, routing, specs)?;
+        let mut templates = initial.travels().to_vec();
+        templates.sort_by_key(|t| t.id().index());
+        let mut offsets = Vec::with_capacity(templates.len());
+        let mut lens = Vec::with_capacity(templates.len());
+        let mut at = 0;
+        for t in &templates {
+            offsets.push(at);
+            lens.push(t.flit_count());
+            at += t.flit_count();
+        }
+        let mut groups: HashMap<(&[PortId], usize), Vec<usize>> = HashMap::new();
+        for (s, t) in templates.iter().enumerate() {
+            groups
+                .entry((t.route(), t.flit_count()))
+                .or_default()
+                .push(s);
+        }
+        let mut duplicate_groups: Vec<Vec<usize>> =
+            groups.into_values().filter(|g| g.len() >= 2).collect();
+        duplicate_groups.sort();
+        Ok(Workload {
+            templates,
+            offsets,
+            lens,
+            duplicate_groups,
+        })
+    }
+
+    /// Number of message slots.
+    pub fn slots(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The per-slot `(route, flit count)` list, for
+    /// [`slot_perms`](crate::symmetry::slot_perms).
+    pub fn routes(&self) -> Vec<(Vec<PortId>, usize)> {
+        self.templates
+            .iter()
+            .map(|t| (t.route().to_vec(), t.flit_count()))
+            .collect()
+    }
+
+    /// The initial (all-pending) key.
+    pub fn initial_key(&self) -> Box<[u16]> {
+        vec![
+            0u16;
+            self.offsets
+                .last()
+                .map_or(0, |o| o + self.lens[self.lens.len() - 1])
+        ]
+        .into_boxed_slice()
+    }
+
+    /// Decodes a key back into a full configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from [`Config::from_travels`] — a
+    /// decode failure indicates a corrupted key, never a legal state.
+    pub fn decode(&self, net: &dyn Network, key: &[u16]) -> Result<Config> {
+        let mut travels = self.templates.clone();
+        for (s, t) in travels.iter_mut().enumerate() {
+            let block = &key[self.offsets[s]..self.offsets[s] + self.lens[s]];
+            for (f, &v) in block.iter().enumerate() {
+                t.set_flit_pos(
+                    f,
+                    match v {
+                        0 => FlitPos::Pending,
+                        u16::MAX => FlitPos::Delivered,
+                        k => FlitPos::InNetwork(usize::from(k) - 1),
+                    },
+                );
+            }
+        }
+        Config::from_travels(net, travels)
+    }
+
+    /// Applies a slot permutation (`perm[j]` = source slot of target `j`)
+    /// to a key.
+    fn permute(&self, key: &[u16], perm: &[usize], out: &mut Vec<u16>) {
+        out.clear();
+        for (j, &s) in perm.iter().enumerate() {
+            debug_assert_eq!(
+                self.lens[j], self.lens[s],
+                "matched slots share flit counts"
+            );
+            out.extend_from_slice(&key[self.offsets[s]..self.offsets[s] + self.lens[s]]);
+        }
+    }
+
+    /// Canonicalizes a key: the lexicographic minimum over every slot
+    /// permutation in `perms` (composed with sorting of identical-message
+    /// groups). Returns the canonical key and the total permutation `p`
+    /// that produced it (`canonical[j] = key[p[j]]`, block-wise).
+    pub fn canonicalize(&self, key: &[u16], perms: &[Vec<usize>]) -> (Box<[u16]>, Vec<usize>) {
+        let mut best: Option<(Vec<u16>, Vec<usize>)> = None;
+        let mut scratch = Vec::with_capacity(key.len());
+        for perm in perms {
+            self.permute(key, perm, &mut scratch);
+            let total = self.sort_duplicates(&mut scratch, perm);
+            if best.as_ref().is_none_or(|(b, _)| scratch < *b) {
+                best = Some((scratch.clone(), total));
+            }
+        }
+        let (key, perm) = best.expect("perms always contains the identity");
+        (key.into_boxed_slice(), perm)
+    }
+
+    /// Sorts the blocks of each identical-message group in `key` into
+    /// ascending order, and returns the composition of `perm` with the sort
+    /// (still in `canonical[j] = original[p[j]]` form).
+    fn sort_duplicates(&self, key: &mut [u16], perm: &[usize]) -> Vec<usize> {
+        let mut total = perm.to_vec();
+        for group in &self.duplicate_groups {
+            // Argsort the group's blocks.
+            let mut order: Vec<usize> = group.clone();
+            order.sort_by(|&a, &b| {
+                let ba = &key[self.offsets[a]..self.offsets[a] + self.lens[a]];
+                let bb = &key[self.offsets[b]..self.offsets[b] + self.lens[b]];
+                ba.cmp(bb)
+            });
+            if order == *group {
+                continue;
+            }
+            // Rearrange blocks and compose the permutation.
+            let blocks: Vec<Vec<u16>> = group
+                .iter()
+                .map(|&s| key[self.offsets[s]..self.offsets[s] + self.lens[s]].to_vec())
+                .collect();
+            let sources: Vec<usize> = group.iter().map(|&s| total[s]).collect();
+            for (slot_idx, &from) in group.iter().zip(&order) {
+                let gi = group.iter().position(|&s| s == from).expect("member");
+                let s = *slot_idx;
+                key[self.offsets[s]..self.offsets[s] + self.lens[s]].copy_from_slice(&blocks[gi]);
+                total[s] = sources[gi];
+            }
+        }
+        total
+    }
+}
+
+/// Hash-consed state arena: canonical key → dense `u32` id.
+#[derive(Default)]
+pub struct StateTable {
+    ids: HashMap<Box<[u16]>, u32>,
+    keys: Vec<Box<[u16]>>,
+}
+
+impl StateTable {
+    /// Empty table.
+    pub fn new() -> StateTable {
+        StateTable::default()
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Interns a key; returns `(id, freshly_inserted)`.
+    pub fn intern(&mut self, key: Box<[u16]>) -> (u32, bool) {
+        if let Some(&id) = self.ids.get(&key) {
+            return (id, false);
+        }
+        let id = u32::try_from(self.keys.len()).expect("state count exceeds u32");
+        self.ids.insert(key.clone(), id);
+        self.keys.push(key);
+        (id, true)
+    }
+
+    /// The key of a state id.
+    pub fn key(&self, id: u32) -> &[u16] {
+        &self.keys[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::line::{LineNetwork, LineRouting};
+    use genoc_core::NodeId;
+
+    fn spec(s: usize, d: usize, flits: usize) -> MessageSpec {
+        MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), flits)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let net = LineNetwork::new(4, 1);
+        let routing = LineRouting::new(&net);
+        let specs = [spec(0, 3, 2), spec(3, 0, 3)];
+        let wl = Workload::new(&net, &routing, &specs).unwrap();
+        let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        let key = cfg.position_key();
+        assert_eq!(&*wl.initial_key(), key.as_slice());
+        let decoded = wl.decode(&net, &key).unwrap();
+        assert_eq!(decoded.position_key(), key);
+    }
+
+    #[test]
+    fn duplicate_sort_canonicalizes_twin_messages() {
+        let net = LineNetwork::new(4, 1);
+        let routing = LineRouting::new(&net);
+        // Two identical messages: slots are interchangeable.
+        let specs = [spec(0, 3, 2), spec(0, 3, 2)];
+        let wl = Workload::new(&net, &routing, &specs).unwrap();
+        assert_eq!(wl.duplicate_groups.len(), 1);
+        let identity = vec![(0..2).collect::<Vec<usize>>()];
+        // Key where slot 1 is "ahead" of slot 0 must canonicalize to the
+        // same key as the mirrored state.
+        let a = [0u16, 0, 2, 1];
+        let b = [2u16, 1, 0, 0];
+        let (ca, pa) = wl.canonicalize(&a, &identity);
+        let (cb, pb) = wl.canonicalize(&b, &identity);
+        assert_eq!(ca, cb);
+        // The permutations report where each canonical block came from:
+        // `a` was already sorted, `b`'s blocks swapped.
+        assert_eq!(pa, vec![0, 1]);
+        assert_eq!(pb, vec![1, 0]);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut table = StateTable::new();
+        let (a, fresh_a) = table.intern(vec![1u16, 2].into_boxed_slice());
+        let (b, fresh_b) = table.intern(vec![1u16, 2].into_boxed_slice());
+        assert_eq!(a, b);
+        assert!(fresh_a && !fresh_b);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.key(a), &[1, 2]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Symmetry reduction: node-automorphism canonicalization.
+//!
+//! Small regular topologies carry large automorphism groups — rotations and
+//! reflections of a ring, the dihedral group of a mesh, translations of a
+//! torus — and a workload that is itself symmetric makes whole orbits of
+//! configurations behaviourally identical. The explorer quotients its state
+//! space by such symmetries: two configurations related by a verified
+//! automorphism are stored once, under the lexicographically least encoding
+//! of the orbit.
+//!
+//! The pipeline is *generate, lift, verify*:
+//!
+//! 1. **Generate** candidate node permutations from the instance metadata
+//!    ([`candidate_node_perms`]): the point group of the coordinate lattice.
+//!    Each candidate set is closed under composition (a genuine group), so
+//!    the surviving subset is a subgroup and orbit-minimization is
+//!    well-defined.
+//! 2. **Lift** each node permutation to a port permutation
+//!    ([`lift_node_perm`]) by matching ports node-by-node on their
+//!    structural signature (direction, locality, linked neighbour,
+//!    capacity), pairing virtual-channel layers in index order, and checking
+//!    that `next_in` commutes with the candidate.
+//! 3. **Verify** against the workload ([`slot_perms`]): a lifted candidate
+//!    survives only if it maps every travel's *computed route* onto the
+//!    route of some travel with the same flit count. This single check
+//!    subsumes routing-function compatibility (routes are the routing
+//!    function evaluated on this workload) and workload invariance, and
+//!    yields the message-slot permutation the state encoding needs.
+//!
+//! Failures anywhere simply discard the candidate: the reduction degrades,
+//! soundness never does. With an asymmetric workload the group collapses to
+//! the identity and exploration is exact and unreduced.
+
+use std::collections::HashMap;
+
+use genoc_core::meta::{InstanceMeta, TopologyKind};
+use genoc_core::network::{Direction, Network};
+use genoc_core::PortId;
+
+/// Candidate node permutations for the instance's topology, as `perm[node]
+/// = image node`. Always includes the identity; always a group under
+/// composition.
+///
+/// - **Mesh `w×h`**: horizontal/vertical flips, plus the transpose when the
+///   mesh is square (the dihedral group of the rectangle/square).
+/// - **Torus `w×h`**: the mesh point group combined with all wrap-around
+///   translations.
+/// - **Ring / Spidergon `n`**: all rotations and reflections (the dihedral
+///   group on `n` nodes).
+pub fn candidate_node_perms(meta: &InstanceMeta) -> Vec<Vec<usize>> {
+    let (w, h) = (meta.width, meta.height);
+    match meta.topology {
+        TopologyKind::Mesh => lattice_perms(w, h, false),
+        TopologyKind::Torus => lattice_perms(w, h, true),
+        TopologyKind::Ring | TopologyKind::Spidergon => dihedral_perms(meta.nodes()),
+    }
+}
+
+/// Point group (and translations, for the torus) of a `w×h` node lattice
+/// with node index `y * w + x`.
+fn lattice_perms(w: usize, h: usize, translations: bool) -> Vec<Vec<usize>> {
+    let mut perms = Vec::new();
+    let (dxs, dys): (Vec<usize>, Vec<usize>) = if translations {
+        ((0..w).collect(), (0..h).collect())
+    } else {
+        (vec![0], vec![0])
+    };
+    for swap in [false, true] {
+        if swap && w != h {
+            continue;
+        }
+        for flip_x in [false, true] {
+            for flip_y in [false, true] {
+                for &dx in &dxs {
+                    for &dy in &dys {
+                        let mut perm = vec![0usize; w * h];
+                        for y in 0..h {
+                            for x in 0..w {
+                                let (mut px, mut py) = if swap { (y, x) } else { (x, y) };
+                                if flip_x {
+                                    px = w - 1 - px;
+                                }
+                                if flip_y {
+                                    py = h - 1 - py;
+                                }
+                                let (px, py) = ((px + dx) % w, (py + dy) % h);
+                                perm[y * w + x] = py * w + px;
+                            }
+                        }
+                        perms.push(perm);
+                    }
+                }
+            }
+        }
+    }
+    perms
+}
+
+/// Rotations and reflections of `n` nodes on a cycle.
+fn dihedral_perms(n: usize) -> Vec<Vec<usize>> {
+    let mut perms = Vec::new();
+    for k in 0..n {
+        perms.push((0..n).map(|i| (i + k) % n).collect());
+        perms.push((0..n).map(|i| (n + k - i % n) % n).collect());
+    }
+    perms
+}
+
+/// Structural signature a port must preserve under an automorphism: its
+/// direction, locality, capacity, and — already mapped through the node
+/// permutation — the neighbouring node its link touches.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct PortSig {
+    direction: Direction,
+    local: bool,
+    capacity: u32,
+    neighbour: Option<usize>,
+}
+
+/// Lifts a node permutation to a port permutation, or `None` if the
+/// candidate is not an automorphism of this network.
+///
+/// Ports are matched node-by-node: the `k`-th port (in port-index order) of
+/// node `n` with a given signature maps to the `k`-th port of node
+/// `perm[n]` with the image signature. Index order pairs virtual-channel
+/// layers consistently on every supported topology. The result is checked
+/// to commute with `next_in`, which rejects any candidate the signature
+/// matching over-approximated (e.g. a reflection that crosses a dateline
+/// asymmetry).
+pub fn lift_node_perm(net: &dyn Network, perm: &[usize]) -> Option<Vec<PortId>> {
+    let ports = net.port_count();
+    // Who drives each in-port (reverse of next_in).
+    let mut driven_by: Vec<Option<PortId>> = vec![None; ports];
+    for p in net.ports() {
+        if let Some(q) = net.next_in(p) {
+            driven_by[q.index()] = Some(p);
+        }
+    }
+    let neighbour = |p: PortId| -> Option<usize> {
+        let a = net.attrs(p);
+        if a.local {
+            return None;
+        }
+        let linked = match a.direction {
+            Direction::Out => net.next_in(p),
+            Direction::In => driven_by[p.index()],
+        }?;
+        Some(net.attrs(linked).node.index())
+    };
+    // Bucket each node's ports by signature, in port-index order.
+    let mut buckets: HashMap<(usize, PortSig), Vec<PortId>> = HashMap::new();
+    for p in net.ports() {
+        let a = net.attrs(p);
+        let sig = PortSig {
+            direction: a.direction,
+            local: a.local,
+            capacity: a.capacity,
+            neighbour: neighbour(p),
+        };
+        buckets.entry((a.node.index(), sig)).or_default().push(p);
+    }
+    let mut image: Vec<Option<PortId>> = vec![None; ports];
+    for p in net.ports() {
+        let a = net.attrs(p);
+        let sig = PortSig {
+            direction: a.direction,
+            local: a.local,
+            capacity: a.capacity,
+            neighbour: neighbour(p),
+        };
+        let here = &buckets[&(a.node.index(), sig)];
+        let k = here
+            .iter()
+            .position(|&q| q == p)
+            .expect("p is in its bucket");
+        let target_sig = PortSig {
+            neighbour: sig.neighbour.map(|n| perm[n]),
+            ..sig
+        };
+        let there = buckets.get(&(perm[a.node.index()], target_sig))?;
+        if there.len() != here.len() {
+            return None;
+        }
+        image[p.index()] = Some(there[k]);
+    }
+    let image: Vec<PortId> = image.into_iter().collect::<Option<_>>()?;
+    // Bijectivity (bucket matching guarantees it, but stay defensive).
+    let mut seen = vec![false; ports];
+    for &q in &image {
+        if std::mem::replace(&mut seen[q.index()], true) {
+            return None;
+        }
+    }
+    // next_in must commute: links map to links.
+    for p in net.ports() {
+        let mapped = net.next_in(p).map(|q| image[q.index()]);
+        if net.next_in(image[p.index()]) != mapped {
+            return None;
+        }
+    }
+    Some(image)
+}
+
+/// The workload-preserving slot permutations of the instance: one per
+/// surviving automorphism, in the form the canonicalizer consumes —
+/// `perm[j] = s` meaning "slot `j` of the permuted encoding takes slot `s`
+/// of the original".
+///
+/// `routes` is the per-message `(computed route, flit count)` list in
+/// [`MsgId`](genoc_core::MsgId) order. A lifted candidate survives only if
+/// its port permutation maps every route onto the route of some
+/// equal-flit-count message; the induced pairing of message slots is the
+/// returned permutation. The identity is always first.
+pub fn slot_perms(
+    net: &dyn Network,
+    meta: &InstanceMeta,
+    routes: &[(Vec<PortId>, usize)],
+) -> Vec<Vec<usize>> {
+    let mut out = vec![(0..routes.len()).collect::<Vec<usize>>()];
+    for node_perm in candidate_node_perms(meta) {
+        if node_perm.iter().enumerate().all(|(i, &v)| i == v) {
+            continue; // identity already present
+        }
+        let Some(port_perm) = lift_node_perm(net, &node_perm) else {
+            continue;
+        };
+        // Available slots per (route, flits).
+        let mut pool: HashMap<(Vec<PortId>, usize), Vec<usize>> = HashMap::new();
+        for (s, (route, flits)) in routes.iter().enumerate() {
+            pool.entry((route.clone(), *flits)).or_default().push(s);
+        }
+        let mut to_slot = vec![usize::MAX; routes.len()];
+        let mut ok = true;
+        for (s, (route, flits)) in routes.iter().enumerate() {
+            let mapped: Vec<PortId> = route.iter().map(|p| port_perm[p.index()]).collect();
+            match pool.get_mut(&(mapped, *flits)).and_then(Vec::pop) {
+                Some(t) => to_slot[s] = t,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Invert: perm[j] = source slot for target slot j.
+        let mut perm = vec![usize::MAX; routes.len()];
+        for (s, &t) in to_slot.iter().enumerate() {
+            perm[t] = s;
+        }
+        if !out.contains(&perm) {
+            out.push(perm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genoc_core::meta::RoutingKind;
+
+    #[test]
+    fn lattice_group_sizes() {
+        assert_eq!(lattice_perms(2, 3, false).len(), 4);
+        assert_eq!(lattice_perms(2, 2, false).len(), 8);
+        assert_eq!(lattice_perms(3, 3, true).len(), 8 * 9);
+    }
+
+    #[test]
+    fn dihedral_group_size_and_closure() {
+        let perms = dihedral_perms(5);
+        assert_eq!(perms.len(), 10);
+        // Closure: composing any two members lands in the set.
+        for a in &perms {
+            for b in &perms {
+                let c: Vec<usize> = (0..5).map(|i| a[b[i]]).collect();
+                assert!(perms.contains(&c), "dihedral set must be a group");
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_group_is_closed() {
+        let perms = lattice_perms(2, 2, false);
+        for a in &perms {
+            for b in &perms {
+                let c: Vec<usize> = (0..4).map(|i| a[b[i]]).collect();
+                assert!(perms.contains(&c), "square dihedral set must be a group");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_permutations() {
+        let meta = InstanceMeta::new(RoutingKind::TorusDor, 3, 3, 1);
+        for perm in candidate_node_perms(&meta) {
+            let mut seen = vec![false; perm.len()];
+            for &v in &perm {
+                assert!(!std::mem::replace(&mut seen[v], true));
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p genoc --bin campaign -- [FLAGS]
 //!
-//!   --matrix <smoke|default|full|large>  preset to expand   [default: default]
+//!   --matrix <smoke|default|full|large|oracle>  preset to expand   [default: default]
 //!   --jobs <N>                      worker threads, 0=auto  [default: 0]
 //!   --seed <N>                      campaign seed           [default: 0]
 //!   --filter <substring>            keep scenarios whose name contains this
@@ -57,7 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: campaign [--matrix smoke|default|full|large] [--jobs N] \
+                    "usage: campaign [--matrix smoke|default|full|large|oracle] [--jobs N] \
                             [--seed N] [--filter SUBSTRING] [--out PATH] [--list]"
                         .into(),
                 );
@@ -78,7 +78,7 @@ fn main() -> ExitCode {
     };
     let Some(matrix) = ScenarioMatrix::named(&args.matrix) else {
         eprintln!(
-            "unknown matrix {:?}: expected smoke, default, full, or large",
+            "unknown matrix {:?}: expected smoke, default, full, large, or oracle",
             args.matrix
         );
         return ExitCode::FAILURE;
@@ -116,6 +116,7 @@ fn main() -> ExitCode {
         effort: match args.matrix.as_str() {
             "smoke" => EffortProfile::quick(),
             "large" => EffortProfile::large(),
+            "oracle" => EffortProfile::oracle(),
             _ => EffortProfile::standard(),
         },
         matrix: args.matrix.clone(),

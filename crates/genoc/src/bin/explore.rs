@@ -1,0 +1,231 @@
+//! The explorer CLI: exhaustively enumerate the reachable configurations of
+//! a pressure workload on one instance, print the verdict (and the minimal
+//! counterexample trace, if a deadlock is reachable), and optionally export
+//! the state graph.
+//!
+//! ```text
+//! cargo run --release -p genoc --bin explore -- [FLAGS]
+//!
+//!   --routing <label>        routing kind, e.g. xy, shortest, dor  [default: xy]
+//!   --width <N>              mesh/torus width; ring/spidergon size [default: 2]
+//!   --height <N>             mesh/torus height (1-D topologies: 1) [default: 2]
+//!   --capacity <N>           per-port buffer capacity              [default: 1]
+//!   --switching <label>      wormhole|vct|store-forward     [default: wormhole]
+//!   --flits <N>              flits per message                     [default: 2]
+//!   --messages <N>           keep only the first N pressure messages, 0 = all
+//!   --bound <N>              state bound                      [default: 100000]
+//!   --symmetry <on|off>      node-automorphism reduction          [default: on]
+//!   --aut <path>             write the state graph in Aldebaran (.aut) format
+//!   --dot <path>             write the state graph as Graphviz DOT
+//! ```
+//!
+//! Exit status is non-zero when a deadlock is reachable or the bound was
+//! hit, so scripts can gate on an exhaustive deadlock-freedom proof.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use genoc::prelude::*;
+
+struct Args {
+    routing: String,
+    width: usize,
+    height: Option<usize>,
+    capacity: u32,
+    switching: String,
+    flits: usize,
+    messages: usize,
+    bound: usize,
+    symmetry: bool,
+    aut: Option<PathBuf>,
+    dot: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        routing: "xy".into(),
+        width: 2,
+        height: None,
+        capacity: 1,
+        switching: "wormhole".into(),
+        flits: 2,
+        messages: 0,
+        bound: 100_000,
+        symmetry: true,
+        aut: None,
+        dot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--routing" => args.routing = value("--routing")?,
+            "--width" => {
+                args.width = value("--width")?
+                    .parse()
+                    .map_err(|e| format!("--width: {e}"))?;
+            }
+            "--height" => {
+                args.height = Some(
+                    value("--height")?
+                        .parse()
+                        .map_err(|e| format!("--height: {e}"))?,
+                );
+            }
+            "--capacity" => {
+                args.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--switching" => args.switching = value("--switching")?,
+            "--flits" => {
+                args.flits = value("--flits")?
+                    .parse()
+                    .map_err(|e| format!("--flits: {e}"))?;
+            }
+            "--messages" => {
+                args.messages = value("--messages")?
+                    .parse()
+                    .map_err(|e| format!("--messages: {e}"))?;
+            }
+            "--bound" => {
+                args.bound = value("--bound")?
+                    .parse()
+                    .map_err(|e| format!("--bound: {e}"))?;
+            }
+            "--symmetry" => {
+                args.symmetry = match value("--symmetry")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--symmetry: expected on|off, got {other:?}")),
+                };
+            }
+            "--aut" => args.aut = Some(PathBuf::from(value("--aut")?)),
+            "--dot" => args.dot = Some(PathBuf::from(value("--dot")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: explore [--routing LABEL] [--width N] [--height N] [--capacity N] \
+                            [--switching wormhole|vct|store-forward] [--flits N] [--messages N] \
+                            [--bound N] [--symmetry on|off] [--aut PATH] [--dot PATH]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(kind) = RoutingKind::ALL.iter().find(|k| k.label() == args.routing) else {
+        let labels: Vec<&str> = RoutingKind::ALL.iter().map(|k| k.label()).collect();
+        eprintln!(
+            "unknown routing {:?}: expected one of {}",
+            args.routing,
+            labels.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let policy: Box<dyn SwitchingPolicy> = match args.switching.as_str() {
+        "wormhole" => Box::new(WormholePolicy::default()),
+        "vct" => Box::new(VirtualCutThroughPolicy::new()),
+        "store-forward" => Box::new(StoreForwardPolicy::new()),
+        other => {
+            eprintln!("unknown switching {other:?}: expected wormhole, vct, or store-forward");
+            return ExitCode::FAILURE;
+        }
+    };
+    let height = args.height.unwrap_or(match kind.topology() {
+        TopologyKind::Ring | TopologyKind::Spidergon => 1,
+        TopologyKind::Mesh | TopologyKind::Torus => 2,
+    });
+    let meta = InstanceMeta::new(*kind, args.width, height, args.capacity);
+    let instance = match Instance::from_meta(&meta) {
+        Ok(instance) => instance,
+        Err(msg) => {
+            eprintln!("{}: {msg}", meta.instance_name());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut specs = pressure_specs(&meta, args.flits);
+    if args.messages > 0 {
+        specs.truncate(args.messages);
+    }
+    let options = ExploreOptions {
+        max_states: args.bound,
+        symmetry: args.symmetry,
+        record_graph: args.aut.is_some() || args.dot.is_some(),
+    };
+    let result = match explore_policy(
+        instance.net.as_ref(),
+        instance.routing.as_ref(),
+        &meta,
+        &specs,
+        policy.as_ref(),
+        &options,
+    ) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("{}: exploration failed: {e}", instance.name);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{} · {} · {} message(s) × {} flit(s)",
+        instance.name,
+        args.switching,
+        specs.len(),
+        args.flits
+    );
+    println!(
+        "states {} · transitions {} · depth {} · symmetry group {}",
+        result.states, result.transitions, result.depth, result.group_size
+    );
+    match &result.verdict {
+        Verdict::NoReachableDeadlock => {
+            println!("verdict: no reachable deadlock (exhaustive within the bound)");
+        }
+        Verdict::Deadlock(cex) => {
+            println!(
+                "verdict: deadlock reachable in {} move(s); minimal trace:",
+                cex.trace.len()
+            );
+            for (i, mv) in cex.trace.iter().enumerate() {
+                println!("  {i:>4}  {mv}");
+            }
+        }
+        Verdict::BoundExceeded => {
+            println!("verdict: state bound {} exceeded — no verdict", args.bound);
+        }
+    }
+
+    for (path, rendered, what) in [
+        (&args.aut, genoc::explore::to_aut(&result), ".aut"),
+        (
+            &args.dot,
+            genoc::explore::to_dot(&result, &instance.name),
+            "DOT",
+        ),
+    ] {
+        let Some(path) = path else { continue };
+        let text = rendered.expect("record_graph is on whenever an export path is given");
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {} export {}: {e}", what, path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{what} export: {}", path.display());
+    }
+
+    match result.verdict {
+        Verdict::NoReachableDeadlock => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}

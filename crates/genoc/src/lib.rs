@@ -19,6 +19,10 @@
 //!   store-and-forward;
 //! * [`depgraph`] — port/channel dependency graphs, cycle
 //!   search, SCCs, ranking certificates, flows, Theorem 1 witnesses;
+//! * [`explore`] — the exhaustive bounded state-space oracle: BFS over
+//!   all move interleavings with symmetry reduction, minimal
+//!   counterexample traces, `.aut`/DOT state-graph export
+//!   (`cargo run -p genoc --bin explore`);
 //! * [`sim`] — workloads, statistics, deadlock hunting;
 //! * [`detect`] — online deadlock detection (exact wait-for graph
 //!   plus timeout heuristic) and recovery (abort, escape channel, drain);
@@ -60,6 +64,7 @@ pub use genoc_campaign as campaign;
 pub use genoc_core as core;
 pub use genoc_depgraph as depgraph;
 pub use genoc_detect as detect;
+pub use genoc_explore as explore;
 pub use genoc_routing as routing;
 pub use genoc_sim as sim;
 pub use genoc_switching as switching;
@@ -96,6 +101,10 @@ pub mod prelude {
         AbortAndEvacuate, DetectionEngine, DrainAll, EngineOptions, EscapeChannel, EscapeRoute,
         ExactDetector, RecoveryPolicy, RingEscape, TimeoutDetector,
     };
+    pub use genoc_explore::{
+        explore, explore_policy, explore_workload, pressure_specs, replay, Counterexample,
+        Exploration, ExploreOptions, Verdict,
+    };
     pub use genoc_routing::{
         AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
         RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
@@ -112,7 +121,8 @@ pub mod prelude {
     pub use genoc_topology::{Cardinal, Fabric, Mesh, Ring, RingDir, Spidergon, Torus};
     pub use genoc_verif::{
         check_all, check_c5_with, check_detection, check_theorem1, check_theorem2,
-        check_theorem2_with, effort_table, render_effort_table, DetectionCheckOptions,
-        DetectionReport, Instance, TextTable,
+        check_theorem2_with, effort_table, explore_check, render_effort_table,
+        DetectionCheckOptions, DetectionReport, ExploreCheckOptions, ExploreReport, Instance,
+        TextTable,
     };
 }

@@ -13,10 +13,13 @@ use genoc_core::blocking::{find_wait_cycle, WaitCycle};
 use genoc_core::config::Config;
 use genoc_core::error::Result;
 use genoc_core::interpreter::Outcome;
+use genoc_core::moves::Move;
 use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
+use genoc_core::step::{AlwaysAdmit, HeadAdmission};
 use genoc_core::switching::SwitchingPolicy;
+use genoc_explore::{explore_workload, ExploreOptions};
 
 use crate::runner::{simulate, SimOptions};
 use crate::workload::uniform_random;
@@ -38,6 +41,14 @@ pub struct Hunt {
     /// stricter admission rule (virtual cut-through, store-and-forward)
     /// that blocks heads the wormhole rules would admit.
     pub witness: Option<WaitCycle>,
+    /// BFS-minimal move trace from the all-pending configuration to a
+    /// deadlock of the same workload, found by exhaustively exploring the
+    /// move interleavings when the instance is small enough
+    /// ([`genoc_explore::explore_workload`]). Replayable via
+    /// [`genoc_explore::replay`]; `None` when the workload was too large to
+    /// explore within the shrink budget — the full random prefix (the
+    /// `steps`-long greedy run) then remains the only path to the deadlock.
+    pub minimal_trace: Option<Vec<Move>>,
 }
 
 /// Hunting parameters.
@@ -114,16 +125,58 @@ pub fn hunt_workload(
     let result = simulate(net, routing, policy, specs, &options)?;
     if result.run.outcome == Outcome::Deadlock {
         let witness = find_wait_cycle(&result.run.config);
+        let minimal_trace = shrink_witness(net, routing, policy, specs);
         Ok(Some(Hunt {
             seed,
             specs: specs.to_vec(),
             steps: result.run.steps,
             config: result.run.config,
             witness,
+            minimal_trace,
         }))
     } else {
         Ok(None)
     }
+}
+
+/// Workloads at most this many messages wide are candidates for shrinking.
+const SHRINK_MAX_MESSAGES: usize = 8;
+/// …carrying at most this many flits in total…
+const SHRINK_MAX_FLITS: usize = 24;
+/// …explored up to this many states. Shrinking runs without symmetry
+/// reduction (no [`genoc_core::meta::InstanceMeta`] is available here to
+/// derive automorphism candidates from), so the budget is sized for the raw
+/// space: the 2×2 corner storm with 4-flit worms needs ~78k states.
+const SHRINK_MAX_STATES: usize = 100_000;
+
+/// Shrinks a greedy deadlock to a BFS-minimal move trace by exhaustively
+/// exploring the workload's interleavings, when the instance is small
+/// enough. The random prefix that *found* the deadlock is typically
+/// thousands of kernel steps; the minimal trace to a deadlock of the same
+/// workload is usually a few dozen single-flit moves. Any failure (too
+/// large, bound hit, or the greedy deadlock's interleaving class not
+/// reached within the bound) degrades to `None` — shrinking is best-effort
+/// and never blocks the hunt.
+fn shrink_witness(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+) -> Option<Vec<Move>> {
+    let total_flits: usize = specs.iter().map(|s| s.flits).sum();
+    if specs.len() > SHRINK_MAX_MESSAGES || total_flits > SHRINK_MAX_FLITS {
+        return None;
+    }
+    let admission = policy
+        .kernel_spec()
+        .map_or(&AlwaysAdmit as &dyn HeadAdmission, |s| s.admission);
+    let options = ExploreOptions {
+        max_states: SHRINK_MAX_STATES,
+        symmetry: false,
+        record_graph: false,
+    };
+    let result = explore_workload(net, routing, specs, admission, &options).ok()?;
+    result.counterexample().map(|cex| cex.trace.clone())
 }
 
 #[cfg(test)]
@@ -159,6 +212,57 @@ mod tests {
         for &m in &witness.msgs {
             assert!(hunt.config.travel_by_id(m).is_some());
         }
+    }
+
+    #[test]
+    fn corner_storm_witness_shrinks_to_a_minimal_replayable_trace() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        let hunt = hunt_workload(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            0,
+            10_000,
+        )
+        .unwrap()
+        .expect("the four-corner storm must deadlock mixed routing");
+        let trace = hunt
+            .minimal_trace
+            .as_ref()
+            .expect("a 4-message workload is well inside the shrink budget");
+        // The minimal trace is single-flit moves; the greedy run took
+        // `steps` kernel rounds, each moving many flits. Minimality means
+        // the trace can't exceed the flit-moves the greedy run spent.
+        assert!(!trace.is_empty());
+        let replayed = genoc_explore::replay(&mesh, &routing, &specs, trace)
+            .expect("the minimal trace replays");
+        assert!(
+            !replayed.any_move_possible(),
+            "replaying the minimal trace must land in a deadlock"
+        );
+        assert!(!replayed.travels().is_empty());
+    }
+
+    #[test]
+    fn oversized_workloads_skip_the_shrink() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let options = HuntOptions {
+            attempts: 32,
+            messages: 40,
+            flits: 8,
+            ..HuntOptions::default()
+        };
+        let hunt = hunt_random(&mesh, &routing, &mut WormholePolicy::default(), &options)
+            .unwrap()
+            .expect("heavy random traffic trips the cyclic router");
+        assert!(
+            hunt.minimal_trace.is_none(),
+            "40 messages x 8 flits is far beyond the shrink budget"
+        );
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Cross-validation of the exhaustive state-space explorer against the
+//! static dependency-graph verdict and the greedy deadlock hunts.
+//!
+//! The explorer ([`genoc_explore`]) is the ground-truth tier between the
+//! two existing methods: the dependency graph decides *possibility* of
+//! deadlock over all workloads, the hunts sample *one* greedy schedule per
+//! workload, and the explorer decides one workload *exactly*, over every
+//! move interleaving. That ordering yields one-directional implications
+//! this module checks on concrete instances:
+//!
+//! - an **acyclic** dependency graph admits no reachable deadlock at all
+//!   (Theorem 1 sufficiency), so any explorer counterexample on an
+//!   `expect_acyclic` instance is a violation;
+//! - the greedy schedule is one interleaving of the explorer's transition
+//!   system, so a greedy deadlock on a workload the explorer *exhaustively*
+//!   proved deadlock-free is a violation;
+//! - when both find a deadlock on the same workload, the explorer's
+//!   BFS-minimal trace can be no longer than the greedy path, whose move
+//!   count is the [`progress_measure`](genoc_core::config::Config::progress_measure)
+//!   drop from the initial configuration.
+//!
+//! Two tiers run per instance. The *exhaustive* tier truncates the
+//! adversarial pressure workload to a few messages so small instances
+//! enumerate completely — a definite verdict is required. The *pressure*
+//! tier runs the full pressure workload (worms longer than the buffers) on
+//! cyclic comparators hunting for a minimal counterexample; hitting the
+//! state bound there is recorded, not judged.
+
+use std::time::{Duration, Instant};
+
+use genoc_core::config::Config;
+use genoc_core::error::Result;
+use genoc_core::meta::SwitchingKind;
+use genoc_core::switching::SwitchingPolicy;
+use genoc_explore::{explore_policy, pressure_specs, Exploration, ExploreOptions, Verdict};
+use genoc_sim::deadlock_hunt::hunt_workload;
+use genoc_switching::{StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy};
+
+use crate::instance::Instance;
+
+/// Tuning for [`explore_check`]. The defaults are sized for smoke-scale
+/// instances (up to nine nodes / eight-node rings): the exhaustive tier is
+/// required to finish within its bound there.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreCheckOptions {
+    /// Messages the exhaustive tier keeps from the pressure workload.
+    pub exhaustive_messages: usize,
+    /// Preferred flits per message in the exhaustive tier (capped at the
+    /// capacity for whole-packet switching policies).
+    pub flits: usize,
+    /// State bound of the exhaustive tier — exceeding it is a violation.
+    pub max_states: usize,
+    /// State bound of the pressure tier — exceeding it is merely recorded.
+    pub pressure_states: usize,
+    /// Step limit for the greedy cross-hunt.
+    pub max_steps: u64,
+}
+
+impl Default for ExploreCheckOptions {
+    fn default() -> Self {
+        ExploreCheckOptions {
+            exhaustive_messages: 3,
+            flits: 2,
+            max_states: 200_000,
+            pressure_states: 150_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// What one explorer tier did.
+#[derive(Clone, Debug)]
+pub struct TierOutcome {
+    /// Tier name: `"exhaustive"` or `"pressure"`.
+    pub tier: &'static str,
+    /// Messages in the workload.
+    pub messages: usize,
+    /// Flits per message.
+    pub flits: usize,
+    /// Verdict label (`no-deadlock`, `deadlock`, `bound`).
+    pub verdict: String,
+    /// Canonical states discovered.
+    pub states: usize,
+    /// Transitions traversed.
+    pub transitions: u64,
+    /// Largest BFS depth expanded.
+    pub depth: usize,
+    /// Symmetry group size used.
+    pub group_size: usize,
+    /// Length of the minimal counterexample trace, when one was found.
+    pub trace_len: Option<usize>,
+}
+
+impl TierOutcome {
+    fn of(tier: &'static str, messages: usize, flits: usize, result: &Exploration) -> TierOutcome {
+        TierOutcome {
+            tier,
+            messages,
+            flits,
+            verdict: result.verdict.label().to_string(),
+            states: result.states,
+            transitions: result.transitions,
+            depth: result.depth,
+            group_size: result.group_size,
+            trace_len: result.counterexample().map(|c| c.trace.len()),
+        }
+    }
+
+    /// One-line summary, the form campaign reports record.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: verdict={} states={} transitions={} depth={} group={} messages={}x{}f{}",
+            self.tier,
+            self.verdict,
+            self.states,
+            self.transitions,
+            self.depth,
+            self.group_size,
+            self.messages,
+            self.flits,
+            match self.trace_len {
+                Some(n) => format!(" trace={n}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Report of one explorer cross-validation.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Instance name.
+    pub name: String,
+    /// Whether the dependency graph was expected acyclic.
+    pub expect_acyclic: bool,
+    /// The tiers that ran, in order.
+    pub tiers: Vec<TierOutcome>,
+    /// Whether any tier produced a replayable minimal counterexample.
+    pub counterexample_found: bool,
+    /// Cross-validation failures; empty when the check holds.
+    pub violations: Vec<String>,
+    /// Wall-clock time of the whole check.
+    pub elapsed: Duration,
+}
+
+impl ExploreReport {
+    /// Whether every cross-validation held.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total canonical states discovered across tiers.
+    pub fn states_explored(&self) -> u64 {
+        self.tiers.iter().map(|t| t.states as u64).sum()
+    }
+}
+
+fn policy_for(kind: SwitchingKind) -> Box<dyn SwitchingPolicy> {
+    match kind {
+        SwitchingKind::Wormhole => Box::new(WormholePolicy::default()),
+        SwitchingKind::VirtualCutThrough => Box::new(VirtualCutThroughPolicy::new()),
+        SwitchingKind::StoreForward => Box::new(StoreForwardPolicy::new()),
+    }
+}
+
+/// Runs the explorer tiers on one instance under one switching policy and
+/// cross-validates the verdicts against the static expectation and the
+/// greedy schedule.
+///
+/// # Errors
+///
+/// Propagates route-computation and interpreter errors — harness bugs, not
+/// verdicts.
+pub fn explore_check(
+    instance: &Instance,
+    switching: SwitchingKind,
+    options: &ExploreCheckOptions,
+) -> Result<ExploreReport> {
+    let start = Instant::now();
+    let net = instance.net.as_ref();
+    let routing = instance.routing.as_ref();
+    let mut tiers = Vec::new();
+    let mut violations = Vec::new();
+    let mut counterexample_found = false;
+
+    let cap_flits = |preferred: usize| {
+        if switching.requires_whole_packet_buffering() {
+            preferred.min(instance.meta.capacity as usize).max(1)
+        } else {
+            preferred.max(1)
+        }
+    };
+
+    // Exhaustive tier: few messages, complete enumeration required.
+    let flits = cap_flits(options.flits);
+    let mut specs = pressure_specs(&instance.meta, flits);
+    specs.truncate(options.exhaustive_messages);
+    let mut policy = policy_for(switching);
+    let exhaustive = explore_policy(
+        net,
+        routing,
+        &instance.meta,
+        &specs,
+        policy.as_ref(),
+        &ExploreOptions {
+            max_states: options.max_states,
+            ..ExploreOptions::default()
+        },
+    )?;
+    tiers.push(TierOutcome::of(
+        "exhaustive",
+        specs.len(),
+        flits,
+        &exhaustive,
+    ));
+    match &exhaustive.verdict {
+        Verdict::BoundExceeded => violations.push(format!(
+            "exhaustive tier must enumerate completely but exceeded {} states",
+            options.max_states
+        )),
+        Verdict::Deadlock(cex) => {
+            counterexample_found = true;
+            if instance.expect_acyclic {
+                violations.push(format!(
+                    "reachable deadlock (trace length {}) on an instance whose dependency \
+                     graph is acyclic — Theorem 1 sufficiency refuted",
+                    cex.trace.len()
+                ));
+            }
+            if cex.trace.len() != exhaustive.depth {
+                violations.push(format!(
+                    "counterexample trace length {} disagrees with its BFS depth {}",
+                    cex.trace.len(),
+                    exhaustive.depth
+                ));
+            }
+        }
+        Verdict::NoReachableDeadlock => {}
+    }
+
+    // Greedy cross-hunt on the same workload: the kernel's schedule is one
+    // interleaving of the explored transition system.
+    let greedy = hunt_workload(net, routing, policy.as_mut(), &specs, 0, options.max_steps)?;
+    match (&exhaustive.verdict, &greedy) {
+        (Verdict::NoReachableDeadlock, Some(hunt)) => violations.push(format!(
+            "greedy schedule deadlocked after {} steps a workload the explorer proved \
+             deadlock-free over all interleavings",
+            hunt.steps
+        )),
+        (Verdict::Deadlock(cex), Some(hunt)) => {
+            let initial = Config::from_specs(net, routing, &specs)?;
+            let greedy_moves = initial.progress_measure() - hunt.config.progress_measure();
+            if cex.trace.len() as u64 > greedy_moves {
+                violations.push(format!(
+                    "minimal trace ({} moves) is longer than the greedy path to a deadlock \
+                     ({greedy_moves} moves)",
+                    cex.trace.len()
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    // Pressure tier: full adversarial workload with worms longer than the
+    // buffers, on cyclic comparators only. BFS finds shallow deadlocks long
+    // before exhaustion; hitting the bound is recorded, not judged.
+    if !instance.expect_acyclic {
+        let flits = cap_flits(2 * instance.meta.capacity as usize);
+        let specs = pressure_specs(&instance.meta, flits);
+        let pressure = explore_policy(
+            net,
+            routing,
+            &instance.meta,
+            &specs,
+            policy.as_ref(),
+            &ExploreOptions {
+                max_states: options.pressure_states,
+                ..ExploreOptions::default()
+            },
+        )?;
+        tiers.push(TierOutcome::of("pressure", specs.len(), flits, &pressure));
+        if let Some(cex) = pressure.counterexample() {
+            counterexample_found = true;
+            if cex.trace.len() != pressure.depth {
+                violations.push(format!(
+                    "pressure counterexample trace length {} disagrees with its BFS depth {}",
+                    cex.trace.len(),
+                    pressure.depth
+                ));
+            }
+        }
+    }
+
+    Ok(ExploreReport {
+        name: instance.name.clone(),
+        expect_acyclic: instance.expect_acyclic,
+        tiers,
+        counterexample_found,
+        violations,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_instance_gets_an_exhaustive_proof() {
+        let instance = Instance::mesh_xy(2, 2, 1);
+        let report =
+            explore_check(&instance, SwitchingKind::Wormhole, &Default::default()).unwrap();
+        assert!(report.holds(), "{:?}", report.violations);
+        assert_eq!(report.tiers.len(), 1, "acyclic: exhaustive tier only");
+        assert_eq!(report.tiers[0].verdict, "no-deadlock");
+        assert!(!report.counterexample_found);
+        assert!(report.states_explored() > 0);
+    }
+
+    #[test]
+    fn cyclic_ring_yields_a_minimal_counterexample() {
+        let instance = Instance::ring_shortest(4, 1);
+        let report =
+            explore_check(&instance, SwitchingKind::Wormhole, &Default::default()).unwrap();
+        assert!(report.holds(), "{:?}", report.violations);
+        assert!(report.counterexample_found, "{:?}", report.tiers);
+        let pressure = report.tiers.iter().find(|t| t.tier == "pressure").unwrap();
+        assert_eq!(pressure.verdict, "deadlock");
+        assert!(pressure.trace_len.is_some());
+        assert!(pressure.summary().contains("verdict=deadlock"));
+    }
+
+    #[test]
+    fn whole_packet_policies_cap_the_worm_length() {
+        let instance = Instance::ring_shortest(4, 1);
+        let report = explore_check(
+            &instance,
+            SwitchingKind::VirtualCutThrough,
+            &Default::default(),
+        )
+        .unwrap();
+        assert!(report.holds(), "{:?}", report.violations);
+        for tier in &report.tiers {
+            assert_eq!(tier.flits, 1, "capacity-1 VCT admits single-flit packets");
+        }
+    }
+}

@@ -5,8 +5,8 @@
 //! executable deadlock theorem with both constructive directions
 //! ([`theorem1`]), the evacuation and correctness theorems ([`theorem2`]),
 //! the runtime-vs-static detection cross-check ([`detect_check`]), the
-//! instance registry ([`instance`]), and the Table I effort analogue
-//! ([`effort`]).
+//! exhaustive-explorer cross-validation ([`explore_check()`]), the instance
+//! registry ([`instance`]), and the Table I effort analogue ([`effort`]).
 //!
 //! The GeNoC methodology (Fig. 2 of the paper): the user supplies the
 //! constituents `I`, `R`, `S` — an [`instance::Instance`] — and discharges
@@ -48,6 +48,7 @@
 
 pub mod detect_check;
 pub mod effort;
+pub mod explore_check;
 pub mod instance;
 pub mod obligations;
 pub mod report;
@@ -56,6 +57,7 @@ pub mod theorem2;
 
 pub use crate::detect_check::{check_detection, DetectionCheckOptions, DetectionReport};
 pub use crate::effort::{effort_table, render_effort_table, EffortRow};
+pub use crate::explore_check::{explore_check, ExploreCheckOptions, ExploreReport, TierOutcome};
 pub use crate::instance::Instance;
 pub use crate::obligations::{
     check_all, check_c1, check_c2, check_c3, check_c4, check_c5, check_c5_with,

@@ -1,0 +1,123 @@
+//! Regression pins for the explorer's exact reachable-state counts.
+//!
+//! The numbers below are ground truth for tiny instances, computed once and
+//! pinned forever: any change to move enumeration, state canonicalization,
+//! or symmetry lifting that alters a count is a semantic change to the
+//! explored transition system and must be deliberate. (mCRL2 users pin
+//! `lps2lts` state counts for exactly this reason — the count is the
+//! cheapest fingerprint of the whole LTS.)
+//!
+//! All workloads are the standard pressure patterns at 2 flits per message,
+//! capacity 1, under wormhole admission.
+
+use genoc::prelude::*;
+use genoc_core::step::AlwaysAdmit;
+
+struct Pin {
+    instance: Instance,
+    /// Keep only the first N pressure messages (0 = all).
+    messages: usize,
+    /// (states, transitions, depth, group) with symmetry reduction on.
+    with_symmetry: (usize, u64, usize, usize),
+    /// (states, transitions, depth) of the raw, unquotiented space.
+    raw: (usize, u64, usize),
+    deadlock: bool,
+}
+
+fn explore_pin(pin: &Pin, symmetry: bool) -> Exploration {
+    let mut specs = pressure_specs(&pin.instance.meta, 2);
+    if pin.messages > 0 {
+        specs.truncate(pin.messages);
+    }
+    let options = ExploreOptions {
+        max_states: 150_000,
+        symmetry,
+        record_graph: false,
+    };
+    explore(
+        pin.instance.net.as_ref(),
+        pin.instance.routing.as_ref(),
+        &pin.instance.meta,
+        &specs,
+        &AlwaysAdmit,
+        &options,
+    )
+    .unwrap()
+}
+
+#[test]
+fn reachable_state_counts_are_pinned() {
+    let pins = [
+        // 3 of the 4 corner-exchange messages: 30 interleaving positions per
+        // message, fully independent routes — exactly 30³ raw states. The
+        // truncation breaks the half-turn symmetry, so the group is trivial
+        // and both runs see the same space.
+        Pin {
+            instance: Instance::mesh_xy(2, 2, 1),
+            messages: 3,
+            with_symmetry: (27_000, 118_800, 42, 1),
+            raw: (27_000, 118_800, 42),
+            deadlock: false,
+        },
+        // All three clockwise messages on the 3-ring; the rotation group of
+        // order 3 cuts 4913 = 17³ raw states to 1649 canonical ones.
+        Pin {
+            instance: Instance::ring_shortest(3, 1),
+            messages: 0,
+            with_symmetry: (1_649, 6_402, 30, 3),
+            raw: (4_913, 19_074, 30),
+            deadlock: false,
+        },
+        // The dateline splits the ring into inequivalent positions — no
+        // rotation survives the route-matching check, so the quotient is
+        // trivial and equals the raw space of the plain ring above.
+        Pin {
+            instance: Instance::ring_dateline(3, 1),
+            messages: 0,
+            with_symmetry: (4_913, 19_074, 30, 1),
+            raw: (4_913, 19_074, 30),
+            deadlock: false,
+        },
+        // The deadlocking comparator: 4 messages, 2 hops each, clockwise.
+        // BFS stops at the first deadlock, so these counts pin the visited
+        // prefix and the minimal depth of 20 moves, not the full space.
+        Pin {
+            instance: Instance::ring_shortest(4, 1),
+            messages: 0,
+            with_symmetry: (4_846, 19_183, 20, 4),
+            raw: (20_170, 79_662, 20),
+            deadlock: true,
+        },
+    ];
+    for pin in &pins {
+        let sym = explore_pin(pin, true);
+        assert_eq!(
+            (sym.states, sym.transitions, sym.depth, sym.group_size),
+            pin.with_symmetry,
+            "{}: symmetry-reduced counts moved",
+            pin.instance.name
+        );
+        let raw = explore_pin(pin, false);
+        assert_eq!(
+            (raw.states, raw.transitions, raw.depth),
+            pin.raw,
+            "{}: raw counts moved",
+            pin.instance.name
+        );
+        assert_eq!(raw.group_size, 1);
+        for result in [&sym, &raw] {
+            assert_eq!(
+                result.counterexample().is_some(),
+                pin.deadlock,
+                "{}: verdict moved",
+                pin.instance.name
+            );
+        }
+        // The quotient never inflates the space, and both views agree on
+        // the minimal counterexample depth.
+        assert!(sym.states <= raw.states);
+        if let (Some(a), Some(b)) = (sym.counterexample(), raw.counterexample()) {
+            assert_eq!(a.trace.len(), b.trace.len());
+        }
+    }
+}
