@@ -57,6 +57,7 @@ fn bench_executor_scaling(c: &mut Criterion) {
                         seed: 0,
                         effort: EffortProfile::quick(),
                         matrix: "smoke".into(),
+                        wal_dir: None,
                     },
                 );
                 assert!(report.all_passed());

@@ -11,12 +11,13 @@
 //! report order (results are written back by scenario index).
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::matrix::ScenarioSpec;
 use crate::report::CampaignReport;
-use crate::run::{run_scenario, EffortProfile, ScenarioOutcome};
+use crate::run::{run_scenario_with, EffortProfile, ScenarioOutcome};
 
 /// Campaign-wide execution knobs.
 #[derive(Clone, Debug)]
@@ -29,6 +30,10 @@ pub struct CampaignOptions {
     pub effort: EffortProfile,
     /// Matrix name recorded in the report.
     pub matrix: String,
+    /// Directory for per-scenario event WALs (`None` disables capture).
+    /// Scenario names are sanitized into file names; the directory is
+    /// created on first write.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -38,6 +43,7 @@ impl Default for CampaignOptions {
             seed: 0,
             effort: EffortProfile::standard(),
             matrix: "custom".into(),
+            wal_dir: None,
         }
     }
 }
@@ -133,7 +139,12 @@ pub fn run_campaign(scenarios: &[ScenarioSpec], options: &CampaignOptions) -> Ca
             let executed = &executed;
             scope.spawn(move || {
                 while let Some(index) = queues.next(me) {
-                    let outcome = run_scenario(&scenarios[index], options.seed, &options.effort);
+                    let outcome = run_scenario_with(
+                        &scenarios[index],
+                        options.seed,
+                        &options.effort,
+                        options.wal_dir.as_deref(),
+                    );
                     *results[index].lock().expect("result poisoned") = Some(outcome);
                     *executed[me].lock().expect("counter poisoned") += 1;
                 }
@@ -173,6 +184,7 @@ mod tests {
             seed: 42,
             effort: EffortProfile::quick(),
             matrix: "smoke".into(),
+            wal_dir: None,
         }
     }
 

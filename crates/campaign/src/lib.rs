@@ -62,6 +62,6 @@ pub use crate::executor::{run_campaign, CampaignOptions};
 pub use crate::matrix::{Expansion, ScenarioMatrix, ScenarioSpec};
 pub use crate::report::CampaignReport;
 pub use crate::run::{
-    run_scenario, scenario_seed, CheckOutcome, CheckStatus, EffortProfile, ScenarioOutcome,
-    ScenarioThroughput,
+    run_scenario, run_scenario_with, scenario_seed, CheckOutcome, CheckStatus, EffortProfile,
+    ScenarioMetrics, ScenarioOutcome, ScenarioThroughput,
 };

@@ -243,6 +243,27 @@ fn outcome_json(o: &ScenarioOutcome) -> Json {
             },
         ),
         (
+            "metrics",
+            match &o.metrics {
+                Some(m) => Json::obj([
+                    ("steps", Json::U64(m.steps)),
+                    ("flits_per_sec", Json::F64(m.flits_per_sec)),
+                    ("blocked_peak", Json::U64(m.blocked_peak)),
+                    (
+                        "detector_first_step",
+                        m.detector_first_step.map_or(Json::Null, Json::U64),
+                    ),
+                    (
+                        "detection_latency",
+                        m.detection_latency.map_or(Json::Null, Json::U64),
+                    ),
+                    ("wal_bytes", Json::U64(m.wal_bytes)),
+                    ("wal_records", Json::U64(m.wal_records)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
             "checks",
             Json::Arr(
                 o.checks
@@ -282,6 +303,7 @@ mod tests {
                 seed: 1,
                 effort: EffortProfile::quick(),
                 matrix: "tiny".into(),
+                wal_dir: None,
             },
         )
     }

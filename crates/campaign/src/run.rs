@@ -10,12 +10,15 @@
 //! reproducible at any shard count: scheduling changes *where* a scenario
 //! runs, never *what* it computes.
 
+use std::path::Path;
 use std::time::Instant;
 
 use genoc_core::interpreter::Outcome;
 use genoc_core::meta::SwitchingKind;
 use genoc_core::switching::SwitchingPolicy;
 use genoc_core::theorems::{check_correctness, check_evacuation};
+use genoc_detect::engine::{DetectionEngine, EngineOptions};
+use genoc_obs::{shared, ObservedEngine, Recorder, RecorderOptions, WalMeta, WalWriter};
 use genoc_sim::deadlock_hunt::{hunt_random, HuntOptions};
 use genoc_switching::{StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy};
 use genoc_verif::Instance;
@@ -117,6 +120,30 @@ pub struct ScenarioThroughput {
     pub flits_per_sec: f64,
 }
 
+/// Per-scenario observability sample: counters from an instrumented probe
+/// run of the evacuation workload (see `genoc-obs`), surfaced in
+/// campaign.json and the Prometheus snapshot. Observability, not
+/// verification — a failed probe leaves the scenario's verdict untouched.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioMetrics {
+    /// Switching steps of the probe run.
+    pub steps: u64,
+    /// Delivered flits per wall-clock second of the probe run.
+    pub flits_per_sec: f64,
+    /// Peak number of simultaneously blocked travels (wait-for edges alive
+    /// at once).
+    pub blocked_peak: u64,
+    /// Step of the first exact-detector firing (wormhole probes only;
+    /// `None` when no deadlock formed).
+    pub detector_first_step: Option<u64>,
+    /// Heuristic-vs-exact detection latency in steps, when both fired.
+    pub detection_latency: Option<u64>,
+    /// Bytes written to the scenario's WAL (0 without `--wal-dir`).
+    pub wal_bytes: u64,
+    /// Records written to the scenario's WAL (0 without `--wal-dir`).
+    pub wal_records: u64,
+}
+
 /// Verdict of one check within a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckStatus {
@@ -188,6 +215,9 @@ pub struct ScenarioOutcome {
     /// Throughput of the Theorem 2 evacuation run (`None` only when the
     /// scenario failed before running it).
     pub throughput: Option<ScenarioThroughput>,
+    /// Observability counters from the instrumented probe run (`None` when
+    /// the scenario failed to construct or the probe errored).
+    pub metrics: Option<ScenarioMetrics>,
     /// Wall-clock milliseconds for the whole scenario.
     pub elapsed_ms: f64,
 }
@@ -234,11 +264,24 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Runs the full battery on one scenario.
+/// Runs the full battery on one scenario (no WAL capture; see
+/// [`run_scenario_with`]).
 pub fn run_scenario(
     spec: &ScenarioSpec,
     campaign_seed: u64,
     effort: &EffortProfile,
+) -> ScenarioOutcome {
+    run_scenario_with(spec, campaign_seed, effort, None)
+}
+
+/// Runs the full battery on one scenario, plus an instrumented probe run
+/// collecting [`ScenarioMetrics`]; with `wal_dir`, the probe also streams
+/// its full event log to `<wal_dir>/<scenario>.wal` for offline replay.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    campaign_seed: u64,
+    effort: &EffortProfile,
+    wal_dir: Option<&Path>,
 ) -> ScenarioOutcome {
     let start = Instant::now();
     let name = spec.name();
@@ -265,6 +308,7 @@ pub fn run_scenario(
                 deadlocks_seen,
                 checks,
                 throughput: None,
+                metrics: None,
                 elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             };
         }
@@ -386,6 +430,12 @@ pub fn run_scenario(
     let (evacuation, throughput) =
         run_evacuation(&instance, spec, seed, effort, flits, &mut deadlocks_seen);
     checks.push(evacuation);
+
+    // Observability probe: one instrumented rerun of the evacuation
+    // workload, feeding campaign.json/Prometheus metrics and, with a WAL
+    // directory, a replayable event log. Purely informational — a probe
+    // failure leaves the verdict (and `deadlocks_seen`) untouched.
+    let metrics = metrics_probe(&instance, spec, &name, seed, effort, flits, wal_dir);
 
     // Bounded deadlock hunt under the scenario's switching policy.
     if deterministic {
@@ -556,8 +606,124 @@ pub fn run_scenario(
         deadlocks_seen,
         checks,
         throughput,
+        metrics,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
     }
+}
+
+/// `scenario.name()` as a filesystem-safe WAL file name.
+fn wal_file_name(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    s.push_str(".wal");
+    s
+}
+
+/// Instrumented rerun of the evacuation workload behind [`ScenarioMetrics`].
+/// Deterministic scenarios probe the routed configuration directly; adaptive
+/// ones probe the same seeded route selection the theorem2 check used.
+/// Wormhole probes run under an [`ObservedEngine`] so detector firings and
+/// recovery actions land in the WAL; other policies run detector-free (the
+/// exact detector's semantics are wormhole-only). Any error — construction,
+/// I/O, simulation — yields `None` rather than a check failure.
+fn metrics_probe(
+    instance: &Instance,
+    spec: &ScenarioSpec,
+    name: &str,
+    seed: u64,
+    effort: &EffortProfile,
+    flits: usize,
+    wal_dir: Option<&Path>,
+) -> Option<ScenarioMetrics> {
+    let nodes = instance.net.node_count();
+    let messages = (nodes * effort.messages_per_node).max(4);
+    let specs = genoc_sim::workload::uniform_random(nodes.max(2), messages, 1..=flits, seed);
+    let cfg = if instance.deterministic {
+        genoc_core::config::Config::from_specs(
+            instance.net.as_ref(),
+            instance.routing.as_ref(),
+            &specs,
+        )
+        .ok()?
+    } else {
+        genoc_sim::config_with_selected_routes(
+            instance.net.as_ref(),
+            instance.routing.as_ref(),
+            &specs,
+            seed,
+        )
+        .ok()?
+    };
+
+    let wal = match wal_dir {
+        Some(dir) => Some(shared(
+            WalWriter::create(&dir.join(wal_file_name(name))).ok()?,
+        )),
+        None => None,
+    };
+    let mut recorder = Recorder::build(
+        wal.clone(),
+        seed,
+        Some(WalMeta {
+            meta: spec.meta,
+            switching: spec.switching,
+        }),
+        RecorderOptions::default(),
+    );
+    let mut policy = policy_for(spec.switching);
+    let options = genoc_sim::SimOptions {
+        max_steps: effort.max_steps,
+        ..Default::default()
+    };
+    let (detector_first_step, detection_latency) = if spec.switching == SwitchingKind::Wormhole {
+        let mut hook = ObservedEngine::new(
+            DetectionEngine::detector(EngineOptions::default()),
+            wal.clone(),
+        );
+        genoc_sim::simulate_observed_config(
+            instance.net.as_ref(),
+            policy.as_mut(),
+            cfg,
+            &options,
+            &mut hook,
+            &mut recorder,
+        )
+        .ok()?;
+        (
+            hook.first_detection_step(),
+            hook.engine().stats().detection_latency(),
+        )
+    } else {
+        genoc_sim::simulate_observed_config(
+            instance.net.as_ref(),
+            policy.as_mut(),
+            cfg,
+            &options,
+            &mut genoc_sim::NullHook,
+            &mut recorder,
+        )
+        .ok()?;
+        (None, None)
+    };
+
+    let summary = recorder.summary();
+    Some(ScenarioMetrics {
+        steps: summary.steps,
+        flits_per_sec: summary.flits_per_sec,
+        blocked_peak: summary.blocked_peak,
+        detector_first_step,
+        detection_latency,
+        wal_bytes: summary.wal_bytes,
+        wal_records: summary.wal_records,
+    })
 }
 
 fn throughput_of(steps: u64, delivered_flits: u64, millis: f64) -> ScenarioThroughput {

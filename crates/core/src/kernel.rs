@@ -107,6 +107,9 @@ pub struct Kernel {
     wake: Vec<Vec<MsgId>>,
     scratch: StepScratch,
     transitions: Vec<Transition>,
+    /// Ports freed during the most recent step, in occurrence order (a port
+    /// may appear several times when successive sub-steps free it again).
+    freed_log: Vec<PortId>,
     /// Switching steps performed so far (drives round-robin order).
     step_count: u64,
     /// Whether the last step delivered some travel completely, so the
@@ -129,6 +132,7 @@ impl Kernel {
             wake: vec![Vec::new(); port_count],
             scratch: StepScratch::new(port_count),
             transitions: Vec::new(),
+            freed_log: Vec::new(),
             step_count: spec.first_step,
             saw_arrival: false,
         };
@@ -155,6 +159,13 @@ impl Kernel {
     /// entry is its end-of-step status.
     pub fn transitions(&self) -> &[Transition] {
         &self.transitions
+    }
+
+    /// The ports freed during the most recent step, in occurrence order.
+    /// Together with [`Kernel::transitions`] this is the full wake-condition
+    /// log observers need to reconstruct the step's scheduling decisions.
+    pub fn freed_ports(&self) -> &[PortId] {
+        &self.freed_log
     }
 
     fn ensure_id(&mut self, id: MsgId) {
@@ -294,6 +305,7 @@ impl Kernel {
     /// Propagates invariant violations from the movement primitives.
     pub fn step(&mut self, cfg: &mut Config, trace: &mut Trace) -> Result<StepReport> {
         self.transitions.clear();
+        self.freed_log.clear();
         self.scratch.reset(self.port_count);
         let n = cfg.travels().len();
         debug_assert_eq!(n, self.slot_status.len());
@@ -325,6 +337,7 @@ impl Kernel {
                 // would have).
                 for fi in 0..self.scratch.freed().len() {
                     let p = self.scratch.freed()[fi];
+                    self.freed_log.push(p);
                     while let Some(woken) = self.wake[p.index()].pop() {
                         let slot = self.pos_of[woken.index()];
                         self.slot_status[slot] = TravelStatus::Active;

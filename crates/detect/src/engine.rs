@@ -137,6 +137,14 @@ impl DetectionEngine {
         !self.detections.is_empty()
     }
 
+    /// The engine's running statistics as they stand mid-run. Delivery
+    /// counts are only filled in by [`summary`](DetectionEngine::summary);
+    /// use this to diff recovery actions (aborts, reroutes, restarts)
+    /// between steps without a finished [`SimResult`].
+    pub fn stats(&self) -> &RecoverySummary {
+        &self.stats
+    }
+
     /// The run statistics, completed with the result's delivery counts.
     pub fn summary(&self, result: &SimResult) -> RecoverySummary {
         let mut s = self.stats.clone();

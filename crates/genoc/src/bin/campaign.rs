@@ -9,6 +9,8 @@
 //!   --seed <N>                      campaign seed           [default: 0]
 //!   --filter <substring>            keep scenarios whose name contains this
 //!   --out <path>                    JSON path  [default: target/campaign.json]
+//!   --wal-dir <dir>                 record a per-scenario event WAL into this directory
+//!   --metrics-out <path>            write a Prometheus text metrics snapshot
 //!   --list                          print scenario names and exit
 //! ```
 //!
@@ -25,6 +27,8 @@ struct Args {
     seed: u64,
     filter: Option<String>,
     out: PathBuf,
+    wal_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     list: bool,
 }
 
@@ -35,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         filter: None,
         out: PathBuf::from("target/campaign.json"),
+        wal_dir: None,
+        metrics_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -54,11 +60,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--filter" => args.filter = Some(value("--filter")?),
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--wal-dir" => args.wal_dir = Some(PathBuf::from(value("--wal-dir")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--list" => args.list = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: campaign [--matrix smoke|default|full|large|oracle] [--jobs N] \
-                            [--seed N] [--filter SUBSTRING] [--out PATH] [--list]"
+                            [--seed N] [--filter SUBSTRING] [--out PATH] [--wal-dir DIR] \
+                            [--metrics-out PATH] [--list]"
                         .into(),
                 );
             }
@@ -66,6 +75,102 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Campaign-level aggregates plus per-scenario labeled samples, in the
+/// Prometheus text exposition format.
+fn metrics_snapshot(report: &CampaignReport) -> MetricsRegistry {
+    use genoc::obs::MetricKind;
+
+    let mut reg = MetricsRegistry::new();
+    reg.declare(
+        "genoc_campaign_scenarios_total",
+        MetricKind::Gauge,
+        "Scenarios executed by the campaign",
+    );
+    reg.declare(
+        "genoc_campaign_failed_total",
+        MetricKind::Gauge,
+        "Scenarios with at least one failed check",
+    );
+    reg.declare(
+        "genoc_campaign_deadlocks_seen_total",
+        MetricKind::Gauge,
+        "Live deadlocks observed across hunts, evacuation runs, and sweeps",
+    );
+    reg.declare(
+        "genoc_campaign_wall_seconds",
+        MetricKind::Gauge,
+        "Wall-clock seconds for the whole campaign",
+    );
+    reg.set("genoc_campaign_scenarios_total", &[], report.total() as f64);
+    reg.set("genoc_campaign_failed_total", &[], report.failed() as f64);
+    reg.set(
+        "genoc_campaign_deadlocks_seen_total",
+        &[],
+        report.deadlocks_seen() as f64,
+    );
+    reg.set("genoc_campaign_wall_seconds", &[], report.wall_ms / 1e3);
+
+    reg.declare(
+        "genoc_scenario_steps",
+        MetricKind::Gauge,
+        "Switching steps of the scenario's instrumented probe run",
+    );
+    reg.declare(
+        "genoc_scenario_flits_per_sec",
+        MetricKind::Gauge,
+        "Delivered flits per wall-clock second of the probe run",
+    );
+    reg.declare(
+        "genoc_scenario_blocked_peak",
+        MetricKind::Gauge,
+        "Peak number of simultaneously blocked travels",
+    );
+    reg.declare(
+        "genoc_scenario_detector_first_step",
+        MetricKind::Gauge,
+        "Step of the first exact-detector firing (absent when none)",
+    );
+    reg.declare(
+        "genoc_scenario_detection_latency_steps",
+        MetricKind::Gauge,
+        "Heuristic-vs-exact detection latency in steps",
+    );
+    reg.declare(
+        "genoc_scenario_wal_bytes",
+        MetricKind::Gauge,
+        "Bytes written to the scenario's event WAL",
+    );
+    reg.declare(
+        "genoc_scenario_wal_records",
+        MetricKind::Gauge,
+        "Records written to the scenario's event WAL",
+    );
+    for o in &report.outcomes {
+        let Some(m) = &o.metrics else { continue };
+        let labels = [("scenario", o.name.as_str())];
+        reg.set("genoc_scenario_steps", &labels, m.steps as f64);
+        reg.set("genoc_scenario_flits_per_sec", &labels, m.flits_per_sec);
+        reg.set(
+            "genoc_scenario_blocked_peak",
+            &labels,
+            m.blocked_peak as f64,
+        );
+        if let Some(step) = m.detector_first_step {
+            reg.set("genoc_scenario_detector_first_step", &labels, step as f64);
+        }
+        if let Some(lat) = m.detection_latency {
+            reg.set(
+                "genoc_scenario_detection_latency_steps",
+                &labels,
+                lat as f64,
+            );
+        }
+        reg.set("genoc_scenario_wal_bytes", &labels, m.wal_bytes as f64);
+        reg.set("genoc_scenario_wal_records", &labels, m.wal_records as f64);
+    }
+    reg
 }
 
 fn main() -> ExitCode {
@@ -120,6 +225,7 @@ fn main() -> ExitCode {
             _ => EffortProfile::standard(),
         },
         matrix: args.matrix.clone(),
+        wal_dir: args.wal_dir.clone(),
     };
     eprintln!("running on {} worker thread(s)…", options.effective_jobs());
     let report = run_campaign(&scenarios, &options);
@@ -127,6 +233,17 @@ fn main() -> ExitCode {
     if let Err(e) = report.write_json(&args.out) {
         eprintln!("cannot write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.metrics_out {
+        let reg = metrics_snapshot(&report);
+        if let Err(e) = reg.write(path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("metrics snapshot: {}", path.display());
+    }
+    if let Some(dir) = &args.wal_dir {
+        println!("per-scenario WALs: {}", dir.display());
     }
     println!("{}", report.render_markdown());
     println!("JSON report: {}", args.out.display());

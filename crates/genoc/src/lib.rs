@@ -26,6 +26,9 @@
 //! * [`sim`] — workloads, statistics, deadlock hunting;
 //! * [`detect`] — online deadlock detection (exact wait-for graph
 //!   plus timeout heuristic) and recovery (abort, escape channel, drain);
+//! * [`obs`] — observability: the structured event WAL, deterministic
+//!   replay of any recorded step, post-mortem tails, and the hand-rolled
+//!   Prometheus metrics registry (`cargo run -p genoc --bin replay`);
 //! * [`verif`] — the obligation-discharge engine, the Table I
 //!   effort analogue, and the runtime-vs-static detection cross-check;
 //! * [`campaign`] — the sharded verification-campaign runner: scenario
@@ -65,6 +68,7 @@ pub use genoc_core as core;
 pub use genoc_depgraph as depgraph;
 pub use genoc_detect as detect;
 pub use genoc_explore as explore;
+pub use genoc_obs as obs;
 pub use genoc_routing as routing;
 pub use genoc_sim as sim;
 pub use genoc_switching as switching;
@@ -74,8 +78,9 @@ pub use genoc_verif as verif;
 /// The most commonly used items of every crate, for glob import.
 pub mod prelude {
     pub use genoc_campaign::{
-        run_campaign, run_scenario, scenario_seed, CampaignOptions, CampaignReport, CheckStatus,
-        EffortProfile, ScenarioMatrix, ScenarioOutcome, ScenarioSpec,
+        run_campaign, run_scenario, run_scenario_with, scenario_seed, CampaignOptions,
+        CampaignReport, CheckStatus, EffortProfile, ScenarioMatrix, ScenarioMetrics,
+        ScenarioOutcome, ScenarioSpec,
     };
     pub use genoc_core::blocking::{block_events, find_wait_cycle, BlockEvent, WaitCycle};
     pub use genoc_core::config::Config;
@@ -105,6 +110,11 @@ pub mod prelude {
         explore, explore_policy, explore_workload, pressure_specs, replay, Counterexample,
         Exploration, ExploreOptions, Verdict,
     };
+    pub use genoc_obs::{
+        read_wal, read_wal_bytes, record_hunt, replay_to, shared, tail_lines, MetricsRegistry,
+        ObsSummary, ObservedEngine, Recorder, RecorderOptions, WalEvent, WalLog, WalMeta,
+        WalWriter,
+    };
     pub use genoc_routing::{
         AcrossFirstDatelineRouting, AcrossFirstRouting, MinimalAdaptiveRouting, MixedXyYxRouting,
         RingDatelineRouting, RingShortestRouting, TorusDorDatelineRouting, TorusDorRouting,
@@ -112,8 +122,9 @@ pub mod prelude {
     };
     pub use genoc_sim::adaptive::{config_with_selected_routes, select_routes, simulate_selected};
     pub use genoc_sim::{
-        hunt_random, hunt_workload, run_policy, simulate, simulate_hooked, DetectorHook, Hunt,
-        HuntOptions, LatencySummary, RecoverySummary, SimOptions, SimResult, Stepper,
+        hunt_random, hunt_workload, run_policy, simulate, simulate_hooked, simulate_observed,
+        simulate_observed_config, DetectorHook, Hunt, HuntOptions, LatencySummary, NullHook,
+        NullObserver, RecoverySummary, RunObserver, SimOptions, SimResult, Stepper,
     };
     pub use genoc_switching::{
         Arbitration, StoreForwardPolicy, VirtualCutThroughPolicy, WormholePolicy,

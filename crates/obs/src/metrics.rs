@@ -1,0 +1,228 @@
+//! A hand-rolled metrics registry (no serde/prometheus dependencies):
+//! named counters and gauges with optional labels, rendered in the
+//! Prometheus text exposition format to a string or snapshot file.
+//!
+//! ```
+//! use genoc_obs::{MetricKind, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.declare("genoc_flits_per_sec", MetricKind::Gauge, "Delivered flits per wall-clock second");
+//! reg.set("genoc_flits_per_sec", &[("scenario", "mesh-3x3/xy")], 1250.0);
+//! let text = reg.render();
+//! assert!(text.contains("# TYPE genoc_flits_per_sec gauge"));
+//! assert!(text.contains("genoc_flits_per_sec{scenario=\"mesh-3x3/xy\"} 1250"));
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Prometheus metric type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// Monotonically increasing value.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    help: String,
+    /// `(rendered label set, value)`, insertion-ordered.
+    samples: Vec<(String, f64)>,
+}
+
+/// An insertion-ordered registry of counters and gauges.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a value the way Prometheus text format expects (no trailing
+/// zeros for integral values, `NaN`/`+Inf`/`-Inf` spelled out).
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a metric with its type and help text. Idempotent: a second
+    /// declaration of the same name is ignored (first kind/help win).
+    pub fn declare(&mut self, name: &str, kind: MetricKind, help: &str) {
+        if self.metrics.iter().all(|m| m.name != name) {
+            self.metrics.push(Metric {
+                name: name.to_string(),
+                kind,
+                help: help.to_string(),
+                samples: Vec::new(),
+            });
+        }
+    }
+
+    fn metric_mut(&mut self, name: &str, default_kind: MetricKind) -> &mut Metric {
+        if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
+            return &mut self.metrics[i];
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind: default_kind,
+            help: String::new(),
+            samples: Vec::new(),
+        });
+        self.metrics.last_mut().expect("just pushed")
+    }
+
+    /// Sets the sample for `(name, labels)`, declaring the metric as a
+    /// gauge if it was never declared.
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = render_labels(labels);
+        let metric = self.metric_mut(name, MetricKind::Gauge);
+        match metric.samples.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => metric.samples.push((key, value)),
+        }
+    }
+
+    /// Adds `delta` to the sample for `(name, labels)` (starting from 0),
+    /// declaring the metric as a counter if it was never declared.
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        let key = render_labels(labels);
+        let metric = self.metric_mut(name, MetricKind::Counter);
+        match metric.samples.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v += delta,
+            None => metric.samples.push((key, delta)),
+        }
+    }
+
+    /// The current value of `(name, labels)`, if sampled.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = render_labels(labels);
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)?
+            .samples
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            if !m.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.label());
+            for (labels, value) in &m.samples {
+                let _ = writeln!(out, "{}{} {}", m.name, labels, render_value(*value));
+            }
+        }
+        out
+    }
+
+    /// Writes the rendered snapshot to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_labeled_samples() {
+        let mut reg = MetricsRegistry::new();
+        reg.declare("genoc_steps_total", MetricKind::Counter, "Total steps");
+        reg.add("genoc_steps_total", &[], 41.0);
+        reg.add("genoc_steps_total", &[], 1.0);
+        reg.set("genoc_blocked_peak", &[("scenario", "ring-4/dor")], 3.0);
+        let text = reg.render();
+        assert!(text.contains("# HELP genoc_steps_total Total steps"));
+        assert!(text.contains("# TYPE genoc_steps_total counter"));
+        assert!(text.contains("genoc_steps_total 42"));
+        assert!(text.contains("# TYPE genoc_blocked_peak gauge"));
+        assert!(text.contains("genoc_blocked_peak{scenario=\"ring-4/dor\"} 3"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("m", &[("l", "a\"b\\c")], 1.0);
+        assert!(reg.render().contains("m{l=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn upserts_samples_by_label_set() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("m", &[("a", "1")], 1.0);
+        reg.set("m", &[("a", "1")], 2.0);
+        reg.set("m", &[("a", "2")], 3.0);
+        assert_eq!(reg.value("m", &[("a", "1")]), Some(2.0));
+        assert_eq!(reg.value("m", &[("a", "2")]), Some(3.0));
+        assert_eq!(reg.value("m", &[("a", "3")]), None);
+    }
+
+    #[test]
+    fn fractional_values_keep_their_precision() {
+        assert_eq!(render_value(1.5), "1.5");
+        assert_eq!(render_value(2.0), "2");
+        assert_eq!(render_value(f64::INFINITY), "+Inf");
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic replay: reconstructing the full [`Config`] at any step of
+//! a recorded run from the nearest snapshot plus the move tail — so every
+//! campaign failure and deadlock-hunt witness is replayable by
+//! `(wal, step-offset)` instead of rerun.
+//!
+//! The equivalence contract (pinned by `tests/obs_replay.rs` on every
+//! smoke-matrix scenario): `replay_to(net, events, n)` is *identical* to a
+//! fresh rerun of the recorded workload capped at `n` steps — same travel
+//! positions and routes, hence the same kernel status classification and
+//! the same wait-for graph (both are pure functions of the configuration).
+
+use genoc_core::config::Config;
+use genoc_core::error::{Error, Result};
+use genoc_core::interpreter::Outcome;
+use genoc_core::moves::MoveKind;
+use genoc_core::network::Network;
+use genoc_core::travel::Travel;
+use genoc_core::MsgId;
+
+use crate::wal::{TravelImage, WalEvent, WalMeta};
+
+/// The run header's `(seed, meta)`, when the log has one.
+pub fn run_start(events: &[WalEvent]) -> Option<(u64, Option<WalMeta>)> {
+    events.iter().find_map(|e| match e {
+        WalEvent::RunStart { seed, meta, .. } => Some((*seed, *meta)),
+        _ => None,
+    })
+}
+
+/// The recorded `(outcome, steps)` footer, when the run ended cleanly.
+pub fn recorded_outcome(events: &[WalEvent]) -> Option<(Outcome, u64)> {
+    events.iter().rev().find_map(|e| match e {
+        WalEvent::RunEnd { outcome, steps } => Some((*outcome, *steps)),
+        _ => None,
+    })
+}
+
+/// Total switching steps the log covers: the footer's count when present,
+/// otherwise one past the last step marker.
+pub fn final_steps(events: &[WalEvent]) -> u64 {
+    if let Some((_, steps)) = recorded_outcome(events) {
+        return steps;
+    }
+    events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            WalEvent::StepBegin { step } => Some(step + 1),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+fn travel_of(net: &dyn Network, img: &TravelImage) -> Result<Travel> {
+    let mut t = Travel::from_route(net, img.id, img.route.clone(), img.flits.len())?;
+    for (i, &pos) in img.flits.iter().enumerate() {
+        t.set_flit_pos(i, pos);
+    }
+    Ok(t)
+}
+
+/// The initial (all-pending) configuration from the log's `Inject` records.
+///
+/// # Errors
+///
+/// Reports [`Error::Invariant`] when the log has no injections or a route
+/// does not fit `net`.
+pub fn initial_config(net: &dyn Network, events: &[WalEvent]) -> Result<Config> {
+    let mut travels = Vec::new();
+    for e in events {
+        match e {
+            WalEvent::Inject { msg, flits, route } => {
+                travels.push(Travel::from_route(
+                    net,
+                    *msg,
+                    route.clone(),
+                    *flits as usize,
+                )?);
+            }
+            WalEvent::StepBegin { .. } => break,
+            _ => {}
+        }
+    }
+    if travels.is_empty() {
+        return Err(Error::Invariant(
+            "WAL has no Inject records to rebuild the initial configuration".into(),
+        ));
+    }
+    Config::from_travels(net, travels)
+}
+
+/// Reconstructs the configuration after `steps` completed switching steps:
+/// seeks to the last snapshot at or before `steps`, then applies the
+/// recorded flit moves of the remaining steps (draining arrivals at every
+/// step boundary, exactly as the runner does).
+///
+/// # Errors
+///
+/// Reports [`Error::Invariant`] on logs without injections/snapshots
+/// covering the range, or whose moves are inconsistent with the
+/// configuration (a damaged or cross-wired log).
+pub fn replay_to(net: &dyn Network, events: &[WalEvent], steps: u64) -> Result<Config> {
+    // Seek: the latest snapshot not past the target. A snapshot written
+    // after a recovery mutation supersedes earlier records entirely — the
+    // intervening moves were already applied to the snapshotted state.
+    let mut base: Option<(usize, &WalEvent)> = None;
+    for (i, e) in events.iter().enumerate() {
+        if let WalEvent::Snapshot { step, .. } = e {
+            if *step <= steps {
+                base = Some((i, e));
+            }
+        }
+    }
+    let (start, mut cfg) = match base {
+        Some((
+            i,
+            WalEvent::Snapshot {
+                inflight, arrived, ..
+            },
+        )) => {
+            let mut travels = Vec::with_capacity(inflight.len() + arrived.len());
+            for img in inflight.iter().chain(arrived.iter()) {
+                travels.push(travel_of(net, img)?);
+            }
+            (i + 1, Config::from_travels(net, travels)?)
+        }
+        _ => (0, initial_config(net, events)?),
+    };
+
+    let mut in_step = false;
+    for e in &events[start..] {
+        match e {
+            WalEvent::StepBegin { step } => {
+                if in_step {
+                    cfg.drain_arrived();
+                }
+                if *step >= steps {
+                    in_step = false;
+                    break;
+                }
+                in_step = true;
+            }
+            WalEvent::Move {
+                msg, flit, kind, ..
+            } if in_step => {
+                let i = cfg
+                    .travels()
+                    .iter()
+                    .position(|t| t.id() == *msg)
+                    .ok_or_else(|| {
+                        Error::Invariant(format!("WAL moves unknown travel {msg} during replay"))
+                    })?;
+                let flit = *flit as usize;
+                match kind {
+                    MoveKind::Enter => cfg.enter_flit(i, flit)?,
+                    MoveKind::Advance => cfg.advance_flit(i, flit)?,
+                    MoveKind::Eject => cfg.eject_flit(i, flit)?,
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_step {
+        cfg.drain_arrived();
+    }
+    Ok(cfg)
+}
+
+fn describe_msgs(msgs: &[MsgId]) -> String {
+    msgs.iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// One human line per event, for post-mortem printing.
+pub fn describe(e: &WalEvent) -> String {
+    match e {
+        WalEvent::RunStart { seed, meta, .. } => match meta {
+            Some(m) => format!(
+                "run start: seed {seed}, {} + {:?}",
+                m.meta.instance_name(),
+                m.switching
+            ),
+            None => format!("run start: seed {seed}"),
+        },
+        WalEvent::Inject { msg, flits, route } => {
+            format!("inject {msg}: {flits} flits over {} hops", route.len())
+        }
+        WalEvent::StepBegin { step } => format!("── step {step}"),
+        WalEvent::Move {
+            msg,
+            flit,
+            kind,
+            port,
+        } => format!("{msg}.{flit} {} {port}", kind.label()),
+        WalEvent::Transition { msg, status } => format!("{msg} ⇒ {status:?}"),
+        WalEvent::FreedPort { port } => format!("{port} freed"),
+        WalEvent::EdgeAdd { msg, wants, on } => match on {
+            Some(owner) => format!("edge + {msg} waits for {wants} (held by {owner})"),
+            None => format!("edge + {msg} waits for {wants}"),
+        },
+        WalEvent::EdgeRemove { msg } => format!("edge - {msg} released"),
+        WalEvent::Detection { step, msgs, .. } => {
+            format!("DEADLOCK detected at step {step}: {}", describe_msgs(msgs))
+        }
+        WalEvent::Recovery { action, msgs } => match action {
+            crate::wal::RecoveryAction::Abort => format!("recovery: abort {}", describe_msgs(msgs)),
+            crate::wal::RecoveryAction::Reroute => {
+                format!("recovery: reroute {}", describe_msgs(msgs))
+            }
+            crate::wal::RecoveryAction::Restart => "recovery: drain and restart".into(),
+        },
+        WalEvent::Snapshot {
+            step,
+            inflight,
+            arrived,
+        } => format!(
+            "snapshot at step {step}: {} in flight, {} arrived",
+            inflight.len(),
+            arrived.len()
+        ),
+        WalEvent::RunEnd { outcome, steps } => format!("run end: {outcome:?} after {steps} steps"),
+    }
+}
+
+/// The post-mortem tail: the last `k` evidence lines (moves, transitions,
+/// edges, freed ports, step markers) leading up to the first detector
+/// firing — or to the end of the log when nothing fired — followed by the
+/// detection/footer lines themselves.
+pub fn tail_lines(events: &[WalEvent], k: usize) -> Vec<String> {
+    let cut = events
+        .iter()
+        .position(|e| matches!(e, WalEvent::Detection { .. }))
+        .unwrap_or(events.len());
+    let evidence: Vec<&WalEvent> = events[..cut]
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                WalEvent::StepBegin { .. }
+                    | WalEvent::Move { .. }
+                    | WalEvent::Transition { .. }
+                    | WalEvent::FreedPort { .. }
+                    | WalEvent::EdgeAdd { .. }
+                    | WalEvent::EdgeRemove { .. }
+                    | WalEvent::Recovery { .. }
+            )
+        })
+        .collect();
+    let start = evidence.len().saturating_sub(k);
+    let mut lines: Vec<String> = evidence[start..].iter().map(|e| describe(e)).collect();
+    for e in &events[cut..] {
+        if matches!(e, WalEvent::Detection { .. } | WalEvent::RunEnd { .. }) {
+            lines.push(describe(e));
+        }
+    }
+    lines
+}

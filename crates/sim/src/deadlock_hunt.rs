@@ -49,6 +49,10 @@ pub struct Hunt {
     /// explore within the shrink budget — the full random prefix (the
     /// `steps`-long greedy run) then remains the only path to the deadlock.
     pub minimal_trace: Option<Vec<Move>>,
+    /// Path of a structured event log recording a run of this workload to
+    /// the deadlock, when one was written (see `genoc-obs::record_hunt`).
+    /// Plain data — the hunter itself never performs I/O.
+    pub wal: Option<std::path::PathBuf>,
 }
 
 /// Hunting parameters.
@@ -133,6 +137,7 @@ pub fn hunt_workload(
             config: result.run.config,
             witness,
             minimal_trace,
+            wal: None,
         }))
     } else {
         Ok(None)

@@ -25,8 +25,8 @@ use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
 use genoc_core::switching::SwitchingPolicy;
-use genoc_core::trace::{Trace, Zone};
-use genoc_core::MsgId;
+use genoc_core::trace::{Event, Trace, Zone};
+use genoc_core::{MsgId, PortId};
 
 use crate::stats::LatencySummary;
 
@@ -234,6 +234,163 @@ pub trait DetectorHook {
     }
 }
 
+/// Passive per-step observer for instrumented runs — the sibling of
+/// [`DetectorHook`] that *watches* instead of *acting*. Observers never
+/// mutate the configuration; they receive the kernel's full evidence stream
+/// (status transitions, freed ports, flit moves, arrivals) so a write-ahead
+/// log or metrics registry can be fed without the runner knowing any
+/// observability specifics (`genoc-obs`).
+///
+/// All methods have no-op defaults, so the disabled case
+/// ([`NullObserver`]) costs one virtual call per step and nothing else.
+///
+/// Call discipline on the kernel path: `on_run_start` once before the first
+/// step; `on_step` after every switching step (after arrivals are drained
+/// and the (C-5) audit passed, *before* the [`DetectorHook`] may mutate, so
+/// observers see the pre-recovery state); `on_mutation` after every hook
+/// mutation (recovery, re-injection) with the number of completed steps, so
+/// logs can mark a resynchronisation barrier; `on_run_end` once with the
+/// outcome.
+pub trait RunObserver {
+    /// Whether the runner should force-record a movement trace so
+    /// [`on_step`](RunObserver::on_step) receives the step's flit moves even
+    /// when [`SimOptions::record_trace`] is off.
+    fn wants_moves(&self) -> bool {
+        false
+    }
+
+    /// Called once with the initial configuration, before any step.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn on_run_start(&mut self, net: &dyn Network, cfg: &Config) -> Result<()> {
+        let _ = (net, cfg);
+        Ok(())
+    }
+
+    /// Called after switching step `step`: `transitions` and `freed` are the
+    /// kernel's status-transition and freed-port logs for the step (arrival
+    /// transitions included), `moves` the step's flit movements (empty
+    /// unless a trace is recorded or [`wants_moves`](RunObserver::wants_moves)
+    /// holds), `arrived` the travels drained this step.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn on_step(
+        &mut self,
+        cfg: &Config,
+        step: u64,
+        transitions: &[Transition],
+        freed: &[PortId],
+        moves: &[Event],
+        arrived: &[MsgId],
+    ) -> Result<()> {
+        let _ = (cfg, step, transitions, freed, moves, arrived);
+        Ok(())
+    }
+
+    /// Called after a [`DetectorHook`] mutated the configuration (recovery
+    /// or re-injection); `steps_done` is the number of completed switching
+    /// steps. Incremental consumers must treat this as a barrier: parked
+    /// state derived from earlier transitions may be stale.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run.
+    fn on_mutation(&mut self, cfg: &Config, steps_done: u64) -> Result<()> {
+        let _ = (cfg, steps_done);
+        Ok(())
+    }
+
+    /// Called once when the run terminates with `outcome` after `steps`
+    /// switching steps.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the run (the result is discarded).
+    fn on_run_end(&mut self, outcome: Outcome, steps: u64, cfg: &Config) -> Result<()> {
+        let _ = (outcome, steps, cfg);
+        Ok(())
+    }
+}
+
+/// The do-nothing observer: every callback is the trait default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// A hook that never acts: unlike the [`DetectorHook`] defaults (which
+/// conservatively report a mutation from `after_kernel_step`), this one
+/// reports "no mutation", so observed-but-undetected runs skip the per-step
+/// kernel resync entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullHook;
+
+impl DetectorHook for NullHook {
+    fn after_kernel_step(
+        &mut self,
+        _net: &dyn Network,
+        _cfg: &mut Config,
+        _transitions: &[Transition],
+        _step: u64,
+    ) -> Result<bool> {
+        Ok(false)
+    }
+}
+
+/// Like [`simulate_hooked`], but additionally reports every step into
+/// `observer` (see [`RunObserver`]). Requires a kernel-capable switching
+/// policy: the observer contract is defined in terms of the kernel's
+/// transition and freed-port logs, which the legacy interpreter does not
+/// produce.
+///
+/// # Errors
+///
+/// Propagates configuration, kernel, hook, and observer errors; reports
+/// [`Error::Invariant`] if the policy exposes no
+/// [`KernelSpec`](genoc_core::switching::KernelSpec).
+pub fn simulate_observed(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    policy: &mut dyn SwitchingPolicy,
+    specs: &[MessageSpec],
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+    observer: &mut dyn RunObserver,
+) -> Result<SimResult> {
+    let cfg = Config::from_specs(net, routing, specs)?;
+    simulate_observed_config(net, policy, cfg, options, hook, observer)
+}
+
+/// [`simulate_observed`] on a pre-built configuration — the entry point for
+/// adaptive instances, whose routes are chosen up front (see
+/// [`config_with_selected_routes`](crate::adaptive::config_with_selected_routes)).
+///
+/// # Errors
+///
+/// As for [`simulate_observed`].
+pub fn simulate_observed_config(
+    net: &dyn Network,
+    policy: &mut dyn SwitchingPolicy,
+    cfg: Config,
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+    observer: &mut dyn RunObserver,
+) -> Result<SimResult> {
+    let Some(spec) = policy.kernel_spec() else {
+        return Err(Error::Invariant(
+            "observed runs require a kernel-capable switching policy".into(),
+        ));
+    };
+    let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
+    let run = hooked_kernel_loop(net, spec, cfg, options, hook, observer)?;
+    policy.note_kernel_steps(run.steps);
+    Ok(finish(run, injected, options))
+}
+
 /// Like [`simulate`], but reports into `hook` (see [`DetectorHook`] for the
 /// call discipline). The loop mirrors the GeNoC interpreter, including its
 /// run-time (C-5) enforcement on every switching step; hook mutations happen
@@ -262,7 +419,7 @@ pub fn simulate_hooked(
 
     if options.stepper == Stepper::Kernel {
         if let Some(spec) = policy.kernel_spec() {
-            let run = hooked_kernel_loop(net, spec, cfg, options, hook)?;
+            let run = hooked_kernel_loop(net, spec, cfg, options, hook, &mut NullObserver)?;
             policy.note_kernel_steps(run.steps);
             return Ok(finish(run, injected, options));
         }
@@ -281,13 +438,18 @@ fn hooked_kernel_loop(
     mut cfg: Config,
     options: &SimOptions,
     hook: &mut dyn DetectorHook,
+    observer: &mut dyn RunObserver,
 ) -> Result<RunResult> {
     let mut kernel = Kernel::new(net, &cfg, spec);
-    let mut trace = Trace::new(options.record_trace);
+    let mut trace = Trace::new(options.record_trace || observer.wants_moves());
     let mut arrival_order = Vec::new();
     let mut steps: u64 = 0;
     let mut idle_continues: u32 = 0;
     let mut ledger = cfg.progress_measure();
+    // Index into the trace marking the start of the current step's moves,
+    // so the observer sees exactly this step's slice.
+    let mut moves_seen: usize = 0;
+    observer.on_run_start(net, &cfg)?;
 
     let outcome = loop {
         IdentityInjection.inject(net, &mut cfg)?;
@@ -298,6 +460,7 @@ fn hooked_kernel_loop(
             }
             kernel.resync(&cfg);
             ledger = cfg.progress_measure();
+            observer.on_mutation(&cfg, steps)?;
             idle_continues += 1;
         } else if kernel.is_deadlock(&cfg) {
             if !hook.on_deadlock(net, &mut cfg, steps)? {
@@ -305,6 +468,7 @@ fn hooked_kernel_loop(
             }
             kernel.resync(&cfg);
             ledger = cfg.progress_measure();
+            observer.on_mutation(&cfg, steps)?;
             idle_continues += 1;
         } else {
             if steps >= options.max_steps {
@@ -318,7 +482,6 @@ fn hooked_kernel_loop(
                 Vec::new()
             };
             kernel.note_arrivals(&cfg, &newly);
-            arrival_order.extend(newly);
             if report.moves() == 0 {
                 return Err(Error::ProgressViolation { step: steps });
             }
@@ -338,9 +501,22 @@ fn hooked_kernel_loop(
                     after: actual,
                 });
             }
+            // The observer sees the step before the hook may mutate, so a
+            // log records the state the detector acted on, not its repair.
+            observer.on_step(
+                &cfg,
+                steps,
+                kernel.transitions(),
+                kernel.freed_ports(),
+                &trace.events()[moves_seen..],
+                &newly,
+            )?;
+            moves_seen = trace.events().len();
+            arrival_order.extend(newly);
             if hook.after_kernel_step(net, &mut cfg, kernel.transitions(), steps)? {
                 kernel.resync(&cfg);
                 ledger = cfg.progress_measure();
+                observer.on_mutation(&cfg, steps + 1)?;
             }
             steps += 1;
             idle_continues = 0;
@@ -364,6 +540,7 @@ fn hooked_kernel_loop(
             after: actual,
         });
     }
+    observer.on_run_end(outcome, steps, &cfg)?;
     Ok(RunResult {
         outcome,
         steps,

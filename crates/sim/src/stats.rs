@@ -99,14 +99,23 @@ pub fn mean(samples: &[u64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `samples` is empty or `p > 100`.
+/// Panics if `samples` is empty or `p > 100`; [`try_percentile`] is the
+/// non-panicking variant for data that may legitimately be empty
+/// (e.g. a run that delivered nothing).
 pub fn percentile(samples: &[u64], p: u32) -> u64 {
-    assert!(!samples.is_empty(), "percentile of empty sample set");
-    assert!(p <= 100);
+    try_percentile(samples, p).expect("percentile of empty sample set or p > 100")
+}
+
+/// [`percentile`] without the panics: `None` for an empty sample set or
+/// `p > 100`.
+pub fn try_percentile(samples: &[u64], p: u32) -> Option<u64> {
+    if samples.is_empty() || p > 100 {
+        return None;
+    }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     let rank = ((p as usize * sorted.len()).div_ceil(100)).max(1);
-    sorted[rank - 1]
+    Some(sorted[rank - 1])
 }
 
 #[cfg(test)]
@@ -138,6 +147,42 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn try_percentile_covers_the_panicking_edges() {
+        assert_eq!(try_percentile(&[], 50), None);
+        assert_eq!(try_percentile(&[7], 101), None);
+        assert_eq!(try_percentile(&[7], 0), Some(7));
+        let samples = [10, 20, 30, 40, 50];
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(try_percentile(&samples, p), Some(percentile(&samples, p)));
+        }
+    }
+
+    #[test]
+    fn empty_run_summaries_are_all_zero_not_panics() {
+        // A run that injected nothing and stepped nowhere: every derived
+        // figure degrades to zero/None instead of dividing by zero.
+        let s = RecoverySummary::default();
+        assert_eq!(s.detection_latency(), None);
+        assert_eq!(s.recovery_cost(), 0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(try_percentile(&[], 99), None);
+        assert!(LatencySummary::from_latencies(&[]).is_none());
+        // One-sided detection (heuristic never confirmed, or exact never
+        // fired) reports no latency rather than a misleading zero.
+        let exact_only = RecoverySummary {
+            first_exact_step: Some(5),
+            ..RecoverySummary::default()
+        };
+        assert_eq!(exact_only.detection_latency(), None);
+        let heuristic_only = RecoverySummary {
+            first_heuristic_step: Some(5),
+            ..RecoverySummary::default()
+        };
+        assert_eq!(heuristic_only.detection_latency(), None);
     }
 
     #[test]

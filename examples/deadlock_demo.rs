@@ -12,7 +12,10 @@
 //!    necessity);
 //! 4. hunts random traffic on a 3×3 mixed mesh for another deadlock and
 //!    prints its structured blocked-port witness;
-//! 5. shows the dateline-repaired ring for contrast.
+//! 5. shows the dateline-repaired ring for contrast;
+//! 6. re-records the corner storm into an event WAL
+//!    (`target/wal/deadlock_demo.wal`) and prints the post-mortem tail —
+//!    the last events before the cycle closed — straight from the log.
 //!
 //! Run with: `cargo run -p genoc --example deadlock_demo`
 //!
@@ -64,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ndriving the simulator with the four-corner storm ({} messages)...",
         specs.len()
     );
-    let hunt = hunt_workload(
+    let mut hunt = hunt_workload(
         &mesh,
         &routing,
         &mut WormholePolicy::default(),
@@ -132,5 +135,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "two-VC ring, dateline routing:     cycle found = {}",
         find_cycle(&vc_graph).is_some()
     );
+
+    // (6) Post-mortem: re-record the corner storm with the event WAL and
+    // print the tail — what happened just before the cycle closed.
+    println!("\n== post-mortem: the corner storm, replayed from its WAL ==");
+    let wal_path = std::path::Path::new("target/wal/deadlock_demo.wal");
+    let summary = record_hunt(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        &mut hunt,
+        Some(genoc::obs::WalMeta {
+            meta: InstanceMeta::new(RoutingKind::MixedXyYx, 2, 2, 1),
+            switching: SwitchingKind::Wormhole,
+        }),
+        wal_path,
+    )?;
+    println!(
+        "recorded {} events ({} bytes) to {}",
+        summary.wal_records,
+        summary.wal_bytes,
+        hunt.wal.as_deref().expect("stamped on success").display()
+    );
+    let log = read_wal(wal_path)?;
+    assert!(log.damage.is_none(), "freshly written log is intact");
+    println!("last 12 events before the verdict:");
+    for line in tail_lines(&log.events, 12) {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 0,
             effort: EffortProfile::quick(),
             matrix: "smoke".into(),
+            wal_dir: None,
         },
     );
     println!("{}", report.render_markdown());

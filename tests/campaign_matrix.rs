@@ -153,6 +153,7 @@ fn standard_matrix_meets_the_scale_floor_and_runs() {
             seed: 9,
             effort: EffortProfile::quick(),
             matrix: "standard-slice".into(),
+            wal_dir: None,
         },
     );
     assert!(report.all_passed(), "{}", report.render_markdown());

@@ -1,0 +1,178 @@
+//! Property-based validation of the event WAL's binary format: arbitrary
+//! event sequences round-trip bit-exactly, truncation at *any* byte offset
+//! is either a clean record-boundary prefix or reported damage (never a
+//! panic, never silent corruption), and any single flipped byte is caught
+//! by the per-record checksum.
+
+use genoc::core::moves::MoveKind;
+use genoc::obs::{read_wal_bytes, RecoveryAction, TravelImage, WalEvent, WalMeta, WalWriter};
+use genoc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministically expands one seed into a WAL event, covering every
+/// record kind and the tricky encodings (optional fields, empty vectors,
+/// every `FlitPos` shape).
+fn event_from_seed(seed: u64) -> WalEvent {
+    let msg = MsgId::from_index((seed >> 8) as usize % 64);
+    let port = PortId::from_index((seed >> 16) as usize % 128);
+    let step = (seed >> 24) % 1024;
+    let small = |shift: u64, m: usize| (seed >> shift) as usize % m;
+    match seed % 12 {
+        0 => WalEvent::RunStart {
+            version: 1,
+            seed,
+            meta: if seed & 1 << 7 == 0 {
+                None
+            } else {
+                Some(WalMeta {
+                    meta: InstanceMeta::new(
+                        RoutingKind::ALL[small(32, RoutingKind::ALL.len())],
+                        2 + small(36, 6),
+                        2 + small(40, 6),
+                        1 + small(44, 4) as u32,
+                    ),
+                    switching: SwitchingKind::ALL[small(48, SwitchingKind::ALL.len())],
+                })
+            },
+        },
+        1 => WalEvent::Inject {
+            msg,
+            flits: 1 + (seed >> 32) as u32 % 8,
+            route: (0..small(36, 5)).map(PortId::from_index).collect(),
+        },
+        2 => WalEvent::StepBegin { step },
+        3 => WalEvent::Move {
+            msg,
+            flit: (seed >> 32) as u32 % 8,
+            kind: [MoveKind::Enter, MoveKind::Advance, MoveKind::Eject][small(36, 3)],
+            port,
+        },
+        4 => WalEvent::Transition {
+            msg,
+            status: [
+                TravelStatus::Pending,
+                TravelStatus::Active,
+                TravelStatus::Blocked(port),
+                TravelStatus::Delivered,
+            ][small(36, 4)],
+        },
+        5 => WalEvent::FreedPort { port },
+        6 => WalEvent::EdgeAdd {
+            msg,
+            wants: port,
+            on: if seed & 1 << 40 == 0 {
+                None
+            } else {
+                Some(MsgId::from_index(small(41, 64)))
+            },
+        },
+        7 => WalEvent::EdgeRemove { msg },
+        8 => WalEvent::Detection {
+            step,
+            msgs: (0..small(36, 4)).map(MsgId::from_index).collect(),
+            ports: (0..small(38, 4)).map(PortId::from_index).collect(),
+        },
+        9 => WalEvent::Recovery {
+            action: [
+                RecoveryAction::Abort,
+                RecoveryAction::Reroute,
+                RecoveryAction::Restart,
+            ][small(36, 3)],
+            msgs: (0..small(40, 4)).map(MsgId::from_index).collect(),
+        },
+        10 => WalEvent::Snapshot {
+            step,
+            inflight: (0..small(36, 3))
+                .map(|i| TravelImage {
+                    id: MsgId::from_index(i),
+                    route: (0..2 + i).map(PortId::from_index).collect(),
+                    flits: vec![FlitPos::Delivered, FlitPos::InNetwork(i), FlitPos::Pending],
+                })
+                .collect(),
+            arrived: Vec::new(),
+        },
+        _ => WalEvent::RunEnd {
+            outcome: [Outcome::Evacuated, Outcome::Deadlock, Outcome::StepLimit][small(36, 3)],
+            steps: step,
+        },
+    }
+}
+
+fn encode(events: &[WalEvent]) -> Vec<u8> {
+    let mut w = WalWriter::in_memory();
+    for e in events {
+        w.append(e).expect("in-memory append cannot fail");
+    }
+    w.finish()
+        .expect("in-memory finish cannot fail")
+        .expect("in-memory writer returns its bytes")
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_event_sequences_round_trip(seeds in vec(0u64..=u64::MAX, 0..=40)) {
+        let events: Vec<WalEvent> = seeds.into_iter().map(event_from_seed).collect();
+        let bytes = encode(&events);
+        let log = read_wal_bytes(&bytes);
+        prop_assert!(log.damage.is_none(), "fresh log damaged: {:?}", log.damage);
+        prop_assert_eq!(log.events, events);
+    }
+
+    #[test]
+    fn truncation_at_any_byte_is_detected_or_a_clean_prefix(
+        seeds in vec(0u64..=u64::MAX, 1..=20),
+        cut_raw in 0usize..1_000_000,
+    ) {
+        let events: Vec<WalEvent> = seeds.into_iter().map(event_from_seed).collect();
+        let bytes = encode(&events);
+        let cut = cut_raw % (bytes.len() + 1);
+        let log = read_wal_bytes(&bytes[..cut]);
+        // A mid-record cut must be reported; a record-boundary cut is a
+        // legitimately shorter log, verified by re-encoding the prefix to
+        // exactly `cut` bytes.
+        if log.damage.is_none() {
+            prop_assert_eq!(
+                encode(&log.events).len(),
+                cut,
+                "silent truncation accepted off a record boundary"
+            );
+        }
+        // Decoded records are always a prefix of what was written.
+        prop_assert!(log.events.len() <= events.len());
+        prop_assert_eq!(&log.events[..], &events[..log.events.len()]);
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_detected(
+        seeds in vec(0u64..=u64::MAX, 1..=20),
+        pos_raw in 0usize..1_000_000,
+        flip in 1u32..=255,
+    ) {
+        let events: Vec<WalEvent> = seeds.into_iter().map(event_from_seed).collect();
+        let mut bytes = encode(&events);
+        let pos = pos_raw % bytes.len();
+        bytes[pos] ^= flip as u8;
+        // FNV-1a folds every byte through an invertible update, so a single
+        // flip in a record body always changes the checksum; flips in the
+        // header or framing derail decoding. Either way: damage, no panic.
+        let log = read_wal_bytes(&bytes);
+        prop_assert!(
+            log.damage.is_some(),
+            "flip of byte {} (of {}) went unnoticed",
+            pos,
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn damaged_logs_still_yield_their_intact_prefix() {
+    let events: Vec<WalEvent> = (0..12).map(event_from_seed).collect();
+    let mut bytes = encode(&events);
+    let len = bytes.len();
+    bytes[len - 3] ^= 0x40;
+    let log = read_wal_bytes(&bytes);
+    assert!(log.damage.is_some());
+    assert_eq!(&log.events[..], &events[..events.len() - 1]);
+}
