@@ -282,12 +282,14 @@ impl ScenarioMatrix {
             .capacities([1, 2, 4, 8])
     }
 
-    /// The scale sweep: 16×16 and 32×32 meshes (plus a big torus and ring)
-    /// under wormhole switching, the workloads the incremental kernel was
-    /// built for — thousands of messages per evacuation run. Cyclicity
-    /// comparators are deliberately absent: at this scale the point is
-    /// throughput on deadlock-free fabrics, and the 32×32 cells are capped
-    /// at capacity 4 to keep the obligation sweeps proportionate.
+    /// The scale sweep: 16×16 through 64×64 meshes (plus a big torus and
+    /// ring) under wormhole switching, the workloads the incremental kernel
+    /// and the arena stepper were built for — thousands of messages per
+    /// evacuation run. Cyclicity comparators are deliberately absent: at
+    /// this scale the point is throughput on deadlock-free fabrics. The
+    /// 32×32 cells are capped at capacity 4 to keep the obligation sweeps
+    /// proportionate, and 64×64 is a single cell (XY at capacity 4, the
+    /// arena's million-flit smoke target — filter with `mesh-64x64`).
     pub fn large() -> ScenarioMatrix {
         ScenarioMatrix::empty()
             .routings([
@@ -298,11 +300,15 @@ impl ScenarioMatrix {
                 RoutingKind::RingDateline,
             ])
             .switchings([SwitchingKind::Wormhole])
-            .mesh_sizes([(8, 8), (16, 16), (32, 32)])
+            .mesh_sizes([(8, 8), (16, 16), (32, 32), (64, 64)])
             .torus_sizes([(8, 8), (16, 16)])
             .ring_sizes([32, 64])
             .capacities([2, 4])
-            .filter(|s| s.meta.nodes() < 1024 || s.meta.capacity >= 4)
+            .filter(|s| {
+                let big_enough = s.meta.nodes() < 1024 || s.meta.capacity >= 4;
+                let single_64 = s.meta.nodes() < 4096 || s.meta.routing == RoutingKind::Xy;
+                big_enough && single_64
+            })
     }
 
     /// The exhaustive-oracle matrix: the smoke cells swept at capacities 1
@@ -438,6 +444,14 @@ mod tests {
                 .iter()
                 .all(|s| s.meta.nodes() < 1024 || s.meta.capacity >= 4),
             "1024-node cells are capped to capacity >= 4"
+        );
+        assert_eq!(
+            e.scenarios
+                .iter()
+                .filter(|s| s.meta.width == 64 && s.meta.height == 64)
+                .count(),
+            1,
+            "exactly one 64x64 smoke cell (XY at capacity 4)"
         );
         assert_eq!(ScenarioMatrix::named("large").map(|m| m.expand().len()), {
             Some(e.scenarios.len())

@@ -49,6 +49,11 @@ pub struct EffortProfile {
     /// `oracle` preset turns this on — the exploration is exponential in the
     /// workload and belongs in its own dedicated campaign.
     pub explore_states: usize,
+    /// Step engine for the simulated checks (evacuation selection runs and
+    /// the metrics probe). All steppers are move-for-move equivalent; the
+    /// arena stepper trades a closed-world admission requirement for flat
+    /// storage and zero per-step allocation on large cells.
+    pub stepper: genoc_sim::Stepper,
 }
 
 impl EffortProfile {
@@ -62,6 +67,7 @@ impl EffortProfile {
             max_steps: 50_000,
             detect_seeds: 2,
             explore_states: 0,
+            stepper: genoc_sim::Stepper::Kernel,
         }
     }
 
@@ -76,6 +82,7 @@ impl EffortProfile {
             max_steps: 100_000,
             detect_seeds: 6,
             explore_states: 0,
+            stepper: genoc_sim::Stepper::Kernel,
         }
     }
 
@@ -92,6 +99,7 @@ impl EffortProfile {
             max_steps: 200_000,
             detect_seeds: 1,
             explore_states: 0,
+            stepper: genoc_sim::Stepper::Kernel,
         }
     }
 
@@ -681,6 +689,7 @@ fn metrics_probe(
     let mut policy = policy_for(spec.switching);
     let options = genoc_sim::SimOptions {
         max_steps: effort.max_steps,
+        stepper: effort.stepper,
         ..Default::default()
     };
     let (detector_first_step, detection_latency) = if spec.switching == SwitchingKind::Wormhole {
@@ -811,6 +820,7 @@ fn run_evacuation(
             &genoc_sim::SimOptions {
                 max_steps: effort.max_steps,
                 record_trace: true,
+                stepper: effort.stepper,
                 ..Default::default()
             },
         );

@@ -1,0 +1,1382 @@
+//! Struct-of-arrays arena storage for configurations, and an arena-native
+//! kernel stepper for million-flit workloads.
+//!
+//! The paper states everything over configurations `σ = ⟨T, ST, A⟩`; the
+//! [`Config`] representation mirrors that statement directly (a `Vec` of
+//! [`Travel`]s, each owning its route and flit vectors), which is ideal for
+//! the proofs but hostile to caches at scale: stepping a 64×64 mesh with a
+//! million flits chases a pointer per travel and per route.
+//!
+//! [`ArenaConfig`] flattens the same state into dense parallel columns keyed
+//! by `u32` *slot* ids:
+//!
+//! * `route_pool` / `flit_pool` hold every route port and encoded flit
+//!   position contiguously; per-slot `(off, len)` pairs index into them;
+//! * encoded flit positions are a single `u32` (`0` = pending, `k + 1` =
+//!   in-network at route index `k`, `u32::MAX` = delivered), so a worm's
+//!   occupancy is one cache-line-friendly integer scan;
+//! * port capacity, occupancy, and ownership are flat columns indexed by
+//!   [`PortId`], replacing the `PortState` array of structs;
+//! * `flight` and `arrived` are membership lists mirroring the order of
+//!   `Config::travels()` and `Config::arrived()`, so a materialised
+//!   round-trip reproduces the exact `Config` (including iteration order);
+//! * freed slots go on a free list and are recycled by later injections,
+//!   while the *public* [`MsgId`] of each travel is stable for the whole
+//!   run — detectors, WALs, and campaign reports keep using public ids and
+//!   never observe slot recycling.
+//!
+//! Because `Clone` on a struct of `Vec`s is a fixed number of `memcpy`s
+//! (one per column) regardless of travel count, an arena snapshot is the
+//! cheap `Config` clone that campaign shards were missing.
+//!
+//! [`ArenaKernel`] is the active-set kernel re-derived over this layout:
+//! same travel lattice (`Pending → Active ⇄ Blocked(p)`, `Delivered`
+//! terminal), same per-port wake lists (intrusive, `u32`-linked — zero
+//! allocation), same freed-port log and bandwidth rules, and — the property
+//! every proof transfer rests on — **move-for-move identical scheduling**:
+//! `tests/arena_equivalence.rs` checks traces, latencies, and final
+//! configurations against both the legacy sweep and the [`Kernel`] stepper
+//! on every smoke cell.
+//!
+//! The only piece of a switching policy the object-based steppers consult
+//! dynamically is the head-admission predicate, which closes over `Config`.
+//! The arena stepper instead interprets the closed-world
+//! [`AdmissionKind`] description; policies whose predicate has no such
+//! description (`HeadAdmission::kind()` returns `None`) simply cannot run
+//! on the arena, and callers fall back to the object-based kernel.
+//!
+//! [`Kernel`]: crate::kernel::Kernel
+
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::ids::{MsgId, PortId};
+use crate::interpreter::{Outcome, RunOptions, RunResult};
+use crate::kernel::{Transition, TravelStatus};
+use crate::network::Network;
+use crate::step::AdmissionKind;
+use crate::switching::{KernelSpec, StepReport};
+use crate::trace::{Trace, Zone};
+use crate::travel::{FlitPos, Travel};
+
+/// Sentinel for "no slot" / "empty list" in dense `u32` columns.
+const NONE: u32 = u32::MAX;
+/// Encoded flit position: still queued in the source IP core.
+const FLIT_PENDING: u32 = 0;
+/// Encoded flit position: delivered to the destination IP core.
+const FLIT_DELIVERED: u32 = u32::MAX;
+
+#[inline]
+fn encode(pos: FlitPos) -> u32 {
+    match pos {
+        FlitPos::Pending => FLIT_PENDING,
+        FlitPos::InNetwork(k) => k as u32 + 1,
+        FlitPos::Delivered => FLIT_DELIVERED,
+    }
+}
+
+#[inline]
+fn decode(v: u32) -> FlitPos {
+    match v {
+        FLIT_PENDING => FlitPos::Pending,
+        FLIT_DELIVERED => FlitPos::Delivered,
+        p => FlitPos::InNetwork((p - 1) as usize),
+    }
+}
+
+/// The arena-native description of a kernel-capable switching policy:
+/// [`KernelSpec`] with the admission predicate replaced by its closed-world
+/// [`AdmissionKind`] value.
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaSpec {
+    /// The service order of the policy's step sweep.
+    pub arbitration: crate::switching::Arbitration,
+    /// The closed-world head-admission description.
+    pub admission: AdmissionKind,
+    /// The step count the policy has already performed.
+    pub first_step: u64,
+}
+
+impl ArenaSpec {
+    /// Derives an arena spec from a [`KernelSpec`], or `None` when the
+    /// policy's admission predicate has no closed-world description.
+    pub fn from_kernel_spec(spec: &KernelSpec) -> Option<Self> {
+        spec.admission.kind().map(|admission| ArenaSpec {
+            arbitration: spec.arbitration,
+            admission,
+            first_step: spec.first_step,
+        })
+    }
+}
+
+/// A configuration `σ = ⟨T, ST, A⟩` stored as struct-of-arrays columns.
+///
+/// Semantically equivalent to [`Config`] — [`ArenaConfig::from_config`] and
+/// [`ArenaConfig::to_config`] round-trip exactly, including travel
+/// iteration order —
+/// but with every travel flattened into dense `u32`-indexed columns and
+/// all routes/flits pooled into two contiguous arrays.
+///
+/// # Id lifecycle
+///
+/// Each resident travel occupies a *slot* (`u32`). Slots of removed
+/// travels go on a free list and are recycled by later injections; the
+/// public [`MsgId`] is never recycled and `slot_of` maps it back to the
+/// current slot. Pool ranges of removed travels are orphaned until the
+/// arena is rebuilt (removal is a rare recovery action; orphaned ranges
+/// are bounded by the number of removals).
+///
+/// # Snapshot semantics
+///
+/// `Clone` copies each column with one `memcpy` — a fixed number of
+/// allocations regardless of how many travels are resident. This is the
+/// cheap snapshot used by campaign shards in place of deep-cloning a
+/// `Config`.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaConfig {
+    /// Public message id of each slot (stale for freed slots).
+    public: Vec<MsgId>,
+    route_off: Vec<u32>,
+    route_len: Vec<u32>,
+    flit_off: Vec<u32>,
+    flit_len: Vec<u32>,
+    /// Number of delivered flits of each slot; delivered flits always form
+    /// a prefix of the flit range (flits eject in order), so the stepper
+    /// skips them wholesale.
+    delivered: Vec<u32>,
+    route_pool: Vec<PortId>,
+    flit_pool: Vec<u32>,
+    port_cap: Vec<u32>,
+    port_occ: Vec<u32>,
+    /// Owning slot of each port, or `NONE`. Always released before a slot
+    /// is freed, so recycled slot ids never alias stale ownership.
+    port_owner: Vec<u32>,
+    /// In-flight slots, mirroring the order of `Config::travels()`.
+    flight: Vec<u32>,
+    /// Arrived slots, mirroring the order of `Config::arrived()`.
+    arrived: Vec<u32>,
+    /// Recyclable slots.
+    free: Vec<u32>,
+    /// `MsgId::index() → slot` (or `NONE`), the stable public-id mapping.
+    slot_of: Vec<u32>,
+}
+
+impl ArenaConfig {
+    // ------------------------------------------------------------------
+    // Construction and materialisation
+    // ------------------------------------------------------------------
+
+    /// Imports a [`Config`] into arena form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the configuration cannot be
+    /// represented (duplicate ids, routes whose endpoints disagree with the
+    /// travel's source/destination nodes, or pools exceeding `u32` index
+    /// space).
+    pub fn from_config(net: &dyn Network, cfg: &Config) -> Result<Self> {
+        let mut a = Self::default();
+        a.route_pool.reserve(
+            cfg.travels()
+                .iter()
+                .chain(cfg.arrived())
+                .map(|t| t.route().len())
+                .sum(),
+        );
+        a.flit_pool.reserve(
+            cfg.travels()
+                .iter()
+                .chain(cfg.arrived())
+                .map(Travel::flit_count)
+                .sum(),
+        );
+        for t in cfg.travels() {
+            let s = a.alloc_slot(net, t)?;
+            a.flight.push(s);
+        }
+        for t in cfg.arrived() {
+            let s = a.alloc_slot(net, t)?;
+            a.arrived.push(s);
+        }
+        for (i, ps) in cfg.state().ports().enumerate() {
+            a.port_cap.push(ps.capacity());
+            a.port_occ.push(ps.occupied());
+            a.port_owner.push(match ps.owner() {
+                None => NONE,
+                Some(m) => a.slot_of(m).ok_or_else(|| {
+                    Error::Invariant(format!(
+                        "port {} owned by travel {m} which is not resident",
+                        PortId::from_index(i)
+                    ))
+                })?,
+            });
+        }
+        Ok(a)
+    }
+
+    /// Materialises the arena back into a [`Config`].
+    ///
+    /// The result is *exactly* the `Config` this arena evolved from: same
+    /// travel order in `T` and `A`, same flit positions, same port state
+    /// (rebuilt by `Config::from_travels`, which revalidates everything).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures, which indicate an arena bug.
+    pub fn to_config(&self, net: &dyn Network) -> Result<Config> {
+        let mut travels = Vec::with_capacity(self.flight.len() + self.arrived.len());
+        for &s in self.flight.iter().chain(self.arrived.iter()) {
+            travels.push(self.materialize(net, s)?);
+        }
+        Config::from_travels(net, travels)
+    }
+
+    /// Rebuilds the slot's [`Travel`] from the columns.
+    fn materialize(&self, net: &dyn Network, slot: u32) -> Result<Travel> {
+        let s = slot as usize;
+        let ro = self.route_off[s] as usize;
+        let rl = self.route_len[s] as usize;
+        let fo = self.flit_off[s] as usize;
+        let fl = self.flit_len[s] as usize;
+        let route = self.route_pool[ro..ro + rl].to_vec();
+        let mut t = Travel::mid_flight(net, self.public[s], route, fl)?;
+        for f in 0..fl {
+            t.set_flit_pos(f, decode(self.flit_pool[fo + f]));
+        }
+        Ok(t)
+    }
+
+    /// Writes a travel's columns into a (recycled or fresh) slot and
+    /// registers its public id. Does **not** touch port state or
+    /// membership lists.
+    fn alloc_slot(&mut self, net: &dyn Network, t: &Travel) -> Result<u32> {
+        let id = t.id();
+        if self.slot_of(id).is_some() {
+            return Err(Error::Invariant(format!(
+                "travel {id} already present in configuration"
+            )));
+        }
+        let route = t.route();
+        let last = route[route.len() - 1];
+        if net.attrs(route[0]).node != t.source_node() || net.attrs(last).node != t.dest_node() {
+            return Err(Error::Invariant(format!(
+                "travel {id}: route endpoints do not determine its source/destination nodes"
+            )));
+        }
+        let overflow = || Error::Invariant("arena pools exceed u32 index space".to_string());
+        let rl = u32::try_from(route.len())
+            .ok()
+            .filter(|&n| n < FLIT_DELIVERED)
+            .ok_or_else(overflow)?;
+        let fl = u32::try_from(t.flit_count()).map_err(|_| overflow())?;
+        let ro = u32::try_from(self.route_pool.len()).map_err(|_| overflow())?;
+        ro.checked_add(rl).ok_or_else(overflow)?;
+        let fo = u32::try_from(self.flit_pool.len()).map_err(|_| overflow())?;
+        fo.checked_add(fl).ok_or_else(overflow)?;
+        self.route_pool.extend_from_slice(route);
+        let mut dp = 0u32;
+        let mut in_prefix = true;
+        for pos in t.flit_positions() {
+            let v = encode(pos);
+            if in_prefix && v == FLIT_DELIVERED {
+                dp += 1;
+            } else {
+                in_prefix = false;
+            }
+            self.flit_pool.push(v);
+        }
+        let slot = match self.free.pop() {
+            Some(sv) => {
+                let s = sv as usize;
+                self.public[s] = id;
+                self.route_off[s] = ro;
+                self.route_len[s] = rl;
+                self.flit_off[s] = fo;
+                self.flit_len[s] = fl;
+                self.delivered[s] = dp;
+                sv
+            }
+            None => {
+                self.public.push(id);
+                self.route_off.push(ro);
+                self.route_len.push(rl);
+                self.flit_off.push(fo);
+                self.flit_len.push(fl);
+                self.delivered.push(dp);
+                u32::try_from(self.public.len() - 1).map_err(|_| overflow())?
+            }
+        };
+        let idx = id.index();
+        if self.slot_of.len() <= idx {
+            self.slot_of.resize(idx + 1, NONE);
+        }
+        self.slot_of[idx] = slot;
+        Ok(slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Injection, removal, reroute
+    // ------------------------------------------------------------------
+
+    /// Appends a travel to `T`, registering any in-network flits and owned
+    /// ports. The arena analogue of `Config::push_travel`; returns the slot
+    /// the travel occupies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`] if the travel violates the worm-shape
+    /// invariant, is already present, or conflicts with resident packets.
+    pub fn push_travel(&mut self, net: &dyn Network, travel: &Travel) -> Result<u32> {
+        travel.check_invariants()?;
+        let slot = self.alloc_slot(net, travel)?;
+        for pos in travel.flit_positions() {
+            if let FlitPos::InNetwork(k) = pos {
+                self.port_enter(travel.route()[k], slot)?;
+            }
+        }
+        if let Some((lo, hi)) = travel.owned_route_range() {
+            for k in lo..=hi {
+                self.port_claim(travel.route()[k], slot)?;
+            }
+        }
+        self.flight.push(slot);
+        Ok(slot)
+    }
+
+    /// Batch injection: pushes a cohort of travels after one reservation
+    /// pass over the pools, so campaign shards inject whole workloads
+    /// without per-travel reallocation. Equivalent to pushing each travel
+    /// in order (and tested to be — see `tests/arena_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`push_travel`](Self::push_travel); travels before the failing
+    /// one remain injected.
+    pub fn push_batch(&mut self, net: &dyn Network, travels: &[Travel]) -> Result<Vec<u32>> {
+        self.route_pool
+            .reserve(travels.iter().map(|t| t.route().len()).sum());
+        self.flit_pool
+            .reserve(travels.iter().map(Travel::flit_count).sum());
+        self.flight.reserve(travels.len());
+        travels.iter().map(|t| self.push_travel(net, t)).collect()
+    }
+
+    /// Removes an in-flight travel, returning its buffers and owned ports
+    /// to the network and its slot to the free list. The arena analogue of
+    /// `Config::remove_travel` (abort-based recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTravel`] if `id` is not in flight.
+    pub fn remove_travel(&mut self, net: &dyn Network, id: MsgId) -> Result<Travel> {
+        let Some(slot) = self.slot_of(id) else {
+            return Err(Error::UnknownTravel(id));
+        };
+        let Some(i) = self.flight.iter().position(|&sv| sv == slot) else {
+            return Err(Error::UnknownTravel(id)); // arrived travels are not removable
+        };
+        let travel = self.materialize(net, slot)?;
+        self.flight.remove(i);
+        for (f, pos) in travel.flit_positions().enumerate() {
+            debug_assert!(f < travel.flit_count());
+            if let FlitPos::InNetwork(k) = pos {
+                self.port_leave(travel.route()[k], slot, false)?;
+            }
+        }
+        if let Some((lo, hi)) = travel.owned_route_range() {
+            for k in lo..=hi {
+                self.port_release(travel.route()[k], slot)?;
+            }
+        }
+        self.slot_of[id.index()] = NONE;
+        self.delivered[slot as usize] = 0;
+        self.free.push(slot);
+        Ok(travel)
+    }
+
+    /// Replaces the not-yet-claimed route suffix of an in-flight travel
+    /// (escape-channel recovery). The arena analogue of
+    /// `Config::reroute_travel`; all of [`Travel::reroute`]'s validation
+    /// applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTravel`] if `id` is not in flight, and
+    /// propagates [`Travel::reroute`] rejections.
+    pub fn reroute_travel(
+        &mut self,
+        net: &dyn Network,
+        id: MsgId,
+        new_route: Vec<PortId>,
+    ) -> Result<()> {
+        let Some(slot) = self.slot_of(id) else {
+            return Err(Error::UnknownTravel(id));
+        };
+        if !self.flight.contains(&slot) {
+            return Err(Error::UnknownTravel(id));
+        }
+        let mut t = self.materialize(net, slot)?;
+        t.reroute(net, new_route)?;
+        let s = slot as usize;
+        let overflow = || Error::Invariant("arena pools exceed u32 index space".to_string());
+        let rl = u32::try_from(t.route().len())
+            .ok()
+            .filter(|&n| n < FLIT_DELIVERED)
+            .ok_or_else(overflow)?;
+        if rl <= self.route_len[s] {
+            // The new route fits in place; the stale tail is orphaned.
+            let ro = self.route_off[s] as usize;
+            self.route_pool[ro..ro + rl as usize].copy_from_slice(t.route());
+        } else {
+            let ro = u32::try_from(self.route_pool.len()).map_err(|_| overflow())?;
+            ro.checked_add(rl).ok_or_else(overflow)?;
+            self.route_pool.extend_from_slice(t.route());
+            self.route_off[s] = ro;
+        }
+        self.route_len[s] = rl;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Port-state columns (mirrors `NetworkState` exactly)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn port_free(&self, p: PortId) -> u32 {
+        self.port_cap[p.index()] - self.port_occ[p.index()]
+    }
+
+    #[inline]
+    fn port_can_enter(&self, p: PortId, slot: u32, is_head: bool) -> bool {
+        let pi = p.index();
+        if self.port_occ[pi] >= self.port_cap[pi] {
+            return false;
+        }
+        let o = self.port_owner[pi];
+        if o == NONE {
+            is_head
+        } else {
+            o == slot
+        }
+    }
+
+    fn port_enter(&mut self, p: PortId, slot: u32) -> Result<()> {
+        let pi = p.index();
+        if self.port_occ[pi] >= self.port_cap[pi] {
+            return Err(Error::CapacityExceeded {
+                port: p,
+                capacity: self.port_cap[pi],
+            });
+        }
+        let o = self.port_owner[pi];
+        if o == NONE {
+            self.port_owner[pi] = slot;
+        } else if o != slot {
+            return Err(Error::Invariant(format!(
+                "port {p} owned by travel {} cannot admit travel {}",
+                self.public[o as usize], self.public[slot as usize]
+            )));
+        }
+        self.port_occ[pi] += 1;
+        Ok(())
+    }
+
+    fn port_leave(&mut self, p: PortId, slot: u32, is_tail: bool) -> Result<()> {
+        let pi = p.index();
+        if self.port_occ[pi] == 0 {
+            return Err(Error::Invariant(format!("flit leaves empty port {p}")));
+        }
+        if self.port_owner[pi] != slot {
+            return Err(Error::Invariant(format!(
+                "travel {} leaves port {p} it does not own",
+                self.public[slot as usize]
+            )));
+        }
+        self.port_occ[pi] -= 1;
+        if is_tail {
+            self.port_owner[pi] = NONE;
+        }
+        Ok(())
+    }
+
+    fn port_claim(&mut self, p: PortId, slot: u32) -> Result<()> {
+        let pi = p.index();
+        let o = self.port_owner[pi];
+        if o == NONE {
+            self.port_owner[pi] = slot;
+        } else if o != slot {
+            return Err(Error::Invariant(format!(
+                "port {p} owned by travel {} cannot be claimed by travel {}",
+                self.public[o as usize], self.public[slot as usize]
+            )));
+        }
+        Ok(())
+    }
+
+    fn port_release(&mut self, p: PortId, slot: u32) -> Result<()> {
+        let pi = p.index();
+        if self.port_owner[pi] == slot && self.port_occ[pi] == 0 {
+            self.port_owner[pi] = NONE;
+            Ok(())
+        } else {
+            Err(Error::Invariant(format!(
+                "travel {} releases port {p} it does not exclusively own",
+                self.public[slot as usize]
+            )))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Predicates, measures, accessors
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn slot_is_arrived(&self, s: usize) -> bool {
+        self.delivered[s] == self.flit_len[s]
+    }
+
+    #[inline]
+    fn slot_occupies_network(&self, s: usize) -> bool {
+        self.delivered[s] < self.flit_len[s]
+            && self.flit_pool[(self.flit_off[s] + self.delivered[s]) as usize] != FLIT_PENDING
+    }
+
+    /// Whether `T` is empty (the evacuation terminal predicate).
+    pub fn is_evacuated(&self) -> bool {
+        self.flight.is_empty()
+    }
+
+    /// The strictly-decreasing progress measure of the paper's Theorem 2:
+    /// every flit move decreases this by exactly one.
+    pub fn progress_measure(&self) -> u64 {
+        let mut sum = 0u64;
+        for &sv in &self.flight {
+            let s = sv as usize;
+            let len = self.route_len[s] as u64;
+            let fo = self.flit_off[s] as usize;
+            let fl = self.flit_len[s] as usize;
+            for &p in &self.flit_pool[fo..fo + fl] {
+                if p != FLIT_DELIVERED {
+                    sum += len + 1 - p as u64;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Sum over `T` of the header's remaining route length.
+    pub fn route_length_measure(&self) -> u64 {
+        let mut sum = 0u64;
+        for &sv in &self.flight {
+            let s = sv as usize;
+            let len = self.route_len[s] as u64;
+            sum += match self.flit_pool[self.flit_off[s] as usize] {
+                FLIT_PENDING => len - 1,
+                FLIT_DELIVERED => 0,
+                p => len - p as u64,
+            };
+        }
+        sum
+    }
+
+    /// Total delivered flits across in-flight and arrived travels.
+    pub fn delivered_flits(&self) -> u64 {
+        self.flight
+            .iter()
+            .chain(self.arrived.iter())
+            .map(|&sv| self.delivered[sv as usize] as u64)
+            .sum()
+    }
+
+    /// The slot currently backing public id `id`, if resident.
+    pub fn slot_of(&self, id: MsgId) -> Option<u32> {
+        match self.slot_of.get(id.index()) {
+            Some(&s) if s != NONE => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The public id of a slot. Stale for freed slots.
+    pub fn public_id(&self, slot: u32) -> MsgId {
+        self.public[slot as usize]
+    }
+
+    /// Number of allocated slots (live + free).
+    pub fn slot_count(&self) -> usize {
+        self.public.len()
+    }
+
+    /// Number of recyclable slots on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of in-flight travels (`|T|`).
+    pub fn flight_count(&self) -> usize {
+        self.flight.len()
+    }
+
+    /// Number of arrived travels (`|A|`).
+    pub fn arrived_count(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.port_cap.len()
+    }
+
+    /// Length of the shared route pool (orphaned ranges included).
+    pub fn route_pool_len(&self) -> usize {
+        self.route_pool.len()
+    }
+
+    /// Length of the shared flit pool (orphaned ranges included).
+    pub fn flit_pool_len(&self) -> usize {
+        self.flit_pool.len()
+    }
+}
+
+/// A single flit move, recorded (when enabled) for lock-step replay onto a
+/// shadow [`Config`] by hooked/observed runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MoveKind {
+    /// Source IP core → `route[0]`.
+    Enter,
+    /// One hop along the route.
+    Advance,
+    /// Destination port → destination IP core.
+    Eject,
+}
+
+/// One recorded move: which in-flight travel (by its index in the flight
+/// list, which mirrors `Config::travels()` order), which flit, what kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MoveRec {
+    /// Index into the flight list at the time of the move.
+    pub travel: u32,
+    /// Flit index within the message (0 is the header).
+    pub flit: u32,
+    /// What the flit did.
+    pub kind: MoveKind,
+}
+
+/// The active-set kernel re-derived over [`ArenaConfig`]: move-for-move
+/// identical to [`Kernel`](crate::kernel::Kernel) (and therefore to the
+/// legacy sweep), with all per-step state arena-backed — intrusive wake
+/// lists, epoch-stamped bandwidth marks, reusable logs. After warm-up a
+/// step performs no heap allocation.
+#[derive(Debug)]
+pub struct ArenaKernel {
+    spec: ArenaSpec,
+    step_count: u64,
+    /// Per-slot status lattice (`Pending → Active ⇄ Blocked(p)`).
+    status: Vec<TravelStatus>,
+    runnable: Vec<bool>,
+    /// Intrusive wake list: next slot in the same port's list, or `NONE`.
+    wake_next: Vec<u32>,
+    /// Head of each port's wake list, or `NONE`. Push-front/pop-front is
+    /// the same LIFO discipline as the object kernel's `Vec` push/pop.
+    wake_head: Vec<u32>,
+    /// Per-port step stamp of the last flit entry (one entry per port per
+    /// step); `mark != epoch` means the port still has entry bandwidth.
+    entered_mark: Vec<u64>,
+    /// Per-port step stamp of the last ejection.
+    ejected_mark: Vec<u64>,
+    epoch: u64,
+    /// Ports freed by the current travel's sub-step (wake candidates).
+    freed: Vec<PortId>,
+    /// All ports freed during the current step, in order.
+    freed_log: Vec<PortId>,
+    /// Status transitions of the current step, in public ids.
+    transitions: Vec<Transition>,
+    /// Flit moves of the current step (only when `log_moves` is on).
+    moves: Vec<MoveRec>,
+    log_moves: bool,
+    /// Arrivals drained after the current step, in flight order.
+    newly: Vec<MsgId>,
+    saw_arrival: bool,
+}
+
+impl ArenaKernel {
+    /// Builds a kernel for `arena` and synchronises with its state.
+    pub fn new(arena: &ArenaConfig, spec: ArenaSpec) -> Self {
+        let mut k = ArenaKernel {
+            spec,
+            step_count: spec.first_step,
+            status: Vec::new(),
+            runnable: Vec::new(),
+            wake_next: Vec::new(),
+            wake_head: Vec::new(),
+            entered_mark: Vec::new(),
+            ejected_mark: Vec::new(),
+            epoch: 0,
+            freed: Vec::new(),
+            freed_log: Vec::new(),
+            transitions: Vec::new(),
+            moves: Vec::new(),
+            log_moves: false,
+            newly: Vec::new(),
+            saw_arrival: false,
+        };
+        k.resync(arena);
+        k
+    }
+
+    /// Steps performed so far (including `first_step` carried in).
+    pub fn steps_taken(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Status transitions of the last step, in occurrence order, keyed by
+    /// stable public ids (detector and WAL consumers never see slots).
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Ports freed during the last step, in order.
+    pub fn freed_ports(&self) -> &[PortId] {
+        &self.freed_log
+    }
+
+    /// Flit moves of the last step, when move logging is enabled.
+    pub fn moves(&self) -> &[MoveRec] {
+        &self.moves
+    }
+
+    /// Enables or disables per-step move logging (used by hooked runs to
+    /// keep a shadow `Config` in lock step).
+    pub fn set_log_moves(&mut self, on: bool) {
+        self.log_moves = on;
+    }
+
+    /// Arrivals drained after the last step, in flight order.
+    pub fn newly_arrived(&self) -> &[MsgId] {
+        &self.newly
+    }
+
+    /// Whether the last step completed a travel; clears the flag.
+    pub fn take_saw_arrival(&mut self) -> bool {
+        std::mem::take(&mut self.saw_arrival)
+    }
+
+    /// Rebuilds all incremental state from the arena (required after any
+    /// external mutation: injection, removal, reroute).
+    pub fn resync(&mut self, arena: &ArenaConfig) {
+        let slots = arena.public.len();
+        let ports = arena.port_cap.len();
+        self.status.clear();
+        self.status.resize(slots, TravelStatus::Pending);
+        self.runnable.clear();
+        self.runnable.resize(slots, false);
+        self.wake_next.clear();
+        self.wake_next.resize(slots, NONE);
+        self.wake_head.clear();
+        self.wake_head.resize(ports, NONE);
+        self.entered_mark.resize(ports, 0);
+        self.ejected_mark.resize(ports, 0);
+        self.transitions.clear();
+        self.freed.clear();
+        self.freed_log.clear();
+        self.moves.clear();
+        self.newly.clear();
+        self.saw_arrival = false;
+        for i in 0..arena.flight.len() {
+            let s = arena.flight[i] as usize;
+            let status = if let Some(p) = self.blocked_port(arena, s) {
+                self.wake_next[s] = self.wake_head[p.index()];
+                self.wake_head[p.index()] = s as u32;
+                TravelStatus::Blocked(p)
+            } else if arena.slot_occupies_network(s) || arena.delivered[s] > 0 {
+                TravelStatus::Active
+            } else {
+                TravelStatus::Pending
+            };
+            self.runnable[s] = !matches!(status, TravelStatus::Blocked(_));
+            self.status[s] = status;
+            if arena.slot_is_arrived(s) {
+                self.saw_arrival = true;
+            }
+        }
+        for &sv in &arena.arrived {
+            self.status[sv as usize] = TravelStatus::Delivered;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission over columns (the closed-world predicates)
+    // ------------------------------------------------------------------
+
+    fn admit_entry(&self, arena: &ArenaConfig, s: usize) -> bool {
+        match self.spec.admission {
+            AdmissionKind::Always => true,
+            AdmissionKind::WholePacketRoom | AdmissionKind::StoreAndForward => {
+                // SAF entry needs no co-location: all flits are at the source.
+                arena.port_free(arena.route_pool[arena.route_off[s] as usize]) >= arena.flit_len[s]
+            }
+        }
+    }
+
+    fn admit_advance(&self, arena: &ArenaConfig, s: usize, from: usize) -> bool {
+        match self.spec.admission {
+            AdmissionKind::Always => true,
+            AdmissionKind::WholePacketRoom => {
+                let to = arena.route_pool[arena.route_off[s] as usize + from + 1];
+                arena.port_free(to) >= arena.flit_len[s]
+            }
+            AdmissionKind::StoreAndForward => {
+                let to = arena.route_pool[arena.route_off[s] as usize + from + 1];
+                if arena.port_free(to) < arena.flit_len[s] {
+                    return false;
+                }
+                let fo = arena.flit_off[s] as usize;
+                let fl = arena.flit_len[s] as usize;
+                let here = from as u32 + 1;
+                arena.flit_pool[fo..fo + fl].iter().all(|&p| p == here)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step bandwidth marks
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn may_enter(&self, p: PortId) -> bool {
+        self.entered_mark[p.index()] != self.epoch
+    }
+
+    #[inline]
+    fn may_eject(&self, p: PortId) -> bool {
+        self.ejected_mark[p.index()] != self.epoch
+    }
+}
+
+impl ArenaKernel {
+    /// One greedy sub-step of the travel at `flight_idx`, move-for-move
+    /// identical to `step_travel_with` on the materialised `Config`.
+    ///
+    /// Two layout-enabled prunings, both semantics-preserving:
+    /// the delivered prefix is skipped wholesale (delivered flits fail
+    /// every movement predicate), and the scan ends at the first pending
+    /// flit (all later flits are pending behind it, and a pending flit
+    /// with a pending predecessor cannot enter).
+    fn step_travel(
+        &mut self,
+        arena: &mut ArenaConfig,
+        flight_idx: usize,
+        trace: &mut Trace,
+    ) -> Result<StepReport> {
+        let s = arena.flight[flight_idx] as usize;
+        let sv = s as u32;
+        let mut rep = StepReport::default();
+        let ro = arena.route_off[s] as usize;
+        let rl = arena.route_len[s] as usize;
+        let fo = arena.flit_off[s] as usize;
+        let fl = arena.flit_len[s] as usize;
+        let public = arena.public[s];
+        for f in arena.delivered[s] as usize..fl {
+            let pos = arena.flit_pool[fo + f];
+            if pos == FLIT_PENDING {
+                let pred_in = f == 0 || arena.flit_pool[fo + f - 1] != FLIT_PENDING;
+                let entry = arena.route_pool[ro];
+                if pred_in
+                    && arena.port_can_enter(entry, sv, f == 0)
+                    && (f != 0 || self.admit_entry(arena, s))
+                    && self.may_enter(entry)
+                {
+                    arena.port_enter(entry, sv)?;
+                    arena.flit_pool[fo + f] = 1;
+                    self.entered_mark[entry.index()] = self.epoch;
+                    trace.record(public, f, Zone::Source, Zone::Port(entry));
+                    if self.log_moves {
+                        self.moves.push(MoveRec {
+                            travel: flight_idx as u32,
+                            flit: f as u32,
+                            kind: MoveKind::Enter,
+                        });
+                    }
+                    rep.entries += 1;
+                }
+                break;
+            }
+            debug_assert_ne!(pos, FLIT_DELIVERED, "delivered prefix was skipped");
+            let k = (pos - 1) as usize;
+            if k + 1 == rl {
+                // At the destination port: ejection is the only move left,
+                // admissible once every flit ahead has been delivered
+                // (i.e. this flit heads the undelivered suffix).
+                if f == arena.delivered[s] as usize {
+                    let dest = arena.route_pool[ro + k];
+                    if self.may_eject(dest) {
+                        arena.port_leave(dest, sv, f + 1 == fl)?;
+                        arena.flit_pool[fo + f] = FLIT_DELIVERED;
+                        arena.delivered[s] += 1;
+                        self.ejected_mark[dest.index()] = self.epoch;
+                        self.freed.push(dest);
+                        trace.record(public, f, Zone::Port(dest), Zone::Delivered);
+                        if self.log_moves {
+                            self.moves.push(MoveRec {
+                                travel: flight_idx as u32,
+                                flit: f as u32,
+                                kind: MoveKind::Eject,
+                            });
+                        }
+                        rep.ejections += 1;
+                    }
+                }
+                continue;
+            }
+            let pred_ok = f == 0 || {
+                let ppos = arena.flit_pool[fo + f - 1];
+                ppos == FLIT_DELIVERED || (ppos != FLIT_PENDING && (ppos - 1) as usize > k)
+            };
+            let to = arena.route_pool[ro + k + 1];
+            if pred_ok
+                && arena.port_can_enter(to, sv, f == 0)
+                && (f != 0 || self.admit_advance(arena, s, k))
+                && self.may_enter(to)
+            {
+                let from = arena.route_pool[ro + k];
+                arena.port_enter(to, sv)?;
+                arena.port_leave(from, sv, f + 1 == fl)?;
+                arena.flit_pool[fo + f] = pos + 1;
+                self.entered_mark[to.index()] = self.epoch;
+                self.freed.push(from);
+                trace.record(public, f, Zone::Port(from), Zone::Port(to));
+                if self.log_moves {
+                    self.moves.push(MoveRec {
+                        travel: flight_idx as u32,
+                        flit: f as u32,
+                        kind: MoveKind::Advance,
+                    });
+                }
+                rep.advances += 1;
+            }
+        }
+        Ok(rep)
+    }
+
+    /// Whether any flit of slot `s` could move right now, admission
+    /// included — the arena mirror of `travel_can_move_with`.
+    fn travel_can_move(&self, arena: &ArenaConfig, s: usize) -> bool {
+        let sv = s as u32;
+        let ro = arena.route_off[s] as usize;
+        let rl = arena.route_len[s] as usize;
+        let fo = arena.flit_off[s] as usize;
+        let fl = arena.flit_len[s] as usize;
+        let start = arena.delivered[s] as usize;
+        for f in start..fl {
+            let pos = arena.flit_pool[fo + f];
+            if pos == FLIT_PENDING {
+                // The first pending flit decides: later flits are pending
+                // behind a pending predecessor and cannot enter.
+                let pred_in = f == 0 || arena.flit_pool[fo + f - 1] != FLIT_PENDING;
+                return pred_in
+                    && arena.port_can_enter(arena.route_pool[ro], sv, f == 0)
+                    && (f != 0 || self.admit_entry(arena, s));
+            }
+            let k = (pos - 1) as usize;
+            if k + 1 == rl {
+                if f == start {
+                    return true; // heads the undelivered suffix: can eject
+                }
+                continue;
+            }
+            let pred_ok = f == 0 || {
+                let ppos = arena.flit_pool[fo + f - 1];
+                ppos == FLIT_DELIVERED || (ppos != FLIT_PENDING && (ppos - 1) as usize > k)
+            };
+            if pred_ok
+                && arena.port_can_enter(arena.route_pool[ro + k + 1], sv, f == 0)
+                && (f != 0 || self.admit_advance(arena, s, k))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The port the head flit is waiting for, or `None` when the travel
+    /// can move (or its head is delivered). Mirrors `blocked_port_with`.
+    fn blocked_port(&self, arena: &ArenaConfig, s: usize) -> Option<PortId> {
+        if self.travel_can_move(arena, s) {
+            return None;
+        }
+        let ro = arena.route_off[s] as usize;
+        let rl = arena.route_len[s] as usize;
+        match arena.flit_pool[arena.flit_off[s] as usize] {
+            FLIT_PENDING => Some(arena.route_pool[ro]),
+            FLIT_DELIVERED => None,
+            p => {
+                let k = (p - 1) as usize;
+                if k + 1 < rl {
+                    Some(arena.route_pool[ro + k + 1])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The paper's deadlock predicate `Ω(σ)` over the active set: `T` is
+    /// non-empty and no runnable travel can move.
+    pub fn is_deadlock(&self, arena: &ArenaConfig) -> bool {
+        !arena.is_evacuated()
+            && arena.flight.iter().all(|&sv| {
+                let s = sv as usize;
+                !self.runnable[s] || !self.travel_can_move(arena, s)
+            })
+    }
+
+    fn park(&mut self, arena: &ArenaConfig, s: usize, p: PortId) {
+        self.status[s] = TravelStatus::Blocked(p);
+        self.runnable[s] = false;
+        self.wake_next[s] = self.wake_head[p.index()];
+        self.wake_head[p.index()] = s as u32;
+        self.transitions.push(Transition {
+            msg: arena.public[s],
+            status: TravelStatus::Blocked(p),
+        });
+    }
+
+    /// One switching step over the active set, identical in moves, freed
+    /// ports, and status transitions to the object kernel's `step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates port bookkeeping violations (which indicate a bug).
+    pub fn step(&mut self, arena: &mut ArenaConfig, trace: &mut Trace) -> Result<StepReport> {
+        self.transitions.clear();
+        self.freed_log.clear();
+        self.moves.clear();
+        self.newly.clear();
+        self.epoch += 1;
+        let n = arena.flight.len();
+        let start = self.spec.arbitration.start(n, self.step_count);
+        self.step_count += 1;
+        let mut total = StepReport::default();
+        for idx in (start..n).chain(0..start) {
+            let s = arena.flight[idx] as usize;
+            if !self.runnable[s] {
+                continue;
+            }
+            let before = self.status[s];
+            let rep = self.step_travel(arena, idx, trace)?;
+            if rep.moves() > 0 {
+                total.entries += rep.entries;
+                total.advances += rep.advances;
+                total.ejections += rep.ejections;
+                if before == TravelStatus::Pending {
+                    self.status[s] = TravelStatus::Active;
+                    self.transitions.push(Transition {
+                        msg: arena.public[s],
+                        status: TravelStatus::Active,
+                    });
+                }
+                // Mid-step wakes: every travel blocked on a port this
+                // sub-step freed becomes runnable before the sweep moves on.
+                for fi in 0..self.freed.len() {
+                    let p = self.freed[fi];
+                    self.freed_log.push(p);
+                    let pi = p.index();
+                    loop {
+                        let w = self.wake_head[pi];
+                        if w == NONE {
+                            break;
+                        }
+                        let ws = w as usize;
+                        self.wake_head[pi] = self.wake_next[ws];
+                        self.wake_next[ws] = NONE;
+                        self.status[ws] = TravelStatus::Active;
+                        self.runnable[ws] = true;
+                        self.transitions.push(Transition {
+                            msg: arena.public[ws],
+                            status: TravelStatus::Active,
+                        });
+                    }
+                }
+                self.freed.clear();
+                if rep.ejections > 0 && arena.slot_is_arrived(s) {
+                    self.saw_arrival = true;
+                } else if let Some(p) = self.blocked_port(arena, s) {
+                    self.park(arena, s, p);
+                }
+            } else if let Some(p) = self.blocked_port(arena, s) {
+                self.park(arena, s, p);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Moves every fully-delivered travel from `T` to `A` (order
+    /// preserving), records their `Delivered` transitions, and returns how
+    /// many arrived. The arrivals themselves are in
+    /// [`newly_arrived`](Self::newly_arrived).
+    pub fn drain_arrived(&mut self, arena: &mut ArenaConfig) -> usize {
+        let mut w = 0usize;
+        for r in 0..arena.flight.len() {
+            let sv = arena.flight[r];
+            let s = sv as usize;
+            if arena.slot_is_arrived(s) {
+                self.newly.push(arena.public[s]);
+                arena.arrived.push(sv);
+                self.status[s] = TravelStatus::Delivered;
+                self.runnable[s] = false;
+                self.transitions.push(Transition {
+                    msg: arena.public[s],
+                    status: TravelStatus::Delivered,
+                });
+            } else {
+                arena.flight[w] = sv;
+                w += 1;
+            }
+        }
+        arena.flight.truncate(w);
+        self.newly.len()
+    }
+}
+
+fn audit_arena_ledger(arena: &ArenaConfig, ledger: u64, step: u64) -> Result<()> {
+    let actual = arena.progress_measure();
+    if actual != ledger {
+        return Err(Error::Invariant(format!(
+            "arena measure ledger diverged at step {step}: tracked {ledger}, actual {actual} \
+             — some move did not decrease the progress measure by exactly one"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs a closed workload to completion on the arena stepper: the exact
+/// loop of `run_kernelised` (same termination order, same measure ledger
+/// enforcing the paper's C-5 obligation), over [`ArenaConfig`] columns.
+///
+/// Injection is identity-only (the paper's time-0 release); campaign and
+/// sim callers inject by building the starting configuration.
+///
+/// # Errors
+///
+/// Returns [`Error::Invariant`] when the policy's admission predicate has
+/// no closed-world [`AdmissionKind`] description, and the same progress /
+/// measure violations `run_kernelised` reports.
+pub fn run_arena(
+    net: &dyn Network,
+    spec: KernelSpec,
+    cfg: Config,
+    options: &RunOptions,
+) -> Result<RunResult> {
+    let Some(aspec) = ArenaSpec::from_kernel_spec(&spec) else {
+        return Err(Error::Invariant(
+            "arena stepper requires an admission predicate with a closed-world AdmissionKind"
+                .to_string(),
+        ));
+    };
+    let mut arena = ArenaConfig::from_config(net, &cfg)?;
+    drop(cfg);
+    let mut kernel = ArenaKernel::new(&arena, aspec);
+    let mut trace = Trace::new(options.record_trace);
+    let mut measures = Vec::new();
+    let mut arrival_order = Vec::new();
+    let mut steps: u64 = 0;
+    let mut ledger = arena.progress_measure();
+
+    let outcome = loop {
+        if arena.is_evacuated() {
+            break Outcome::Evacuated;
+        }
+        if kernel.is_deadlock(&arena) {
+            break Outcome::Deadlock;
+        }
+        if steps >= options.max_steps {
+            break Outcome::StepLimit;
+        }
+
+        trace.begin_step(steps);
+        let report = kernel.step(&mut arena, &mut trace)?;
+        if kernel.take_saw_arrival() {
+            kernel.drain_arrived(&mut arena);
+        }
+        arrival_order.extend_from_slice(kernel.newly_arrived());
+
+        if options.enforce_measure && report.moves() == 0 {
+            return Err(Error::ProgressViolation { step: steps });
+        }
+        ledger = ledger.saturating_sub(report.moves() as u64);
+        if options.record_measures {
+            measures.push((arena.route_length_measure(), arena.progress_measure()));
+        }
+        if options.check_invariants {
+            arena.to_config(net)?.validate(net)?;
+            audit_arena_ledger(&arena, ledger, steps)?;
+        }
+        steps += 1;
+    };
+
+    if options.enforce_measure {
+        audit_arena_ledger(&arena, ledger, steps)?;
+    }
+    Ok(RunResult {
+        outcome,
+        steps,
+        config: arena.to_config(net)?,
+        trace,
+        measures,
+        arrival_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::injection::IdentityInjection;
+    use crate::interpreter::run;
+    use crate::kernel::run_kernelised;
+    use crate::line::{LineNetwork, LineRouting};
+    use crate::spec::MessageSpec;
+    use crate::step::AlwaysAdmit;
+    use crate::switching::Arbitration;
+
+    static ALWAYS: AlwaysAdmit = AlwaysAdmit;
+
+    fn spec() -> KernelSpec {
+        KernelSpec {
+            arbitration: Arbitration::FixedPriority,
+            admission: &ALWAYS,
+            first_step: 0,
+        }
+    }
+
+    fn contended_line(nodes: usize, capacity: u32, flits: usize) -> (LineNetwork, Config) {
+        let net = LineNetwork::new(nodes, capacity);
+        let routing = LineRouting::new(&net);
+        let mut specs = Vec::new();
+        for i in 0..nodes - 1 {
+            specs.push(MessageSpec::new(
+                NodeId::from_index(i),
+                NodeId::from_index(nodes - 1),
+                flits,
+            ));
+            specs.push(MessageSpec::new(
+                NodeId::from_index(nodes - 1 - i),
+                NodeId::from_index(0),
+                flits,
+            ));
+        }
+        let cfg = Config::from_specs(&net, &routing, &specs).unwrap();
+        (net, cfg)
+    }
+
+    #[test]
+    fn roundtrip_reproduces_the_exact_config() {
+        let (net, cfg) = contended_line(5, 1, 3);
+        let arena = ArenaConfig::from_config(&net, &cfg).unwrap();
+        let back = arena.to_config(&net).unwrap();
+        assert_eq!(back.position_key(), cfg.position_key());
+        assert_eq!(back.state_hash(), cfg.state_hash());
+        back.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn arena_run_matches_kernel_and_legacy_runs() {
+        for (nodes, cap, flits) in [(4, 1, 1), (5, 1, 3), (6, 2, 4), (7, 3, 2)] {
+            let (net, cfg) = contended_line(nodes, cap, flits);
+            let options = RunOptions {
+                record_trace: true,
+                check_invariants: true,
+                ..RunOptions::default()
+            };
+            let kern =
+                run_kernelised(&net, &IdentityInjection, spec(), cfg.clone(), &options).unwrap();
+            let aren = run_arena(&net, spec(), cfg.clone(), &options).unwrap();
+            let mut policy = crate::line::LineSwitching::default();
+            let lega = run(&net, &IdentityInjection, &mut policy, cfg, &options).unwrap();
+            assert_eq!(aren.outcome, kern.outcome);
+            assert_eq!(aren.steps, kern.steps);
+            assert_eq!(aren.arrival_order, kern.arrival_order);
+            assert_eq!(aren.trace.events(), kern.trace.events());
+            assert_eq!(aren.config.position_key(), kern.config.position_key());
+            assert_eq!(aren.config.state_hash(), lega.config.state_hash());
+            assert_eq!(aren.trace.events(), lega.trace.events());
+        }
+    }
+
+    #[test]
+    fn free_list_recycles_slots_and_keeps_public_ids_stable() {
+        let (net, cfg) = contended_line(5, 2, 2);
+        let mut arena = ArenaConfig::from_config(&net, &cfg).unwrap();
+        let slots = arena.slot_count();
+        let victim = arena.public_id(0);
+        let removed = arena.remove_travel(&net, victim).unwrap();
+        assert_eq!(removed.id(), victim);
+        assert_eq!(arena.free_count(), 1);
+        assert_eq!(arena.slot_of(victim), None);
+        assert!(arena.remove_travel(&net, victim).is_err());
+
+        // A fresh travel recycles the slot but keeps its own public id.
+        let routing = LineRouting::new(&net);
+        let fresh = Config::from_specs(
+            &net,
+            &routing,
+            &[MessageSpec::new(
+                NodeId::from_index(0),
+                NodeId::from_index(4),
+                2,
+            )],
+        )
+        .unwrap();
+        let mut t = fresh.travels()[0].clone();
+        t = Travel::mid_flight(&net, MsgId::from_index(slots + 7), t.route().to_vec(), 2).unwrap();
+        for f in 0..2 {
+            t.set_flit_pos(f, FlitPos::Pending);
+        }
+        let slot = arena.push_travel(&net, &t).unwrap();
+        assert_eq!(arena.free_count(), 0);
+        assert_eq!(arena.slot_count(), slots, "slot was recycled, not grown");
+        assert_eq!(arena.public_id(slot), t.id());
+        assert_eq!(arena.slot_of(t.id()), Some(slot));
+        arena.to_config(&net).unwrap().validate(&net).unwrap();
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let (net, cfg) = contended_line(5, 1, 3);
+        let arena = ArenaConfig::from_config(&net, &cfg).unwrap();
+        let snap = arena.clone();
+        let mut live = arena;
+        let victim = live.public_id(0);
+        live.remove_travel(&net, victim).unwrap();
+        assert_eq!(snap.flight_count(), live.flight_count() + 1);
+        assert_eq!(
+            snap.to_config(&net).unwrap().position_key(),
+            cfg.position_key()
+        );
+    }
+
+    #[test]
+    fn measures_match_the_config_measures() {
+        let (net, cfg) = contended_line(6, 2, 3);
+        let arena = ArenaConfig::from_config(&net, &cfg).unwrap();
+        assert_eq!(arena.progress_measure(), cfg.progress_measure());
+        assert_eq!(arena.route_length_measure(), cfg.route_length_measure());
+        assert_eq!(arena.delivered_flits(), cfg.delivered_flits());
+    }
+
+    #[test]
+    fn non_closed_world_admission_is_rejected() {
+        struct Opaque;
+        impl crate::step::HeadAdmission for Opaque {
+            fn admit(&self, _: &Config, _: usize, _: crate::step::HeadMove) -> bool {
+                true
+            }
+        }
+        static OPAQUE: Opaque = Opaque;
+        let (net, cfg) = contended_line(4, 1, 1);
+        let spec = KernelSpec {
+            arbitration: Arbitration::FixedPriority,
+            admission: &OPAQUE,
+            first_step: 0,
+        };
+        assert!(run_arena(&net, spec, cfg, &RunOptions::default()).is_err());
+    }
+}

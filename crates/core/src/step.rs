@@ -37,12 +37,40 @@ pub enum HeadMove {
     },
 }
 
+/// A first-class description of the three admission predicates shipped by
+/// the workspace, used by data-layout-specialised steppers (the SoA arena of
+/// [`crate::arena`]) to evaluate admission without a `Config`.
+///
+/// All shipped predicates depend only on the target port's free-buffer count
+/// and the travel's own flit positions, so they can be re-evaluated over any
+/// equivalent representation of the configuration. Policies with admission
+/// logic outside this enum simply return `None` from
+/// [`HeadAdmission::kind`] and run on the `Config`-backed steppers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdmissionKind {
+    /// Wormhole: every header move is admitted.
+    Always,
+    /// Virtual cut-through: the target port must have room for the whole
+    /// packet (`free ≥ flit_count`).
+    WholePacketRoom,
+    /// Store-and-forward: whole-packet room ahead *and*, for an advance,
+    /// the packet fully received in the header's current port.
+    StoreAndForward,
+}
+
 /// Extra admission condition a policy imposes on header moves, on top of the
 /// core wormhole rules (free buffer, ownership).
 pub trait HeadAdmission {
     /// Whether the header of travel `i` may perform `mv` in configuration
     /// `cfg`.
     fn admit(&self, cfg: &Config, i: usize, mv: HeadMove) -> bool;
+
+    /// The closed-world description of this predicate, when it is one of the
+    /// shipped [`AdmissionKind`]s. `None` (the default) means the predicate
+    /// is opaque and only `Config`-backed steppers can evaluate it.
+    fn kind(&self) -> Option<AdmissionKind> {
+        None
+    }
 }
 
 /// Admits every header move: plain wormhole switching.
@@ -52,6 +80,10 @@ pub struct AlwaysAdmit;
 impl HeadAdmission for AlwaysAdmit {
     fn admit(&self, _cfg: &Config, _i: usize, _mv: HeadMove) -> bool {
         true
+    }
+
+    fn kind(&self) -> Option<AdmissionKind> {
+        Some(AdmissionKind::Always)
     }
 }
 

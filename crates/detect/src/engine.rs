@@ -200,8 +200,8 @@ impl DetectionEngine {
                 )));
             }
             acted = true;
-            self.stats.aborted.extend(outcome.aborted);
-            self.stats.rerouted.extend(outcome.rerouted);
+            self.stats.note_aborted(outcome.aborted);
+            self.stats.note_rerouted(outcome.rerouted);
             if outcome.restarted {
                 self.stats.restarts += 1;
                 self.staged.extend(outcome.staged);

@@ -16,6 +16,7 @@
 //! [`SimOptions::stepper`] forces it, which the differential equivalence
 //! tests use to prove the two produce identical runs.
 
+use genoc_core::arena::{run_arena, ArenaConfig, ArenaKernel, ArenaSpec, MoveKind};
 use genoc_core::config::Config;
 use genoc_core::error::{Error, Result};
 use genoc_core::injection::{IdentityInjection, InjectionMethod};
@@ -41,6 +42,13 @@ pub enum Stepper {
     /// The legacy full-rescan step loop, kept for differential testing and
     /// as the fallback for policies without a kernel description.
     Legacy,
+    /// The struct-of-arrays arena stepper
+    /// ([`genoc_core::arena`]): identical moves to the kernel, flat
+    /// `u32`-indexed storage, zero per-step allocation. Requires the
+    /// policy's admission predicate to expose a closed-world
+    /// [`AdmissionKind`](genoc_core::step::AdmissionKind); falls back to
+    /// the object kernel otherwise.
+    Arena,
 }
 
 /// Knobs for a simulation run.
@@ -132,9 +140,14 @@ pub fn run_policy(
     options: &RunOptions,
     stepper: Stepper,
 ) -> Result<RunResult> {
-    if stepper == Stepper::Kernel {
+    if stepper != Stepper::Legacy {
         if let Some(spec) = policy.kernel_spec() {
-            let result = run_kernelised(net, &IdentityInjection, spec, cfg, options)?;
+            let result =
+                if stepper == Stepper::Arena && ArenaSpec::from_kernel_spec(&spec).is_some() {
+                    run_arena(net, spec, cfg, options)?
+                } else {
+                    run_kernelised(net, &IdentityInjection, spec, cfg, options)?
+                };
             policy.note_kernel_steps(result.steps);
             return Ok(result);
         }
@@ -386,9 +399,26 @@ pub fn simulate_observed_config(
         ));
     };
     let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
-    let run = hooked_kernel_loop(net, spec, cfg, options, hook, observer)?;
+    let run = match arena_spec_for(options, &spec) {
+        Some(aspec) => hooked_arena_loop(net, aspec, cfg, options, hook, observer)?,
+        None => hooked_kernel_loop(net, spec, cfg, options, hook, observer)?,
+    };
     policy.note_kernel_steps(run.steps);
     Ok(finish(run, injected, options))
+}
+
+/// The arena spec to use for a hooked/observed run, when the options ask
+/// for the arena stepper *and* the policy's admission predicate has a
+/// closed-world description. `None` means "use the object kernel".
+fn arena_spec_for(
+    options: &SimOptions,
+    spec: &genoc_core::switching::KernelSpec,
+) -> Option<ArenaSpec> {
+    if options.stepper == Stepper::Arena {
+        ArenaSpec::from_kernel_spec(spec)
+    } else {
+        None
+    }
 }
 
 /// Like [`simulate`], but reports into `hook` (see [`DetectorHook`] for the
@@ -417,9 +447,14 @@ pub fn simulate_hooked(
     let cfg = Config::from_specs(net, routing, specs)?;
     let injected: Vec<MsgId> = cfg.travels().iter().map(|t| t.id()).collect();
 
-    if options.stepper == Stepper::Kernel {
+    if options.stepper != Stepper::Legacy {
         if let Some(spec) = policy.kernel_spec() {
-            let run = hooked_kernel_loop(net, spec, cfg, options, hook, &mut NullObserver)?;
+            let run = match arena_spec_for(options, &spec) {
+                Some(aspec) => {
+                    hooked_arena_loop(net, aspec, cfg, options, hook, &mut NullObserver)?
+                }
+                None => hooked_kernel_loop(net, spec, cfg, options, hook, &mut NullObserver)?,
+            };
             policy.note_kernel_steps(run.steps);
             return Ok(finish(run, injected, options));
         }
@@ -551,6 +586,138 @@ fn hooked_kernel_loop(
     })
 }
 
+/// The hooked/observed loop on the arena stepper. The arena drives every
+/// move; a *shadow* [`Config`] is kept in lock step by replaying the
+/// kernel's move log, so hooks and observers keep their `Config`-based
+/// interface (and stable public ids) unchanged. Replay is self-validating:
+/// every replayed move goes through the `Config` movement methods, which
+/// reject anything the legacy semantics would not do, and the per-step
+/// (C-5) ledger audit compares moves counted on the arena against the
+/// measure of the shadow. A hook mutation rebuilds the arena from the
+/// mutated shadow.
+fn hooked_arena_loop(
+    net: &dyn Network,
+    aspec: ArenaSpec,
+    mut cfg: Config,
+    options: &SimOptions,
+    hook: &mut dyn DetectorHook,
+    observer: &mut dyn RunObserver,
+) -> Result<RunResult> {
+    let mut arena = ArenaConfig::from_config(net, &cfg)?;
+    let mut kernel = ArenaKernel::new(&arena, aspec);
+    kernel.set_log_moves(true);
+    let mut trace = Trace::new(options.record_trace || observer.wants_moves());
+    let mut arrival_order = Vec::new();
+    let mut steps: u64 = 0;
+    let mut idle_continues: u32 = 0;
+    let mut ledger = cfg.progress_measure();
+    let mut moves_seen: usize = 0;
+    observer.on_run_start(net, &cfg)?;
+
+    let outcome = loop {
+        if cfg.is_evacuated() {
+            if !hook.on_drained(net, &mut cfg, steps)? {
+                break Outcome::Evacuated;
+            }
+            arena = ArenaConfig::from_config(net, &cfg)?;
+            kernel.resync(&arena);
+            ledger = cfg.progress_measure();
+            observer.on_mutation(&cfg, steps)?;
+            idle_continues += 1;
+        } else if kernel.is_deadlock(&arena) {
+            if !hook.on_deadlock(net, &mut cfg, steps)? {
+                break Outcome::Deadlock;
+            }
+            arena = ArenaConfig::from_config(net, &cfg)?;
+            kernel.resync(&arena);
+            ledger = cfg.progress_measure();
+            observer.on_mutation(&cfg, steps)?;
+            idle_continues += 1;
+        } else {
+            if steps >= options.max_steps {
+                break Outcome::StepLimit;
+            }
+            trace.begin_step(steps);
+            let report = kernel.step(&mut arena, &mut trace)?;
+            // Replay this step's moves onto the shadow config. While a step
+            // is in progress the flight list mirrors `cfg.travels()` order,
+            // so move indices address the same travels.
+            for mv in kernel.moves() {
+                let (i, f) = (mv.travel as usize, mv.flit as usize);
+                match mv.kind {
+                    MoveKind::Enter => cfg.enter_flit(i, f)?,
+                    MoveKind::Advance => cfg.advance_flit(i, f)?,
+                    MoveKind::Eject => cfg.eject_flit(i, f)?,
+                }
+            }
+            if kernel.take_saw_arrival() {
+                kernel.drain_arrived(&mut arena);
+                let shadow_newly = cfg.drain_arrived();
+                debug_assert_eq!(shadow_newly, kernel.newly_arrived());
+            }
+            if report.moves() == 0 {
+                return Err(Error::ProgressViolation { step: steps });
+            }
+            ledger = ledger.saturating_sub(report.moves() as u64);
+            if options.check_invariants {
+                cfg.validate(net)?;
+            }
+            // (C-5) audit before the hook can mutate, as in the kernel loop.
+            // `ledger` tracks arena moves, `actual` is the shadow's measure,
+            // so this doubles as a per-step arena ≡ shadow cross-check.
+            let actual = cfg.progress_measure();
+            if actual != ledger {
+                return Err(Error::MeasureViolation {
+                    step: steps,
+                    before: ledger,
+                    after: actual,
+                });
+            }
+            observer.on_step(
+                &cfg,
+                steps,
+                kernel.transitions(),
+                kernel.freed_ports(),
+                &trace.events()[moves_seen..],
+                kernel.newly_arrived(),
+            )?;
+            moves_seen = trace.events().len();
+            arrival_order.extend_from_slice(kernel.newly_arrived());
+            if hook.after_kernel_step(net, &mut cfg, kernel.transitions(), steps)? {
+                arena = ArenaConfig::from_config(net, &cfg)?;
+                kernel.resync(&arena);
+                ledger = cfg.progress_measure();
+                observer.on_mutation(&cfg, steps + 1)?;
+            }
+            steps += 1;
+            idle_continues = 0;
+        }
+        if idle_continues > MAX_IDLE_CONTINUES {
+            return Err(Error::Invariant(
+                "detector hook keeps continuing without the run progressing".into(),
+            ));
+        }
+    };
+
+    let actual = cfg.progress_measure();
+    if actual != ledger {
+        return Err(Error::MeasureViolation {
+            step: steps,
+            before: ledger,
+            after: actual,
+        });
+    }
+    observer.on_run_end(outcome, steps, &cfg)?;
+    Ok(RunResult {
+        outcome,
+        steps,
+        config: cfg,
+        trace,
+        measures: Vec::new(),
+        arrival_order,
+    })
+}
+
 fn hooked_legacy_loop(
     net: &dyn Network,
     policy: &mut dyn SwitchingPolicy,
@@ -622,6 +789,10 @@ fn hooked_legacy_loop(
 /// event and the last delivery event of every injected message are recorded
 /// as the events stream by, instead of rescanning the whole trace once per
 /// message.
+///
+/// Each distinct message contributes at most one latency sample, even when
+/// `injected` lists an id more than once — batch-injected cohorts sharing an
+/// injection step used to be counted once per listing, skewing every mean.
 pub(crate) fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<u64> {
     let slots = injected
         .iter()
@@ -643,10 +814,15 @@ pub(crate) fn per_message_latencies(run: &RunResult, injected: &[MsgId]) -> Vec<
             delivered[i] = e.step;
         }
     }
+    let mut counted = vec![false; slots];
     injected
         .iter()
         .filter_map(|id| {
             let i = id.index();
+            if counted[i] {
+                return None;
+            }
+            counted[i] = true;
             if first[i] != UNSEEN && delivered[i] != UNSEEN {
                 Some(delivered[i] - first[i] + 1)
             } else {
@@ -735,6 +911,69 @@ mod tests {
         assert_eq!(kernel.run.arrival_order, legacy.run.arrival_order);
         assert_eq!(kernel.run.trace.events(), legacy.run.trace.events());
         assert_eq!(kernel.latencies, legacy.latencies);
+    }
+
+    #[test]
+    fn arena_stepper_agrees_with_kernel_on_a_mesh_workload() {
+        let mesh = Mesh::new(4, 4, 1);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::uniform_random(16, 48, 1..=5, 17);
+        let mut results = Vec::new();
+        for stepper in [Stepper::Arena, Stepper::Kernel] {
+            let options = SimOptions {
+                record_trace: true,
+                check_invariants: true,
+                stepper,
+                ..SimOptions::default()
+            };
+            results.push(
+                simulate(
+                    &mesh,
+                    &routing,
+                    &mut WormholePolicy::default(),
+                    &specs,
+                    &options,
+                )
+                .unwrap(),
+            );
+        }
+        let (arena, kernel) = (&results[0], &results[1]);
+        assert_eq!(arena.run.outcome, kernel.run.outcome);
+        assert_eq!(arena.run.steps, kernel.run.steps);
+        assert_eq!(arena.run.arrival_order, kernel.run.arrival_order);
+        assert_eq!(arena.run.trace.events(), kernel.run.trace.events());
+        assert_eq!(arena.latencies, kernel.latencies);
+        assert_eq!(
+            arena.run.config.position_key(),
+            kernel.run.config.position_key()
+        );
+    }
+
+    #[test]
+    fn latencies_count_each_message_once_even_when_injected_lists_repeat() {
+        // Batch-injected cohorts share an injection step; a caller that
+        // assembles `injected` from overlapping batches must not inflate
+        // the sample count.
+        let mesh = Mesh::new(3, 3, 2);
+        let routing = XyRouting::new(&mesh);
+        let specs = crate::workload::transpose(&mesh, 2);
+        let options = SimOptions {
+            record_trace: true,
+            ..SimOptions::default()
+        };
+        let result = simulate(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+        )
+        .unwrap();
+        let mut doubled = result.injected.clone();
+        doubled.extend_from_slice(&result.injected);
+        let deduped = per_message_latencies(&result.run, &doubled);
+        assert_eq!(deduped.len(), result.injected.len());
+        assert_eq!(deduped, result.latencies);
     }
 
     #[test]

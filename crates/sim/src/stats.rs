@@ -44,6 +44,32 @@ impl RecoverySummary {
         self.aborted.len() + self.rerouted.len()
     }
 
+    /// Records `ids` as aborted, skipping ids already on the abort list.
+    ///
+    /// A batch-injected cohort shares an injection step, so a
+    /// drain-and-restart round can re-inject a message that a later cycle
+    /// evicts again; counting it twice would break the
+    /// `delivered + aborted` accounting and inflate
+    /// [`recovery_cost`](RecoverySummary::recovery_cost).
+    pub fn note_aborted(&mut self, ids: impl IntoIterator<Item = MsgId>) {
+        for id in ids {
+            if !self.aborted.contains(&id) {
+                self.aborted.push(id);
+            }
+        }
+    }
+
+    /// Records `ids` as rerouted, skipping ids already on the reroute list
+    /// (a message diverted onto an escape route can be caught in a second
+    /// cycle and diverted again; it is still one disturbed message).
+    pub fn note_rerouted(&mut self, ids: impl IntoIterator<Item = MsgId>) {
+        for id in ids {
+            if !self.rerouted.contains(&id) {
+                self.rerouted.push(id);
+            }
+        }
+    }
+
     /// Delivered messages per switching step (0 for an empty run).
     pub fn throughput(&self) -> f64 {
         if self.total_steps == 0 {
@@ -202,5 +228,41 @@ mod tests {
         assert!((s.throughput() - 0.25).abs() < 1e-9);
         assert_eq!(RecoverySummary::default().detection_latency(), None);
         assert_eq!(RecoverySummary::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn same_step_cohorts_are_not_double_counted() {
+        // A batch-injected cohort shares one injection step; a
+        // drain-and-restart round can hand the same messages back to a later
+        // recovery. Recording them again must not inflate the lists.
+        let cohort = [MsgId::from_index(4), MsgId::from_index(5)];
+        let mut s = RecoverySummary::default();
+        s.note_aborted(cohort);
+        s.note_aborted(cohort); // second recovery round, same cohort
+        s.note_aborted([MsgId::from_index(6)]);
+        assert_eq!(
+            s.aborted,
+            vec![
+                MsgId::from_index(4),
+                MsgId::from_index(5),
+                MsgId::from_index(6)
+            ],
+            "each message counts once, in first-abort order"
+        );
+        s.note_rerouted(cohort);
+        s.note_rerouted([MsgId::from_index(5), MsgId::from_index(7)]);
+        assert_eq!(
+            s.rerouted,
+            vec![
+                MsgId::from_index(4),
+                MsgId::from_index(5),
+                MsgId::from_index(7)
+            ]
+        );
+        assert_eq!(
+            s.recovery_cost(),
+            6,
+            "3 distinct aborts + 3 distinct reroutes"
+        );
     }
 }

@@ -19,7 +19,7 @@
 //! predicates.
 
 pub use genoc_core::step::{
-    any_move_possible_with, step_travel_with, AlwaysAdmit, HeadAdmission, HeadMove,
+    any_move_possible_with, step_travel_with, AdmissionKind, AlwaysAdmit, HeadAdmission, HeadMove,
 };
 
 use genoc_core::config::Config;
@@ -43,6 +43,10 @@ impl HeadAdmission for WholePacketRoom {
     fn admit(&self, cfg: &Config, i: usize, mv: HeadMove) -> bool {
         head_target_free(cfg, i, mv) as usize >= cfg.travel(i).flit_count()
     }
+
+    fn kind(&self) -> Option<AdmissionKind> {
+        Some(AdmissionKind::WholePacketRoom)
+    }
 }
 
 /// Store-and-forward admission: whole-packet room ahead *and* the packet
@@ -63,6 +67,10 @@ impl HeadAdmission for StoreAndForwardAdmission {
                     .all(|pos| pos == FlitPos::InNetwork(from))
             }
         }
+    }
+
+    fn kind(&self) -> Option<AdmissionKind> {
+        Some(AdmissionKind::StoreAndForward)
     }
 }
 

@@ -1,0 +1,314 @@
+//! Differential equivalence of the struct-of-arrays arena stepper against
+//! the incremental kernel and the legacy full-rescan loop.
+//!
+//! Every prior proof transfer rests on "move-for-move identical"
+//! scheduling, so the arena must be indistinguishable from both existing
+//! steppers on *everything observable*: outcome, step count, arrival
+//! order, the full movement trace, per-message latencies, detector
+//! firings, recovery actions, and the final configuration. This suite
+//! checks that three ways:
+//!
+//! * every scenario of the `smoke` campaign matrix, deterministic and
+//!   adaptive, under its own switching policy and workload;
+//! * detector-hooked runs (detections and recovery summaries must agree
+//!   between the kernel and the arena's shadow-config loop);
+//! * property tests over random workloads on the paper's XY mesh and the
+//!   deadlock-prone mixed comparator, both arbitrations, all three
+//!   switching policies.
+//!
+//! A pinned-anchor test freezes the exact step count, final state hash,
+//! and arena occupancy counts of one reference cell, so any future change
+//! to scheduling or storage shows up as a diff against known-good numbers
+//! rather than only against a sibling stepper that may have drifted the
+//! same way.
+
+use genoc::core::arena::ArenaConfig;
+use genoc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn policy_for(kind: SwitchingKind) -> Box<dyn SwitchingPolicy> {
+    match kind {
+        SwitchingKind::Wormhole => Box::new(WormholePolicy::default()),
+        SwitchingKind::VirtualCutThrough => Box::new(VirtualCutThroughPolicy::new()),
+        SwitchingKind::StoreForward => Box::new(StoreForwardPolicy::new()),
+    }
+}
+
+const STEPPERS: [Stepper; 3] = [Stepper::Arena, Stepper::Kernel, Stepper::Legacy];
+
+/// Runs the same workload on all three steppers and asserts the runs are
+/// indistinguishable: outcome, step count, arrival order, the full
+/// movement trace, per-message latencies, and the final configuration.
+fn assert_equivalent(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    kind: SwitchingKind,
+    specs: &[MessageSpec],
+) {
+    let mut results = Vec::new();
+    for stepper in STEPPERS {
+        let options = SimOptions {
+            record_trace: true,
+            check_invariants: true,
+            max_steps: 50_000,
+            stepper,
+        };
+        let mut policy = policy_for(kind);
+        results.push(simulate(net, routing, policy.as_mut(), specs, &options).unwrap());
+    }
+    let arena = &results[0];
+    for (other, name) in results[1..].iter().zip(["kernel", "legacy"]) {
+        assert_eq!(arena.run.outcome, other.run.outcome, "outcome vs {name}");
+        assert_eq!(arena.run.steps, other.run.steps, "steps vs {name}");
+        assert_eq!(
+            arena.run.arrival_order, other.run.arrival_order,
+            "arrival order vs {name}"
+        );
+        assert_eq!(
+            arena.run.trace.events(),
+            other.run.trace.events(),
+            "trace vs {name}"
+        );
+        assert_eq!(arena.latencies, other.latencies, "latencies vs {name}");
+        assert_eq!(arena.run.config, other.run.config, "final config vs {name}");
+    }
+}
+
+#[test]
+fn every_smoke_scenario_is_arena_invariant() {
+    for spec in ScenarioMatrix::smoke().expand() {
+        let instance = Instance::from_meta(&spec.meta).unwrap();
+        let net = instance.net.as_ref();
+        let nodes = net.node_count();
+        let flits = spec.workload_flits(3);
+        let seed = scenario_seed(11, &spec.name());
+        let specs = genoc::sim::workload::uniform_random(nodes.max(2), nodes * 2, 1..=flits, seed);
+        if instance.deterministic {
+            assert_equivalent(net, instance.routing.as_ref(), spec.switching, &specs);
+        } else {
+            // Adaptive instances fix one admissible route per message; all
+            // three steppers must agree on the selection's run.
+            let mut results = Vec::new();
+            for stepper in STEPPERS {
+                let options = SimOptions {
+                    record_trace: true,
+                    max_steps: 50_000,
+                    stepper,
+                    ..SimOptions::default()
+                };
+                let mut policy = policy_for(spec.switching);
+                results.push(
+                    simulate_selected(
+                        net,
+                        instance.routing.as_ref(),
+                        policy.as_mut(),
+                        &specs,
+                        seed,
+                        &options,
+                    )
+                    .unwrap(),
+                );
+            }
+            for other in &results[1..] {
+                assert_eq!(results[0].run.outcome, other.run.outcome, "{}", spec.name());
+                assert_eq!(results[0].run.steps, other.run.steps, "{}", spec.name());
+                assert_eq!(
+                    results[0].run.trace.events(),
+                    other.run.trace.events(),
+                    "{}",
+                    spec.name()
+                );
+                assert_eq!(results[0].run.config, other.run.config, "{}", spec.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn hooked_detection_sees_the_same_cycles_on_the_arena() {
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc::sim::workload::bit_complement(&mesh, 4);
+    let mut observed = Vec::new();
+    for stepper in [Stepper::Arena, Stepper::Kernel] {
+        let mut engine = DetectionEngine::detector(EngineOptions::default());
+        let options = SimOptions {
+            stepper,
+            ..SimOptions::default()
+        };
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Deadlock);
+        assert!(engine.fired());
+        let detections: Vec<(u64, Vec<MsgId>)> = engine
+            .detections()
+            .iter()
+            .map(|d| (d.step, d.cycle.msgs.clone()))
+            .collect();
+        observed.push((result.run.steps, detections));
+    }
+    assert_eq!(
+        observed[0], observed[1],
+        "arena shadow-config transitions must report identical detections"
+    );
+}
+
+#[test]
+fn hooked_recovery_round_trips_identically_on_the_arena() {
+    let mesh = Mesh::new(2, 2, 1);
+    let routing = MixedXyYxRouting::new(&mesh);
+    let specs = genoc::sim::workload::bit_complement(&mesh, 4);
+    let mut outcomes = Vec::new();
+    for stepper in [Stepper::Arena, Stepper::Kernel] {
+        let mut engine =
+            DetectionEngine::with_policy(EngineOptions::default(), Box::new(AbortAndEvacuate));
+        let options = SimOptions {
+            stepper,
+            ..SimOptions::default()
+        };
+        let result = simulate_hooked(
+            &mesh,
+            &routing,
+            &mut WormholePolicy::default(),
+            &specs,
+            &options,
+            &mut engine,
+        )
+        .unwrap();
+        assert_eq!(result.run.outcome, Outcome::Evacuated, "recovery saves it");
+        let summary = engine.summary(&result);
+        outcomes.push((
+            result.run.steps,
+            summary.delivered,
+            summary.aborted.clone(),
+            summary.rerouted.clone(),
+        ));
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+/// Regression anchors for one reference cell (3×3 XY mesh, wormhole,
+/// seeded uniform-random workload): the exact step count, the final
+/// configuration's position key hash, and the arena's occupancy counts.
+/// These numbers are facts about the frozen greedy schedule; a change here
+/// means the schedule (and thus every proof transfer) changed.
+#[test]
+fn pinned_anchors_on_the_reference_cell() {
+    let mesh = Mesh::new(3, 3, 1);
+    let routing = XyRouting::new(&mesh);
+    let specs = genoc::sim::workload::uniform_random(9, 18, 1..=5, 23);
+    let options = SimOptions {
+        record_trace: true,
+        stepper: Stepper::Arena,
+        ..SimOptions::default()
+    };
+    let result = simulate(
+        &mesh,
+        &routing,
+        &mut WormholePolicy::default(),
+        &specs,
+        &options,
+    )
+    .unwrap();
+    assert_eq!(result.run.outcome, Outcome::Evacuated);
+    assert_eq!(result.run.steps, PINNED_STEPS, "exact step count drifted");
+    assert_eq!(
+        result.run.config.state_hash(),
+        PINNED_STATE_HASH,
+        "final state hash drifted"
+    );
+
+    // Arena occupancy after importing the final configuration: every
+    // message arrived, no slot leaked, pools hold exactly the workload.
+    let arena = ArenaConfig::from_config(&mesh, &result.run.config).unwrap();
+    assert_eq!(arena.slot_count(), 18);
+    assert_eq!(arena.flight_count(), 0);
+    assert_eq!(arena.arrived_count(), 18);
+    assert_eq!(arena.free_count(), 0);
+    assert_eq!(
+        arena.flit_pool_len(),
+        specs.iter().map(|s| s.flits).sum::<usize>()
+    );
+    assert_eq!(arena.delivered_flits() as usize, arena.flit_pool_len());
+    assert!(arena.is_evacuated());
+    assert_eq!(arena.progress_measure(), 0);
+}
+
+const PINNED_STEPS: u64 = 24;
+const PINNED_STATE_HASH: u64 = 12_240_125_809_189_115_741;
+
+/// A workload drawn as (source, dest, flits) triples over `nodes` nodes.
+fn workload_strategy(
+    nodes: usize,
+    max_messages: usize,
+    max_flits: usize,
+) -> impl Strategy<Value = Vec<MessageSpec>> {
+    vec((0..nodes, 0..nodes, 1..=max_flits), 0..=max_messages).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, d, f)| MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_workloads_are_arena_invariant_on_xy(
+        specs in workload_strategy(9, 24, 5),
+    ) {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        assert_equivalent(&mesh, &routing, SwitchingKind::Wormhole, &specs);
+    }
+
+    #[test]
+    fn random_workloads_are_arena_invariant_on_the_cyclic_comparator(
+        specs in workload_strategy(9, 24, 4),
+    ) {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        assert_equivalent(&mesh, &routing, SwitchingKind::Wormhole, &specs);
+    }
+
+    #[test]
+    fn whole_packet_policies_are_arena_invariant(
+        specs in workload_strategy(9, 12, 3),
+    ) {
+        let mesh = Mesh::new(3, 3, 4);
+        let routing = XyRouting::new(&mesh);
+        assert_equivalent(&mesh, &routing, SwitchingKind::VirtualCutThrough, &specs);
+        assert_equivalent(&mesh, &routing, SwitchingKind::StoreForward, &specs);
+    }
+
+    #[test]
+    fn round_robin_arbitration_is_arena_invariant(
+        specs in workload_strategy(9, 16, 3),
+    ) {
+        let mesh = Mesh::new(3, 3, 2);
+        let routing = XyRouting::new(&mesh);
+        let mut results = Vec::new();
+        for stepper in STEPPERS {
+            let options = SimOptions {
+                record_trace: true,
+                stepper,
+                ..SimOptions::default()
+            };
+            let mut policy = WormholePolicy::new(Arbitration::RoundRobin);
+            results.push(simulate(&mesh, &routing, &mut policy, &specs, &options).unwrap());
+        }
+        for other in &results[1..] {
+            prop_assert_eq!(results[0].run.trace.events(), other.run.trace.events());
+            prop_assert_eq!(results[0].run.steps, other.run.steps);
+            prop_assert_eq!(&results[0].run.arrival_order, &other.run.arrival_order);
+            prop_assert_eq!(&results[0].run.config, &other.run.config);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Free-list soundness of the arena under arbitrary interleavings of
+//! inject / step / remove / reroute.
+//!
+//! The properties: no operation sequence produces a dangling slot or
+//! aliases a recycled slot to two live messages; public `MsgId`s stay
+//! stable across recycling (a live message keeps resolving to its own
+//! state no matter how many other slots were freed and reused around it);
+//! and the arena stays observationally equal to a shadow `Config` driven
+//! through the same operations.
+
+use genoc::core::arena::{ArenaConfig, ArenaKernel, ArenaSpec, MoveKind};
+use genoc::core::trace::Trace;
+use genoc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One operation of the interleaving. Indices are taken modulo the live
+/// set at application time, so any generated sequence is applicable.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Inject a fresh message source→dest with this many flits.
+    Inject(usize, usize, usize),
+    /// One kernel step (moves replayed onto the shadow config).
+    Step,
+    /// Remove the n-th in-flight message, if any.
+    Remove(usize),
+    /// Attempt to reroute the n-th in-flight message onto its YX route;
+    /// arena and shadow must agree on acceptance and on the result.
+    Reroute(usize),
+}
+
+fn op_strategy(nodes: usize) -> impl Strategy<Value = Op> {
+    // Weighted choice by hand (the shim has no `prop_oneof!`):
+    // 0..3 inject, 3..7 step, 7..9 remove, 9 reroute.
+    (0usize..10, 0..nodes, 0..nodes, 1usize..=4, 0usize..32).prop_map(|(w, s, d, f, n)| match w {
+        0..=2 => Op::Inject(s, d, f),
+        3..=6 => Op::Step,
+        7..=8 => Op::Remove(n),
+        _ => Op::Reroute(n),
+    })
+}
+
+struct Harness {
+    mesh: Mesh,
+    xy: XyRouting,
+    yx: YxRouting,
+    cfg: Config,
+    arena: ArenaConfig,
+    next_id: usize,
+    spec: ArenaSpec,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let mesh = Mesh::new(3, 3, 2);
+        let xy = XyRouting::new(&mesh);
+        let yx = YxRouting::new(&mesh);
+        let cfg = Config::from_travels(&mesh, Vec::new()).unwrap();
+        let arena = ArenaConfig::from_config(&mesh, &cfg).unwrap();
+        let spec =
+            ArenaSpec::from_kernel_spec(&WormholePolicy::default().kernel_spec().unwrap()).unwrap();
+        Harness {
+            mesh,
+            xy,
+            yx,
+            cfg,
+            arena,
+            next_id: 0,
+            spec,
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Inject(s, d, f) => {
+                let spec = MessageSpec::new(NodeId::from_index(s), NodeId::from_index(d), f);
+                let t =
+                    Travel::from_spec(&self.mesh, &self.xy, MsgId::from_index(self.next_id), &spec)
+                        .unwrap();
+                self.next_id += 1;
+                self.arena.push_travel(&self.mesh, &t).unwrap();
+                self.cfg.push_travel(t).unwrap();
+            }
+            Op::Step => {
+                if self.arena.flight_count() == 0 {
+                    return;
+                }
+                let mut kernel = ArenaKernel::new(&self.arena, self.spec);
+                if kernel.is_deadlock(&self.arena) {
+                    return;
+                }
+                kernel.set_log_moves(true);
+                let mut trace = Trace::new(false);
+                kernel.step(&mut self.arena, &mut trace).unwrap();
+                // While a step is in progress the flight list mirrors
+                // `cfg.travels()` order, so move indices transfer directly.
+                for mv in kernel.moves() {
+                    let (i, f) = (mv.travel as usize, mv.flit as usize);
+                    match mv.kind {
+                        MoveKind::Enter => self.cfg.enter_flit(i, f).unwrap(),
+                        MoveKind::Advance => self.cfg.advance_flit(i, f).unwrap(),
+                        MoveKind::Eject => self.cfg.eject_flit(i, f).unwrap(),
+                    }
+                }
+                if kernel.take_saw_arrival() {
+                    kernel.drain_arrived(&mut self.arena);
+                    let newly = self.cfg.drain_arrived();
+                    assert_eq!(newly, kernel.newly_arrived());
+                }
+            }
+            Op::Remove(n) => {
+                if self.cfg.travels().is_empty() {
+                    return;
+                }
+                let id = self.cfg.travels()[n % self.cfg.travels().len()].id();
+                let from_cfg = self.cfg.remove_travel(id).unwrap();
+                let from_arena = self.arena.remove_travel(&self.mesh, id).unwrap();
+                assert_eq!(from_cfg, from_arena, "both sides evict the same travel");
+            }
+            Op::Reroute(n) => {
+                if self.cfg.travels().is_empty() {
+                    return;
+                }
+                let t = &self.cfg.travels()[n % self.cfg.travels().len()];
+                let id = t.id();
+                let source = t.route()[0];
+                let dest = *t.route().last().unwrap();
+                let Ok(route) = compute_route(&self.mesh, &self.yx, source, dest) else {
+                    return;
+                };
+                let a = self.arena.reroute_travel(&self.mesh, id, route.clone());
+                let c = self.cfg.reroute_travel(&self.mesh, id, route);
+                assert_eq!(
+                    a.is_ok(),
+                    c.is_ok(),
+                    "arena and shadow agree on reroute admissibility"
+                );
+            }
+        }
+    }
+
+    /// The structural soundness checks run after every operation.
+    fn check(&self) {
+        // Observational equality with the shadow config.
+        let materialized = self.arena.to_config(&self.mesh).unwrap();
+        assert_eq!(materialized, self.cfg, "arena ≡ shadow config");
+
+        // Slot accounting: every slot is exactly one of in-flight,
+        // arrived, or free.
+        let slots = self.arena.slot_count();
+        assert_eq!(
+            slots,
+            self.arena.flight_count() + self.arena.arrived_count() + self.arena.free_count(),
+            "membership lists partition the slots"
+        );
+
+        // No aliasing: live public ids resolve to distinct slots, and each
+        // resolves back to the same id (slot_of ∘ public_id = identity).
+        let mut seen = HashSet::new();
+        for t in self.cfg.travels().iter().chain(self.cfg.arrived()) {
+            let slot = self
+                .arena
+                .slot_of(t.id())
+                .expect("live message must have a slot");
+            assert!(seen.insert(slot), "two live messages share slot {slot}");
+            assert_eq!(
+                self.arena.public_id(slot),
+                t.id(),
+                "public id stable across recycling"
+            );
+        }
+        assert_eq!(seen.len(), slots - self.arena.free_count());
+
+        // Measures agree (the (C-5) ledger rests on this). The arena's
+        // delivered count includes in-flight delivered prefixes, so add
+        // those to the config's arrived-only figure.
+        assert_eq!(self.arena.progress_measure(), self.cfg.progress_measure());
+        let in_flight_delivered: u64 = self
+            .cfg
+            .travels()
+            .iter()
+            .flat_map(Travel::flit_positions)
+            .filter(|p| *p == FlitPos::Delivered)
+            .count() as u64;
+        assert_eq!(
+            self.arena.delivered_flits(),
+            self.cfg.delivered_flits() + in_flight_delivered,
+            "delivered-flit accounting"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interleavings_never_dangle_or_alias(ops in vec(op_strategy(9), 1..80)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+            h.check();
+        }
+    }
+}
+
+#[test]
+fn recycled_slots_keep_public_ids_stable() {
+    let mut h = Harness::new();
+    // Fill, evict half, refill: the survivors' ids must keep resolving to
+    // their own travels while their neighbours' slots are reused.
+    for i in 0..8 {
+        h.apply(&Op::Inject(i, 8 - i, 2));
+    }
+    let survivors: Vec<MsgId> = h
+        .cfg
+        .travels()
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|t| t.id())
+        .collect();
+    for n in [0, 1, 2, 3] {
+        h.apply(&Op::Remove(n)); // indices shift as we remove; any four
+        h.check();
+    }
+    let before: Vec<u32> = survivors
+        .iter()
+        .filter_map(|&id| h.arena.slot_of(id))
+        .collect();
+    for i in 0..4 {
+        h.apply(&Op::Inject(i, i + 4, 1)); // recycle the freed slots
+        h.check();
+    }
+    assert_eq!(h.arena.free_count(), 0, "free list fully recycled");
+    for (id, slot) in survivors.iter().zip(&before) {
+        assert_eq!(
+            h.arena.slot_of(*id),
+            Some(*slot),
+            "survivor {id} moved slots during recycling"
+        );
+    }
+}
