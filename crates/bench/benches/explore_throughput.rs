@@ -1,0 +1,119 @@
+//! Explorer throughput: full BFS vs partial-order reduction, and the
+//! sharded parallel frontier at 1/2/4 workers.
+//!
+//! Two cells on the 2×2 XY mesh, both sized so every variant enumerates
+//! completely:
+//!
+//! * **mesh-2x2-4msg** (4 messages × 2 flits): the cell the CI gate reads.
+//!   The full interleaving space has ~203k canonical states; the ample-set
+//!   reduction collapses it to ~2k — a ~90× state-count reduction the gate
+//!   requires to stay ≥ 5×.
+//! * **mesh-2x2-4msg4f** (4 messages × 4 flits): ~747k reduced states, the
+//!   workload for the jobs sweep. On a single-core runner the
+//!   level-synchronized frontier cannot beat sequential wall clock — the
+//!   sweep is there to keep the coordination overhead visible and bounded,
+//!   not to prove a speedup the hardware cannot show.
+//!
+//! Timing medians land in `target/bench-results.json` as usual; the state
+//! counts and the reduction ratio are recorded in its `"metrics"` section
+//! (see `criterion::record_metric`), which is what CI gates on — wall
+//! clock varies with the runner, the reduction ratio is deterministic.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion, Throughput};
+use genoc_core::switching::SwitchingPolicy;
+use genoc_explore::{explore_policy, pressure_specs, Exploration, ExploreOptions, Verdict};
+use genoc_switching::wormhole::WormholePolicy;
+use genoc_verif::Instance;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn run(instance: &Instance, flits: usize, options: &ExploreOptions) -> Exploration {
+    let mut specs = pressure_specs(&instance.meta, flits);
+    specs.truncate(4);
+    let policy = WormholePolicy::default();
+    let result = explore_policy(
+        instance.net.as_ref(),
+        instance.routing.as_ref(),
+        &instance.meta,
+        &specs,
+        (&policy) as &dyn SwitchingPolicy,
+        options,
+    )
+    .expect("exploration is deterministic and in-bounds");
+    assert!(
+        matches!(result.verdict, Verdict::NoReachableDeadlock),
+        "the bench cells must enumerate completely"
+    );
+    result
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let instance = Instance::mesh_xy(2, 2, 1);
+    let base = ExploreOptions {
+        max_states: 1_000_000,
+        ..ExploreOptions::default()
+    };
+    let full = run(&instance, 2, &base);
+    let por = run(&instance, 2, &ExploreOptions { por: true, ..base });
+    assert_eq!(
+        full.depth, por.depth,
+        "POR must preserve the max depth here"
+    );
+
+    let mut group = c.benchmark_group("explore_throughput/mesh-2x2-4msg");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(full.states as u64));
+    group.bench_function("full", |b| b.iter(|| black_box(run(&instance, 2, &base))));
+    group.throughput(Throughput::Elements(por.states as u64));
+    group.bench_function("por", |b| {
+        b.iter(|| black_box(run(&instance, 2, &ExploreOptions { por: true, ..base })))
+    });
+    group.finish();
+
+    let ratio = full.states as f64 / por.states.max(1) as f64;
+    record_metric(
+        "explore_throughput/mesh-2x2-4msg/full_states",
+        full.states as f64,
+    );
+    record_metric(
+        "explore_throughput/mesh-2x2-4msg/por_states",
+        por.states as f64,
+    );
+    record_metric("explore_throughput/mesh-2x2-4msg/reduction_ratio", ratio);
+    println!(
+        "explore_throughput/reduction/mesh-2x2-4msg           full {} states, por {} states \
+         => {ratio:.1}x fewer stored",
+        full.states, por.states
+    );
+}
+
+fn bench_jobs_sweep(c: &mut Criterion) {
+    let instance = Instance::mesh_xy(2, 2, 1);
+    let mut group = c.benchmark_group("explore_throughput/mesh-2x2-4msg4f-por");
+    group.sample_size(1);
+    for jobs in [1usize, 2, 4] {
+        let options = ExploreOptions {
+            max_states: 1_000_000,
+            por: true,
+            jobs,
+            ..ExploreOptions::default()
+        };
+        let start = Instant::now();
+        let result = run(&instance, 4, &options);
+        let wall = start.elapsed();
+        group.throughput(Throughput::Elements(result.states as u64));
+        group.bench_function(format!("jobs-{jobs}"), |b| {
+            b.iter(|| black_box(run(&instance, 4, &options)))
+        });
+        let rate = result.states as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "explore_throughput/jobs/mesh-2x2-4msg4f jobs={jobs}     {} states in {wall:.2?} \
+             => {rate:.0} states/s",
+            result.states
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_jobs_sweep);
+criterion_main!(benches);

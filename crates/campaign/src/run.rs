@@ -49,6 +49,12 @@ pub struct EffortProfile {
     /// `oracle` preset turns this on — the exploration is exponential in the
     /// workload and belongs in its own dedicated campaign.
     pub explore_states: usize,
+    /// State bound for the oracle's *pressure* tier (full adversarial
+    /// workload under partial-order reduction); 0 falls back to the
+    /// [`ExploreCheckOptions`] default. The oracle preset raises it so the
+    /// capacity-2 deadlock cells — previously cut off at the bound — reach
+    /// their minimal counterexamples exhaustively.
+    pub explore_pressure_states: usize,
     /// Step engine for the simulated checks (evacuation selection runs and
     /// the metrics probe). All steppers are move-for-move equivalent; the
     /// arena stepper trades a closed-world admission requirement for flat
@@ -67,6 +73,7 @@ impl EffortProfile {
             max_steps: 50_000,
             detect_seeds: 2,
             explore_states: 0,
+            explore_pressure_states: 0,
             stepper: genoc_sim::Stepper::Kernel,
         }
     }
@@ -82,6 +89,7 @@ impl EffortProfile {
             max_steps: 100_000,
             detect_seeds: 6,
             explore_states: 0,
+            explore_pressure_states: 0,
             stepper: genoc_sim::Stepper::Kernel,
         }
     }
@@ -99,6 +107,7 @@ impl EffortProfile {
             max_steps: 200_000,
             detect_seeds: 1,
             explore_states: 0,
+            explore_pressure_states: 0,
             stepper: genoc_sim::Stepper::Kernel,
         }
     }
@@ -106,10 +115,14 @@ impl EffortProfile {
     /// Effort for the `oracle` matrix: quick randomized sweeps plus the
     /// exhaustive state-space oracle on every cell. The 200k state bound is
     /// sized so the heaviest smoke-scale exhaustive tier (3-message pressure
-    /// on the 3×3 mesh, ~111k states) completes with headroom.
+    /// on the 3×3 mesh, ~111k states) completes with headroom. The pressure
+    /// tier runs under partial-order reduction with a raised bound, putting
+    /// the capacity-2 deadlock cells — whose full interleaving space is on
+    /// the order of 10⁶ states — within exhaustive reach.
     pub fn oracle() -> EffortProfile {
         EffortProfile {
             explore_states: 200_000,
+            explore_pressure_states: 600_000,
             ..EffortProfile::quick()
         }
     }
@@ -562,10 +575,13 @@ pub fn run_scenario_with(
     // lattice). Deterministic instances only — the explorer executes the
     // workload's pre-computed routes.
     if effort.explore_states > 0 && deterministic {
-        let options = ExploreCheckOptions {
+        let mut options = ExploreCheckOptions {
             max_states: effort.explore_states,
             ..ExploreCheckOptions::default()
         };
+        if effort.explore_pressure_states > 0 {
+            options.pressure_states = effort.explore_pressure_states;
+        }
         let (result, millis) = timed(|| explore_check(&instance, spec.switching, &options));
         match result {
             Ok(report) => {

@@ -84,7 +84,7 @@ impl PortAttrs {
 /// let d = net.local_out(genoc_core::NodeId::from_index(2));
 /// assert!(net.attrs(d).is_local_out());
 /// ```
-pub trait Network {
+pub trait Network: Send + Sync {
     /// Number of ports in the instance.
     fn port_count(&self) -> usize;
 

@@ -60,7 +60,11 @@ pub enum AdmissionKind {
 
 /// Extra admission condition a policy imposes on header moves, on top of the
 /// core wormhole rules (free buffer, ownership).
-pub trait HeadAdmission {
+///
+/// `Send + Sync` is a supertrait so the explorer's parallel frontier can
+/// share one predicate across its scoped worker threads; implementations
+/// are static descriptions of a rule, never mutable state.
+pub trait HeadAdmission: Send + Sync {
     /// Whether the header of travel `i` may perform `mv` in configuration
     /// `cfg`.
     fn admit(&self, cfg: &Config, i: usize, mv: HeadMove) -> bool;

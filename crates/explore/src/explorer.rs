@@ -26,7 +26,8 @@ use genoc_core::step::{AlwaysAdmit, HeadAdmission};
 use genoc_core::switching::SwitchingPolicy;
 use genoc_core::MsgId;
 
-use crate::state::{StateTable, Workload};
+use crate::por::AmpleSelector;
+use crate::state::{StateArena, Workload};
 use crate::symmetry::slot_perms;
 
 /// Exploration parameters.
@@ -38,8 +39,27 @@ pub struct ExploreOptions {
     /// Quotient the state space by verified node automorphisms.
     pub symmetry: bool,
     /// Record the full transition graph for `.aut`/DOT export (memory
-    /// proportional to the number of transitions).
+    /// proportional to the number of transitions). Graph recording forces
+    /// the sequential path even when `jobs > 1`.
     pub record_graph: bool,
+    /// Prune commuting interleavings with per-state ample sets (see
+    /// [`crate::por`]). Verdicts and minimal counterexample depths are
+    /// unchanged; state and transition counts shrink. Silently ignored when
+    /// the admission predicate is opaque
+    /// ([`HeadAdmission::kind`] returns `None`), where the independence
+    /// relation is not known to hold.
+    pub por: bool,
+    /// Worker threads. With `jobs > 1` (and `record_graph` off) the search
+    /// runs as a level-synchronized sharded frontier; verdicts and minimal
+    /// counterexample depths are independent of the job count.
+    pub jobs: usize,
+    /// Frontier shards for the parallel path; `0` means one per job. The
+    /// verdict is independent of the shard count.
+    pub shards: usize,
+    /// Approximate memory budget in bytes for interned states and edges;
+    /// exceeding it ends the search with [`Verdict::BoundExceeded`], like
+    /// `max_states`.
+    pub mem_limit: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -48,6 +68,10 @@ impl Default for ExploreOptions {
             max_states: 100_000,
             symmetry: true,
             record_graph: false,
+            por: false,
+            jobs: 1,
+            shards: 0,
+            mem_limit: None,
         }
     }
 }
@@ -117,6 +141,10 @@ pub struct Exploration {
     pub states: usize,
     /// Transitions traversed (successor applications).
     pub transitions: u64,
+    /// Enabled moves summed over expanded states, *before* any ample-set
+    /// reduction; with [`ExploreOptions::por`] the ratio
+    /// `enabled_moves / transitions` is the per-state branching reduction.
+    pub enabled_moves: u64,
     /// Largest BFS depth expanded.
     pub depth: usize,
     /// Size of the symmetry group used (1 = identity only).
@@ -135,13 +163,13 @@ impl Exploration {
     }
 }
 
-struct Edge {
-    parent: u32,
-    mv: Move,
+pub(crate) struct Edge {
+    pub(crate) parent: u32,
+    pub(crate) mv: Move,
     /// Canonicalization permutation applied when this state was interned
     /// (`None` = identity): `canonical_child[j] = concrete_child[perm[j]]`.
-    perm: Option<Box<[usize]>>,
-    depth: u32,
+    pub(crate) perm: Option<Box<[usize]>>,
+    pub(crate) depth: u32,
 }
 
 /// Explores every reachable configuration of `specs` on the instance under
@@ -200,12 +228,23 @@ fn explore_with_perms(
     workload: Workload,
     perms: Vec<Vec<usize>>,
 ) -> Result<Exploration> {
+    if options.jobs > 1 && !options.record_graph {
+        return crate::parallel::explore_parallel(
+            net, routing, specs, admission, options, &workload, &perms,
+        );
+    }
     let group_size = perms.len();
     let enumerator = MoveEnumerator::new(admission);
+    // The ample selector's independence relation is only valid for the
+    // closed-world admission kinds; an opaque predicate falls back to the
+    // full enabled set (see `crate::por`).
+    let mut selector = (options.por && admission.kind().is_some())
+        .then(|| AmpleSelector::new(&workload, net.port_count()));
 
-    let mut table = StateTable::new();
+    let root_key = workload.initial_key();
+    let mut table = StateArena::new(root_key.len());
     let mut edges: Vec<Option<Edge>> = Vec::new();
-    let (root, _) = table.intern(workload.initial_key());
+    let (root, _) = table.intern(&root_key);
     edges.push(None);
     let mut queue = std::collections::VecDeque::from([root]);
     let mut graph = options.record_graph.then(|| StateGraph {
@@ -214,8 +253,12 @@ fn explore_with_perms(
     });
 
     let mut transitions = 0u64;
+    let mut enabled_moves = 0u64;
     let mut depth = 0usize;
     let mut moves = Vec::new();
+    let mut ample = Vec::new();
+    let mut ckey = Vec::new();
+    let mut scratch = Vec::new();
     let mut bounded = false;
 
     while let Some(id) = queue.pop_front() {
@@ -241,6 +284,7 @@ fn explore_with_perms(
                     verdict: Verdict::Deadlock(cex),
                     states: table.len(),
                     transitions,
+                    enabled_moves,
                     depth: at_depth,
                     group_size,
                     graph,
@@ -248,14 +292,19 @@ fn explore_with_perms(
             }
             continue;
         }
-        for &mv in &moves {
+        enabled_moves += moves.len() as u64;
+        let reduced = selector
+            .as_mut()
+            .is_some_and(|sel| sel.select(&cfg, &moves, &mut ample));
+        let expand: &[Move] = if reduced { &ample } else { &moves };
+        for &mv in expand {
             let mut child = cfg.clone();
             enumerator.apply(&mut child, mv)?;
             transitions += 1;
             let key = child.position_key();
-            let (ckey, perm) = workload.canonicalize(&key, &perms);
+            let perm = workload.canonicalize_into(&key, &perms, &mut ckey, &mut scratch);
             let identity = perm.iter().enumerate().all(|(j, &s)| j == s);
-            let (child_id, fresh) = table.intern(ckey);
+            let (child_id, fresh) = table.intern(&ckey);
             if fresh {
                 edges.push(Some(Edge {
                     parent: id,
@@ -271,7 +320,7 @@ fn explore_with_perms(
             if let Some(g) = graph.as_mut() {
                 g.edges.push((id, mv, child_id));
             }
-            if table.len() >= options.max_states {
+            if table.len() >= options.max_states || over_mem_limit(options, &table, edges.len()) {
                 bounded = true;
                 break;
             }
@@ -290,10 +339,18 @@ fn explore_with_perms(
         verdict,
         states: table.len(),
         transitions,
+        enabled_moves,
         depth,
         group_size,
         graph,
     })
+}
+
+/// Whether the arena plus edge store exceed [`ExploreOptions::mem_limit`].
+pub(crate) fn over_mem_limit(options: &ExploreOptions, table: &StateArena, edges: usize) -> bool {
+    options
+        .mem_limit
+        .is_some_and(|limit| table.bytes() + edges * std::mem::size_of::<Option<Edge>>() >= limit)
 }
 
 /// Explores under a switching policy's admission rule (wormhole admission
@@ -316,9 +373,7 @@ pub fn explore_policy(
     explore(net, routing, meta, specs, admission, options)
 }
 
-/// Folds the canonical parent chain of `id` back into the concrete frame:
-/// walking from the root, each stored move's slot is routed through the
-/// composition of the canonicalization permutations seen so far.
+/// Folds the canonical parent chain of `id` back into the concrete frame.
 fn rebuild_counterexample(
     net: &dyn Network,
     routing: &dyn RoutingFunction,
@@ -330,22 +385,36 @@ fn rebuild_counterexample(
     let mut chain = Vec::new();
     let mut at = id;
     while let Some(edge) = edges[at as usize].as_ref() {
-        chain.push(edge);
+        chain.push((edge.mv, edge.perm.as_deref()));
         at = edge.parent;
     }
     chain.reverse();
+    concretize_trace(net, routing, specs, workload, &chain)
+}
 
+/// Turns a root-to-deadlock chain of canonical moves (each paired with the
+/// canonicalization permutation applied when its target was interned) into
+/// a concrete, replay-validated counterexample: walking from the root, each
+/// stored move's slot is routed through the composition of the
+/// permutations seen so far.
+pub(crate) fn concretize_trace(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    workload: &Workload,
+    chain: &[(Move, Option<&[usize]>)],
+) -> Result<Counterexample> {
     let slots = workload.slots();
     // pi maps canonical slots to concrete slots: canonical[j] = concrete[pi[j]].
     let mut pi: Vec<usize> = (0..slots).collect();
     let mut trace = Vec::with_capacity(chain.len());
-    for edge in chain {
-        let canonical_slot = edge.mv.msg.index();
+    for (mv, perm) in chain {
+        let canonical_slot = mv.msg.index();
         trace.push(Move {
             msg: MsgId::from_index(pi[canonical_slot]),
-            ..edge.mv
+            ..*mv
         });
-        if let Some(perm) = edge.perm.as_deref() {
+        if let Some(perm) = perm {
             pi = perm.iter().map(|&s| pi[s]).collect();
         }
     }
@@ -492,6 +561,109 @@ mod tests {
         let result = explore(&mesh, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
         assert!(matches!(result.verdict, Verdict::BoundExceeded));
         assert!(result.states <= 50);
+    }
+
+    #[test]
+    fn por_and_parallel_agree_with_the_full_sequential_search() {
+        let ring = Ring::new(4, 1);
+        let routing = RingShortestRouting::new(&ring);
+        let meta = InstanceMeta::new(RoutingKind::RingShortest, 4, 1, 1);
+        let specs: Vec<MessageSpec> = (0..4).map(|i| spec(i, (i + 2) % 4, 2)).collect();
+        let full = explore(
+            &ring,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        for options in [
+            ExploreOptions {
+                por: true,
+                ..ExploreOptions::default()
+            },
+            ExploreOptions {
+                jobs: 3,
+                ..ExploreOptions::default()
+            },
+            ExploreOptions {
+                por: true,
+                jobs: 2,
+                shards: 5,
+                ..ExploreOptions::default()
+            },
+        ] {
+            let run = explore(&ring, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
+            assert_eq!(run.verdict.label(), full.verdict.label(), "{options:?}");
+            assert_eq!(run.depth, full.depth, "{options:?}");
+            let cex = run.counterexample().expect("the cw cycle deadlocks");
+            assert_eq!(cex.trace.len(), full.counterexample().unwrap().trace.len());
+            // Replay must validate the trace in the concrete frame.
+            let replayed = replay(&ring, &routing, &specs, &cex.trace).unwrap();
+            assert_eq!(replayed.position_key(), cex.config.position_key());
+            if options.por {
+                assert!(
+                    run.states <= full.states,
+                    "POR must not grow the state count ({options:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_completes_exhaustive_proofs_identically() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        let specs = [spec(0, 3, 2), spec(3, 0, 2), spec(1, 2, 2)];
+        let seq = explore(
+            &mesh,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        let par = explore(
+            &mesh,
+            &routing,
+            &meta,
+            &specs,
+            &AlwaysAdmit,
+            &ExploreOptions {
+                jobs: 4,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(par.verdict, Verdict::NoReachableDeadlock));
+        // A complete exploration visits the same canonical quotient no
+        // matter how it is scheduled.
+        assert_eq!(par.states, seq.states);
+        assert_eq!(par.depth, seq.depth);
+    }
+
+    #[test]
+    fn mem_limit_yields_bound_exceeded() {
+        let mesh = Mesh::new(3, 3, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 3, 3, 1);
+        let specs: Vec<MessageSpec> = (0..8).map(|i| spec(i, (i + 4) % 9, 3)).collect();
+        for jobs in [1, 2] {
+            let options = ExploreOptions {
+                symmetry: false,
+                jobs,
+                mem_limit: Some(16 * 1024),
+                ..ExploreOptions::default()
+            };
+            let result = explore(&mesh, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
+            assert!(
+                matches!(result.verdict, Verdict::BoundExceeded),
+                "a 16 KiB budget cannot hold this space (jobs={jobs})"
+            );
+        }
     }
 
     #[test]

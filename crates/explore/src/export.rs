@@ -108,6 +108,31 @@ mod tests {
     }
 
     #[test]
+    fn exports_render_partial_spaces_cut_by_the_bound() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = XyRouting::new(&mesh);
+        let meta = InstanceMeta::new(RoutingKind::Xy, 2, 2, 1);
+        let specs = [
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 2),
+            MessageSpec::new(NodeId::from_index(3), NodeId::from_index(0), 2),
+        ];
+        let options = ExploreOptions {
+            max_states: 20,
+            record_graph: true,
+            symmetry: false,
+            ..ExploreOptions::default()
+        };
+        let result = explore(&mesh, &routing, &meta, &specs, &AlwaysAdmit, &options).unwrap();
+        assert!(matches!(result.verdict, crate::Verdict::BoundExceeded));
+        // The truncated prefix is still a valid under-approximate LTS.
+        let aut = to_aut(&result).expect("partial graph was recorded");
+        assert!(aut.starts_with("des (0,"));
+        assert_eq!(aut.lines().count(), 1 + result.transitions as usize);
+        let dot = to_dot(&result, "partial").expect("partial graph was recorded");
+        assert!(dot.contains("digraph \"partial\""));
+    }
+
+    #[test]
     fn exports_absent_without_recording() {
         let mesh = Mesh::new(2, 2, 1);
         let routing = XyRouting::new(&mesh);

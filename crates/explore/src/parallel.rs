@@ -1,0 +1,403 @@
+//! Level-synchronized parallel BFS over a sharded frontier.
+//!
+//! With [`ExploreOptions::jobs`] > 1 the explorer hash-partitions canonical
+//! states across shards (`shard = hash(key) % shards`, each shard owning its
+//! own [`StateArena`] seen-set and edge store) and walks the state space one
+//! BFS level at a time:
+//!
+//! 1. **Expand** — the level's states are dealt round-robin onto per-worker
+//!    deques and expanded by `std::thread::scope` workers with work-stealing
+//!    handoff (the campaign executor's pattern: pop your own front, steal
+//!    the longest victim's back). Each state's successors — canonicalized,
+//!    hashed, ample-reduced when POR is on — are recorded *per level slot*,
+//!    so the outcome is independent of which worker expanded what.
+//! 2. **Resolve** — if any state of the level was a deadlock, the one with
+//!    the lexicographically least canonical key wins (a deterministic
+//!    tie-break), and its parent chain is folded back into a concrete
+//!    counterexample. Level synchronization makes the trace depth-minimal,
+//!    exactly as in the sequential search.
+//! 3. **Intern** — shards are split across workers; each walks the level's
+//!    recorded successors in slot order and interns those hashing to its
+//!    shards, appending fresh states to the next level. Shard-local order
+//!    is again deterministic, so verdicts, depths, and state counts are
+//!    invariant under both the job count and the shard count.
+//!
+//! Global state handles pack `(local, shard)` as `local * shards + shard`,
+//! which keeps parent pointers `u32`-sized across shards.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use genoc_core::error::{Error, Result};
+use genoc_core::moves::{Move, MoveEnumerator};
+use genoc_core::network::Network;
+use genoc_core::routing::RoutingFunction;
+use genoc_core::spec::MessageSpec;
+use genoc_core::step::HeadAdmission;
+
+use crate::explorer::{concretize_trace, Edge, Exploration, ExploreOptions, Verdict};
+use crate::por::AmpleSelector;
+use crate::state::{StateArena, Workload};
+
+/// One frontier shard: the seen-set and parent edges of the states it owns.
+struct Shard {
+    arena: StateArena,
+    edges: Vec<Option<Edge>>,
+}
+
+/// Expansion record of one level slot.
+enum Expansion {
+    /// No enabled moves: evacuated or deadlocked.
+    Terminal { deadlock: bool },
+    /// Successors, parallel arrays; `keys` holds `moves.len()` packed keys.
+    Children {
+        /// Enabled moves before ample reduction.
+        full: usize,
+        moves: Vec<Move>,
+        perms: Vec<Option<Box<[usize]>>>,
+        hashes: Vec<u64>,
+        keys: Vec<u16>,
+    },
+}
+
+/// Per-worker deques with work-stealing handoff, after the campaign
+/// executor: a worker drains its own queue front-first and steals from the
+/// back of the longest other queue when empty.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    fn new(workers: usize, items: usize) -> StealQueues {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for i in 0..items {
+            queues[i % workers].push_back(i);
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.queues[w]
+            .lock()
+            .expect("steal queue poisoned")
+            .pop_front()
+        {
+            return Some(i);
+        }
+        loop {
+            let mut best: Option<(usize, usize)> = None;
+            for (v, q) in self.queues.iter().enumerate() {
+                if v == w {
+                    continue;
+                }
+                let len = q.lock().expect("steal queue poisoned").len();
+                if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                    best = Some((len, v));
+                }
+            }
+            let (_, v) = best?;
+            if let Some(i) = self.queues[v]
+                .lock()
+                .expect("steal queue poisoned")
+                .pop_back()
+            {
+                return Some(i);
+            }
+        }
+    }
+}
+
+/// The parallel counterpart of the sequential search in `explorer.rs`:
+/// same verdicts, same minimal counterexample depths, state counts
+/// invariant under `jobs` and `shards`.
+pub(crate) fn explore_parallel(
+    net: &dyn Network,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    admission: &dyn HeadAdmission,
+    options: &ExploreOptions,
+    workload: &Workload,
+    perms: &[Vec<usize>],
+) -> Result<Exploration> {
+    let jobs = options.jobs.max(1);
+    let shard_count = if options.shards == 0 {
+        jobs
+    } else {
+        options.shards
+    };
+    let group_size = perms.len();
+    let por = options.por && admission.kind().is_some();
+
+    let root_key = workload.initial_key();
+    let stride = root_key.len();
+    let mut shards: Vec<Shard> = (0..shard_count)
+        .map(|_| Shard {
+            arena: StateArena::new(stride),
+            edges: Vec::new(),
+        })
+        .collect();
+    let root_hash = StateArena::hash_key(&root_key);
+    let root_shard = (root_hash % shard_count as u64) as usize;
+    shards[root_shard].arena.intern_hashed(root_hash, &root_key);
+    shards[root_shard].edges.push(None);
+    let mut level: Vec<u32> = vec![global_id(0, root_shard, shard_count)];
+
+    let mut transitions = 0u64;
+    let mut enabled_moves = 0u64;
+    let mut depth = 0usize;
+
+    loop {
+        // Phase 1: expand every state of the level, results by level slot.
+        let results: Vec<Mutex<Option<Expansion>>> =
+            (0..level.len()).map(|_| Mutex::new(None)).collect();
+        let first_error: Mutex<Option<Error>> = Mutex::new(None);
+        let queues = StealQueues::new(jobs, level.len());
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                let shards = &shards;
+                let results = &results;
+                let queues = &queues;
+                let first_error = &first_error;
+                let level = &level;
+                scope.spawn(move || {
+                    let enumerator = MoveEnumerator::new(admission);
+                    let mut selector = por.then(|| AmpleSelector::new(workload, net.port_count()));
+                    let mut moves: Vec<Move> = Vec::new();
+                    let mut ample: Vec<Move> = Vec::new();
+                    let mut ckey: Vec<u16> = Vec::new();
+                    let mut scratch: Vec<u16> = Vec::new();
+                    while let Some(slot) = queues.next(w) {
+                        let gid = level[slot];
+                        let (local, shard) = split_id(gid, shard_count);
+                        let expanded = expand_one(
+                            net,
+                            workload,
+                            perms,
+                            &enumerator,
+                            selector.as_mut(),
+                            shards[shard].arena.key(local),
+                            &mut moves,
+                            &mut ample,
+                            &mut ckey,
+                            &mut scratch,
+                        );
+                        match expanded {
+                            Ok(expansion) => {
+                                *results[slot].lock().expect("result slot poisoned") =
+                                    Some(expansion);
+                            }
+                            Err(e) => {
+                                let mut guard = first_error.lock().expect("error slot poisoned");
+                                guard.get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+            return Err(e);
+        }
+        let results: Vec<Expansion> = results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every level slot is expanded")
+            })
+            .collect();
+
+        // Phase 2: level accounting and the deterministic deadlock choice.
+        let mut deadlock: Option<u32> = None;
+        for (slot, r) in results.iter().enumerate() {
+            match r {
+                Expansion::Terminal { deadlock: true } => {
+                    let gid = level[slot];
+                    let better = deadlock.is_none_or(|best| {
+                        key_of(&shards, gid, shard_count) < key_of(&shards, best, shard_count)
+                    });
+                    if better {
+                        deadlock = Some(gid);
+                    }
+                }
+                Expansion::Terminal { deadlock: false } => {}
+                Expansion::Children { full, moves, .. } => {
+                    enabled_moves += *full as u64;
+                    transitions += moves.len() as u64;
+                }
+            }
+        }
+        let states = shards.iter().map(|s| s.arena.len()).sum::<usize>();
+        if let Some(gid) = deadlock {
+            let mut chain = Vec::new();
+            let mut at = gid;
+            loop {
+                let (local, shard) = split_id(at, shard_count);
+                let Some(edge) = shards[shard].edges[local as usize].as_ref() else {
+                    break;
+                };
+                chain.push((edge.mv, edge.perm.as_deref()));
+                at = edge.parent;
+            }
+            chain.reverse();
+            let cex = concretize_trace(net, routing, specs, workload, &chain)?;
+            return Ok(Exploration {
+                verdict: Verdict::Deadlock(cex),
+                states,
+                transitions,
+                enabled_moves,
+                depth,
+                group_size,
+                graph: None,
+            });
+        }
+
+        // Phase 3: intern the level's successors, shards split over workers.
+        let next: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let chunk = shards.len().div_ceil(jobs);
+            let mut handles = Vec::new();
+            for (c, shard_chunk) in shards.chunks_mut(chunk).enumerate() {
+                let results = &results;
+                let level = &level;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<Vec<u32>> = Vec::with_capacity(shard_chunk.len());
+                    for (o, shard) in shard_chunk.iter_mut().enumerate() {
+                        let s = c * chunk + o;
+                        let mut fresh_ids = Vec::new();
+                        for (slot, r) in results.iter().enumerate() {
+                            let Expansion::Children {
+                                moves,
+                                perms: cperms,
+                                hashes,
+                                keys,
+                                ..
+                            } = r
+                            else {
+                                continue;
+                            };
+                            for (i, &hash) in hashes.iter().enumerate() {
+                                if hash % shard_count as u64 != s as u64 {
+                                    continue;
+                                }
+                                let key = &keys[i * stride..(i + 1) * stride];
+                                let (local, fresh) = shard.arena.intern_hashed(hash, key);
+                                if fresh {
+                                    shard.edges.push(Some(Edge {
+                                        parent: level[slot],
+                                        mv: moves[i],
+                                        perm: cperms[i].clone(),
+                                        depth: 0,
+                                    }));
+                                    fresh_ids.push(global_id(local, s, shard_count));
+                                }
+                            }
+                        }
+                        out.push(fresh_ids);
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("intern worker panicked"))
+                .collect()
+        });
+
+        level = next.into_iter().flatten().collect();
+        if level.is_empty() {
+            let states = shards.iter().map(|s| s.arena.len()).sum();
+            return Ok(Exploration {
+                verdict: Verdict::NoReachableDeadlock,
+                states,
+                transitions,
+                enabled_moves,
+                depth,
+                group_size,
+                graph: None,
+            });
+        }
+        depth += 1;
+        let states = shards.iter().map(|s| s.arena.len()).sum::<usize>();
+        let bytes: usize = shards
+            .iter()
+            .map(|s| s.arena.bytes() + s.edges.len() * std::mem::size_of::<Option<Edge>>())
+            .sum();
+        if states >= options.max_states || options.mem_limit.is_some_and(|l| bytes >= l) {
+            return Ok(Exploration {
+                verdict: Verdict::BoundExceeded,
+                states,
+                transitions,
+                enabled_moves,
+                depth,
+                group_size,
+                graph: None,
+            });
+        }
+    }
+}
+
+fn global_id(local: u32, shard: usize, shard_count: usize) -> u32 {
+    u32::try_from(local as usize * shard_count + shard).expect("state count exceeds u32")
+}
+
+fn split_id(gid: u32, shard_count: usize) -> (u32, usize) {
+    (gid / shard_count as u32, (gid as usize) % shard_count)
+}
+
+fn key_of(shards: &[Shard], gid: u32, shard_count: usize) -> &[u16] {
+    let (local, shard) = split_id(gid, shard_count);
+    shards[shard].arena.key(local)
+}
+
+/// Expands one canonical state: enumerate, optionally ample-reduce, apply,
+/// canonicalize, and hash every successor.
+#[allow(clippy::too_many_arguments)]
+fn expand_one(
+    net: &dyn Network,
+    workload: &Workload,
+    perms: &[Vec<usize>],
+    enumerator: &MoveEnumerator<'_>,
+    selector: Option<&mut AmpleSelector>,
+    key: &[u16],
+    moves: &mut Vec<Move>,
+    ample: &mut Vec<Move>,
+    ckey: &mut Vec<u16>,
+    scratch: &mut Vec<u16>,
+) -> Result<Expansion> {
+    let cfg = workload.decode(net, key)?;
+    moves.clear();
+    enumerator.push_moves(&cfg, moves);
+    if moves.is_empty() {
+        return Ok(Expansion::Terminal {
+            deadlock: !cfg.is_evacuated(),
+        });
+    }
+    let full = moves.len();
+    let reduced = selector.is_some_and(|sel| sel.select(&cfg, moves, ample));
+    let expand: &[Move] = if reduced { ample } else { moves };
+    let mut out_moves = Vec::with_capacity(expand.len());
+    let mut out_perms = Vec::with_capacity(expand.len());
+    let mut hashes = Vec::with_capacity(expand.len());
+    let mut keys = Vec::with_capacity(expand.len() * key.len());
+    for &mv in expand {
+        let mut child = cfg.clone();
+        enumerator.apply(&mut child, mv)?;
+        let child_key = child.position_key();
+        let perm = workload.canonicalize_into(&child_key, perms, ckey, scratch);
+        let identity = perm.iter().enumerate().all(|(j, &s)| j == s);
+        out_moves.push(mv);
+        out_perms.push((!identity).then(|| perm.into_boxed_slice()));
+        hashes.push(StateArena::hash_key(ckey));
+        keys.extend_from_slice(ckey);
+    }
+    Ok(Expansion::Children {
+        full,
+        moves: out_moves,
+        perms: out_perms,
+        hashes,
+        keys,
+    })
+}

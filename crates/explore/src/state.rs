@@ -4,8 +4,18 @@
 //! positions ([`Config::position_key`]): routes are static and the network
 //! state `ST` is a function of the positions. The explorer therefore stores
 //! each state as the flattened `u16` position key, hash-consed in a
-//! [`StateTable`], and decodes keys back into full [`Config`]s (via
+//! [`StateArena`], and decodes keys back into full [`Config`]s (via
 //! [`Config::from_travels`]) only when a state is expanded.
+//!
+//! Keys of one workload all share a length (one `u16` per flit), so the
+//! arena packs them back to back in a single flat buffer addressed by dense
+//! `u32` handles — mirroring the simulator's SoA flit arena — and resolves
+//! membership through an open-addressed index of handles instead of a
+//! key-owning hash map. One exploration makes two large allocations that
+//! grow geometrically, rather than one boxed key plus one map entry per
+//! state, and a state's memory cost is exactly `stride × 2` bytes plus a
+//! shared index slot (see [`StateArena::bytes`], which backs the explorer's
+//! `--mem-limit`).
 //!
 //! With symmetry reduction enabled, the key stored is the *canonical*
 //! representative of the state's orbit: the lexicographic minimum, over
@@ -16,6 +26,7 @@
 //! be folded back into the concrete frame.
 
 use std::collections::HashMap;
+use std::mem;
 
 use genoc_core::config::Config;
 use genoc_core::error::Result;
@@ -145,17 +156,34 @@ impl Workload {
     /// groups). Returns the canonical key and the total permutation `p`
     /// that produced it (`canonical[j] = key[p[j]]`, block-wise).
     pub fn canonicalize(&self, key: &[u16], perms: &[Vec<usize>]) -> (Box<[u16]>, Vec<usize>) {
-        let mut best: Option<(Vec<u16>, Vec<usize>)> = None;
+        let mut best = Vec::with_capacity(key.len());
         let mut scratch = Vec::with_capacity(key.len());
+        let perm = self.canonicalize_into(key, perms, &mut best, &mut scratch);
+        (best.into_boxed_slice(), perm)
+    }
+
+    /// Allocation-free [`canonicalize`](Workload::canonicalize): the
+    /// canonical key lands in `best` (cleared first), `scratch` is reused
+    /// working space, and only the winning permutation is returned. The hot
+    /// loop of the explorer calls this once per generated child, so the two
+    /// buffers amortize to zero allocations per transition.
+    pub fn canonicalize_into(
+        &self,
+        key: &[u16],
+        perms: &[Vec<usize>],
+        best: &mut Vec<u16>,
+        scratch: &mut Vec<u16>,
+    ) -> Vec<usize> {
+        let mut best_perm: Option<Vec<usize>> = None;
         for perm in perms {
-            self.permute(key, perm, &mut scratch);
-            let total = self.sort_duplicates(&mut scratch, perm);
-            if best.as_ref().is_none_or(|(b, _)| scratch < *b) {
-                best = Some((scratch.clone(), total));
+            self.permute(key, perm, scratch);
+            let total = self.sort_duplicates(scratch, perm);
+            if best_perm.is_none() || *scratch < *best {
+                mem::swap(best, scratch);
+                best_perm = Some(total);
             }
         }
-        let (key, perm) = best.expect("perms always contains the identity");
-        (key.into_boxed_slice(), perm)
+        best_perm.expect("perms always contains the identity")
     }
 
     /// Sorts the blocks of each identical-message group in `key` into
@@ -191,43 +219,137 @@ impl Workload {
     }
 }
 
-/// Hash-consed state arena: canonical key → dense `u32` id.
-#[derive(Default)]
-pub struct StateTable {
-    ids: HashMap<Box<[u16]>, u32>,
-    keys: Vec<Box<[u16]>>,
+/// Sentinel for an unused index slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Fibonacci multiplier: remixes a hash into well-spread top bits, so an
+/// arena whose shard was chosen from `hash % shards` (see the parallel
+/// frontier) still probes uniformly.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hash-consed state arena: canonical key → dense `u32` handle.
+///
+/// All keys of a workload share one `stride` (one `u16` per flit), so the
+/// arena stores them contiguously in a single flat buffer — `key(id)` is a
+/// slice at `id × stride` — and membership goes through an open-addressed
+/// table of handles (linear probing, ⅞ max load). Compared to a
+/// `HashMap<Box<[u16]>, u32>` this stores each key once instead of twice
+/// and replaces two per-state allocations with amortized none.
+pub struct StateArena {
+    stride: usize,
+    /// Flat key storage, `len() × stride` entries.
+    data: Vec<u16>,
+    /// Interned state count (kept separately: `stride` may be zero).
+    count: usize,
+    /// Open-addressed index of handles into `data`; power-of-two length.
+    index: Vec<u32>,
+    /// `index.len().ilog2()`: probes take the hash's top `bits` bits.
+    bits: u32,
 }
 
-impl StateTable {
-    /// Empty table.
-    pub fn new() -> StateTable {
-        StateTable::default()
+impl StateArena {
+    /// Empty arena for keys of `stride` `u16`s.
+    pub fn new(stride: usize) -> StateArena {
+        let bits = 4;
+        StateArena {
+            stride,
+            data: Vec::new(),
+            count: 0,
+            index: vec![EMPTY; 1 << bits],
+            bits,
+        }
     }
 
     /// Number of interned states.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.count
     }
 
-    /// Whether the table is empty.
+    /// Whether the arena is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.count == 0
+    }
+
+    /// Approximate resident bytes (key buffer + index), the quantity the
+    /// explorer's `--mem-limit` bounds.
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * mem::size_of::<u16>() + self.index.capacity() * mem::size_of::<u32>()
+    }
+
+    /// The workload-independent FNV-1a hash of a key, shared with the
+    /// parallel frontier's shard choice (`hash % shards`) so both agree on
+    /// key identity.
+    pub fn hash_key(key: &[u16]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &v in key {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    fn slot_of(&self, hash: u64) -> usize {
+        (hash.wrapping_mul(FIB) >> (64 - self.bits)) as usize
     }
 
     /// Interns a key; returns `(id, freshly_inserted)`.
-    pub fn intern(&mut self, key: Box<[u16]>) -> (u32, bool) {
-        if let Some(&id) = self.ids.get(&key) {
-            return (id, false);
-        }
-        let id = u32::try_from(self.keys.len()).expect("state count exceeds u32");
-        self.ids.insert(key.clone(), id);
-        self.keys.push(key);
-        (id, true)
+    ///
+    /// # Panics
+    ///
+    /// If `key.len() != stride`, or on interning more than `u32::MAX - 1`
+    /// states.
+    pub fn intern(&mut self, key: &[u16]) -> (u32, bool) {
+        self.intern_hashed(Self::hash_key(key), key)
     }
 
-    /// The key of a state id.
+    /// [`intern`](StateArena::intern) with a precomputed
+    /// [`hash_key`](StateArena::hash_key) hash, for callers that already
+    /// hashed the key to pick a shard.
+    pub fn intern_hashed(&mut self, hash: u64, key: &[u16]) -> (u32, bool) {
+        assert_eq!(key.len(), self.stride, "key length must match the stride");
+        if (self.count + 1) * 8 > self.index.len() * 7 {
+            self.grow();
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = self.slot_of(hash);
+        loop {
+            match self.index[slot] {
+                EMPTY => {
+                    let id = u32::try_from(self.count).expect("state count exceeds u32");
+                    assert!(id != EMPTY, "state count exceeds u32");
+                    self.data.extend_from_slice(key);
+                    self.count += 1;
+                    self.index[slot] = id;
+                    return (id, true);
+                }
+                id if self.key(id) == key => return (id, false),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// The key of a state handle.
     pub fn key(&self, id: u32) -> &[u16] {
-        &self.keys[id as usize]
+        let at = id as usize * self.stride;
+        &self.data[at..at + self.stride]
+    }
+
+    fn grow(&mut self) {
+        self.bits += 1;
+        let len = 1usize << self.bits;
+        let mut index = vec![EMPTY; len];
+        let mask = len - 1;
+        for id in 0..self.count as u32 {
+            let hash = Self::hash_key(self.key(id));
+            let mut slot = (hash.wrapping_mul(FIB) >> (64 - self.bits)) as usize;
+            while index[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            index[slot] = id;
+        }
+        self.index = index;
     }
 }
 
@@ -278,12 +400,40 @@ mod tests {
 
     #[test]
     fn intern_is_idempotent() {
-        let mut table = StateTable::new();
-        let (a, fresh_a) = table.intern(vec![1u16, 2].into_boxed_slice());
-        let (b, fresh_b) = table.intern(vec![1u16, 2].into_boxed_slice());
+        let mut arena = StateArena::new(2);
+        let (a, fresh_a) = arena.intern(&[1u16, 2]);
+        let (b, fresh_b) = arena.intern(&[1u16, 2]);
         assert_eq!(a, b);
         assert!(fresh_a && !fresh_b);
-        assert_eq!(table.len(), 1);
-        assert_eq!(table.key(a), &[1, 2]);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.key(a), &[1, 2]);
+        assert!(arena.bytes() > 0);
+    }
+
+    #[test]
+    fn arena_survives_growth_and_keeps_every_key() {
+        let mut arena = StateArena::new(3);
+        let mut ids = Vec::new();
+        for v in 0..500u16 {
+            let key = [v, v.wrapping_mul(31), v ^ 0x5a5a];
+            let (id, fresh) = arena.intern(&key);
+            assert!(fresh, "distinct keys must intern fresh");
+            ids.push((id, key));
+        }
+        assert_eq!(arena.len(), 500);
+        for (id, key) in ids {
+            assert_eq!(arena.key(id), key, "growth must not lose keys");
+            assert_eq!(arena.intern(&key), (id, false));
+        }
+    }
+
+    #[test]
+    fn zero_stride_arena_handles_the_empty_workload() {
+        let mut arena = StateArena::new(0);
+        let (a, fresh_a) = arena.intern(&[]);
+        let (b, fresh_b) = arena.intern(&[]);
+        assert_eq!((a, b), (0, 0));
+        assert!(fresh_a && !fresh_b);
+        assert_eq!(arena.len(), 1);
     }
 }

@@ -15,12 +15,19 @@
 //!   --messages <N>           keep only the first N pressure messages, 0 = all
 //!   --bound <N>              state bound                      [default: 100000]
 //!   --symmetry <on|off>      node-automorphism reduction          [default: on]
+//!   --por <on|off>           partial-order reduction             [default: off]
+//!   --jobs <N>               worker threads for the frontier       [default: 1]
+//!   --mem-limit <BYTES>      stop past this state-storage size (k/m/g suffix)
 //!   --aut <path>             write the state graph in Aldebaran (.aut) format
 //!   --dot <path>             write the state graph as Graphviz DOT
 //! ```
 //!
-//! Exit status is non-zero when a deadlock is reachable or the bound was
-//! hit, so scripts can gate on an exhaustive deadlock-freedom proof.
+//! Exit status distinguishes the outcomes so scripts can gate precisely:
+//! `0` is an exhaustive deadlock-freedom proof, `1` a reachable deadlock
+//! (with its minimal trace printed), `2` a bound or memory-limit stop —
+//! explicitly *not* a proof — and `3` a usage or harness error. The
+//! `--aut`/`--dot` exports work on partial spaces too: a graph cut short
+//! by the bound is still a valid (under-approximate) LTS.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,8 +44,28 @@ struct Args {
     messages: usize,
     bound: usize,
     symmetry: bool,
+    por: bool,
+    jobs: usize,
+    mem_limit: Option<usize>,
     aut: Option<PathBuf>,
     dot: Option<PathBuf>,
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` (×1024) suffix.
+fn parse_bytes(text: &str) -> Result<usize, String> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(digits) => match lower.as_bytes()[lower.len() - 1] {
+            b'k' => (digits, 10),
+            b'm' => (digits, 20),
+            _ => (digits, 30),
+        },
+        None => (lower.as_str(), 0),
+    };
+    let n: usize = digits.parse().map_err(|e| format!("{e}"))?;
+    n.checked_shl(shift)
+        .filter(|&v| v >> shift == n)
+        .ok_or_else(|| format!("{text:?} overflows"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
         messages: 0,
         bound: 100_000,
         symmetry: true,
+        por: false,
+        jobs: 1,
+        mem_limit: None,
         aut: None,
         dot: None,
     };
@@ -100,13 +130,32 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--symmetry: expected on|off, got {other:?}")),
                 };
             }
+            "--por" => {
+                args.por = match value("--por")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--por: expected on|off, got {other:?}")),
+                };
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
+            "--mem-limit" => {
+                args.mem_limit = Some(
+                    parse_bytes(&value("--mem-limit")?).map_err(|e| format!("--mem-limit: {e}"))?,
+                );
+            }
             "--aut" => args.aut = Some(PathBuf::from(value("--aut")?)),
             "--dot" => args.dot = Some(PathBuf::from(value("--dot")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: explore [--routing LABEL] [--width N] [--height N] [--capacity N] \
                             [--switching wormhole|vct|store-forward] [--flits N] [--messages N] \
-                            [--bound N] [--symmetry on|off] [--aut PATH] [--dot PATH]"
+                            [--bound N] [--symmetry on|off] [--por on|off] [--jobs N] \
+                            [--mem-limit BYTES] [--aut PATH] [--dot PATH]"
                         .into(),
                 );
             }
@@ -116,12 +165,21 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Exhaustive deadlock-freedom proof.
+const EXIT_PROOF: u8 = 0;
+/// A deadlock is reachable; the minimal trace was printed.
+const EXIT_DEADLOCK: u8 = 1;
+/// The state bound or memory limit stopped the search — no verdict.
+const EXIT_BOUND: u8 = 2;
+/// Bad usage or a harness error.
+const EXIT_ERROR: u8 = 3;
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let Some(kind) = RoutingKind::ALL.iter().find(|k| k.label() == args.routing) else {
@@ -131,7 +189,7 @@ fn main() -> ExitCode {
             args.routing,
             labels.join(", ")
         );
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_ERROR);
     };
     let policy: Box<dyn SwitchingPolicy> = match args.switching.as_str() {
         "wormhole" => Box::new(WormholePolicy::default()),
@@ -139,7 +197,7 @@ fn main() -> ExitCode {
         "store-forward" => Box::new(StoreForwardPolicy::new()),
         other => {
             eprintln!("unknown switching {other:?}: expected wormhole, vct, or store-forward");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let height = args.height.unwrap_or(match kind.topology() {
@@ -151,17 +209,25 @@ fn main() -> ExitCode {
         Ok(instance) => instance,
         Err(msg) => {
             eprintln!("{}: {msg}", meta.instance_name());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let mut specs = pressure_specs(&meta, args.flits);
     if args.messages > 0 {
         specs.truncate(args.messages);
     }
+    let record_graph = args.aut.is_some() || args.dot.is_some();
+    if record_graph && args.jobs > 1 {
+        eprintln!("note: graph export forces the sequential frontier; --jobs ignored");
+    }
     let options = ExploreOptions {
         max_states: args.bound,
         symmetry: args.symmetry,
-        record_graph: args.aut.is_some() || args.dot.is_some(),
+        record_graph,
+        por: args.por,
+        jobs: args.jobs,
+        mem_limit: args.mem_limit,
+        ..ExploreOptions::default()
     };
     let result = match explore_policy(
         instance.net.as_ref(),
@@ -174,7 +240,7 @@ fn main() -> ExitCode {
         Ok(result) => result,
         Err(e) => {
             eprintln!("{}: exploration failed: {e}", instance.name);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
 
@@ -186,8 +252,20 @@ fn main() -> ExitCode {
         args.flits
     );
     println!(
-        "states {} · transitions {} · depth {} · symmetry group {}",
-        result.states, result.transitions, result.depth, result.group_size
+        "states {} · transitions {} · enabled {} · depth {} · symmetry group {}{}",
+        result.states,
+        result.transitions,
+        result.enabled_moves,
+        result.depth,
+        result.group_size,
+        if args.por {
+            format!(
+                " · por {:.2}x",
+                result.enabled_moves as f64 / (result.transitions.max(1)) as f64
+            )
+        } else {
+            String::new()
+        }
     );
     match &result.verdict {
         Verdict::NoReachableDeadlock => {
@@ -203,7 +281,21 @@ fn main() -> ExitCode {
             }
         }
         Verdict::BoundExceeded => {
-            println!("verdict: state bound {} exceeded — no verdict", args.bound);
+            eprintln!(
+                "verdict: INCONCLUSIVE — the search stopped at {} states (bound {}{}); \
+                 this is NOT a deadlock-freedom proof, raise --bound{} to finish",
+                result.states,
+                args.bound,
+                match args.mem_limit {
+                    Some(limit) => format!(", mem-limit {limit} bytes"),
+                    None => String::new(),
+                },
+                if args.mem_limit.is_some() {
+                    "/--mem-limit"
+                } else {
+                    ""
+                }
+            );
         }
     }
 
@@ -219,13 +311,14 @@ fn main() -> ExitCode {
         let text = rendered.expect("record_graph is on whenever an export path is given");
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("cannot write {} export {}: {e}", what, path.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
         eprintln!("{what} export: {}", path.display());
     }
 
-    match result.verdict {
-        Verdict::NoReachableDeadlock => ExitCode::SUCCESS,
-        _ => ExitCode::FAILURE,
-    }
+    ExitCode::from(match result.verdict {
+        Verdict::NoReachableDeadlock => EXIT_PROOF,
+        Verdict::Deadlock(_) => EXIT_DEADLOCK,
+        Verdict::BoundExceeded => EXIT_BOUND,
+    })
 }

@@ -198,6 +198,25 @@ impl Bencher {
 /// Results collected by this bench binary, for [`write_results_json`].
 static RESULTS: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
 
+/// Non-time observables recorded by this bench binary (counts, ratios),
+/// for the `"metrics"` section of `bench-results.json`.
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Records a non-time observable (a state count, a reduction ratio, a
+/// throughput measured by the bench itself) under `name`. Metrics land in
+/// the `"metrics"` section of `target/bench-results.json` next to the
+/// timing medians, so CI can gate on semantic quantities the wall clock
+/// cannot express. Non-finite values are ignored — JSON cannot carry them.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    if !value.is_finite() {
+        return;
+    }
+    METRICS
+        .lock()
+        .expect("bench metrics poisoned")
+        .push((name.into(), value));
+}
+
 /// Locates the Cargo `target` directory by walking up from the bench binary
 /// (which lives in `<target>/release/deps/`); falls back to a relative
 /// `target/` for unusual layouts.
@@ -222,21 +241,29 @@ fn json_escape(s: &str) -> String {
 /// failure to write is reported on stderr but never fails the bench run.
 pub fn write_results_json() {
     let results = RESULTS.lock().expect("bench results poisoned");
-    if results.is_empty() {
+    let recorded = METRICS.lock().expect("bench metrics poisoned");
+    if results.is_empty() && recorded.is_empty() {
         return;
     }
     let path = target_dir().join("bench-results.json");
     // Merge with entries from previously run bench binaries: keep every
-    // existing benchmark this binary did not re-measure.
+    // existing benchmark and metric this binary did not re-measure.
     let mut entries: Vec<(String, u128, usize)> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         entries = parse_results_json(&existing);
+        metrics = parse_metrics_json(&existing);
     }
     for (name, median, samples) in results.iter() {
         entries.retain(|(n, _, _)| n != name);
         entries.push((name.clone(), *median, *samples));
     }
+    for (name, value) in recorded.iter() {
+        metrics.retain(|(n, _)| n != name);
+        metrics.push((name.clone(), *value));
+    }
     entries.sort();
+    metrics.sort_by(|a, b| a.0.cmp(&b.0));
     let mut json = String::from("{\n  \"benches\": {\n");
     for (i, (name, median, samples)) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -244,6 +271,11 @@ pub fn write_results_json() {
             "    \"{}\": {{ \"median_ns\": {median}, \"samples\": {samples} }}{comma}\n",
             json_escape(name)
         ));
+    }
+    json.push_str("  },\n  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        json.push_str(&format!("    \"{}\": {value}{comma}\n", json_escape(name)));
     }
     json.push_str("  }\n}\n");
     if let Err(e) = std::fs::write(&path, json) {
@@ -282,6 +314,30 @@ fn parse_results_json(s: &str) -> Vec<(String, u128, usize)> {
                 median,
                 samples as usize,
             ));
+        }
+    }
+    out
+}
+
+/// Parses the `"metrics"` section emitted by [`write_results_json`]: one
+/// `"name": value` pair per line. Bench entries (whose value is an object)
+/// and anything else unrecognised are skipped.
+fn parse_metrics_json(s: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some(split) = rest.rfind("\": ") else {
+            continue;
+        };
+        let (name, value) = (&rest[..split], rest[split + 3..].trim_end_matches(','));
+        if value.starts_with('{') {
+            continue;
+        }
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((name.replace("\\\"", "\"").replace("\\\\", "\\"), v));
         }
     }
     out
@@ -407,5 +463,29 @@ mod tests {
         }
         json.push_str("  }\n}\n");
         assert_eq!(parse_results_json(&json), entries);
+        assert!(
+            parse_metrics_json(&json).is_empty(),
+            "bench entries must not parse as metrics"
+        );
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let json = concat!(
+            "{\n  \"benches\": {\n",
+            "    \"a/b\": { \"median_ns\": 125, \"samples\": 10 }\n",
+            "  },\n  \"metrics\": {\n",
+            "    \"explore/reduction\": 93.5,\n",
+            "    \"explore/full_states\": 203175\n",
+            "  }\n}\n"
+        );
+        assert_eq!(
+            parse_metrics_json(json),
+            vec![
+                ("explore/reduction".to_string(), 93.5),
+                ("explore/full_states".to_string(), 203175.0),
+            ]
+        );
+        assert_eq!(parse_results_json(json).len(), 1, "benches still parse");
     }
 }

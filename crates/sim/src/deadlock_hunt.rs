@@ -129,7 +129,7 @@ pub fn hunt_workload(
     let result = simulate(net, routing, policy, specs, &options)?;
     if result.run.outcome == Outcome::Deadlock {
         let witness = find_wait_cycle(&result.run.config);
-        let minimal_trace = shrink_witness(net, routing, policy, specs);
+        let minimal_trace = shrink_witness(net, routing, policy, specs, false);
         Ok(Some(Hunt {
             seed,
             specs: specs.to_vec(),
@@ -162,11 +162,18 @@ const SHRINK_MAX_STATES: usize = 100_000;
 /// large, bound hit, or the greedy deadlock's interleaving class not
 /// reached within the bound) degrades to `None` — shrinking is best-effort
 /// and never blocks the hunt.
-fn shrink_witness(
+///
+/// Shrinking explores with partial-order reduction by default — ample sets
+/// preserve both the verdict and the minimal trace length (see
+/// `genoc_explore::por`) and make the search several times cheaper. Pass
+/// `full_bfs = true` to force the unreduced search, e.g. to cross-check the
+/// reduction; the returned trace length must be identical either way.
+pub fn shrink_witness(
     net: &dyn Network,
     routing: &dyn RoutingFunction,
     policy: &dyn SwitchingPolicy,
     specs: &[MessageSpec],
+    full_bfs: bool,
 ) -> Option<Vec<Move>> {
     let total_flits: usize = specs.iter().map(|s| s.flits).sum();
     if specs.len() > SHRINK_MAX_MESSAGES || total_flits > SHRINK_MAX_FLITS {
@@ -178,7 +185,8 @@ fn shrink_witness(
     let options = ExploreOptions {
         max_states: SHRINK_MAX_STATES,
         symmetry: false,
-        record_graph: false,
+        por: !full_bfs,
+        ..ExploreOptions::default()
     };
     let result = explore_workload(net, routing, specs, admission, &options).ok()?;
     result.counterexample().map(|cex| cex.trace.clone())
@@ -249,6 +257,23 @@ mod tests {
             "replaying the minimal trace must land in a deadlock"
         );
         assert!(!replayed.travels().is_empty());
+    }
+
+    #[test]
+    fn por_shrink_matches_the_full_bfs_shrink_length() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        let policy = WormholePolicy::default();
+        let por = shrink_witness(&mesh, &routing, &policy, &specs, false)
+            .expect("POR shrink finds the corner-storm deadlock");
+        let full = shrink_witness(&mesh, &routing, &policy, &specs, true)
+            .expect("full-BFS shrink finds the corner-storm deadlock");
+        // Ample sets preserve minimal deadlock depth, so both searches
+        // must report traces of identical length.
+        assert_eq!(por.len(), full.len());
+        let replayed = genoc_explore::replay(&mesh, &routing, &specs, &por).unwrap();
+        assert!(!replayed.any_move_possible());
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub struct ExploreCheckOptions {
     pub pressure_states: usize,
     /// Step limit for the greedy cross-hunt.
     pub max_steps: u64,
+    /// Run the pressure tier with partial-order reduction, extending its
+    /// reach into the ~10⁶-state capacity-2 cells a full search cannot
+    /// finish within the bound.
+    pub por: bool,
+    /// Worker threads for the pressure tier (the exhaustive tiers stay
+    /// sequential — they are the reference the reductions are judged
+    /// against).
+    pub jobs: usize,
+    /// Re-run the exhaustive tier with POR (sequential) and with the
+    /// parallel sharded frontier, and flag any verdict, depth, or trace
+    /// length disagreement with the full sequential search as a violation.
+    pub cross_check_por: bool,
 }
 
 impl Default for ExploreCheckOptions {
@@ -64,6 +76,9 @@ impl Default for ExploreCheckOptions {
             max_states: 200_000,
             pressure_states: 150_000,
             max_steps: 100_000,
+            por: true,
+            jobs: 1,
+            cross_check_por: true,
         }
     }
 }
@@ -71,7 +86,8 @@ impl Default for ExploreCheckOptions {
 /// What one explorer tier did.
 #[derive(Clone, Debug)]
 pub struct TierOutcome {
-    /// Tier name: `"exhaustive"` or `"pressure"`.
+    /// Tier name: `"exhaustive"`, `"exhaustive-por"`, `"exhaustive-par"`,
+    /// or `"pressure"`.
     pub tier: &'static str,
     /// Messages in the workload.
     pub messages: usize,
@@ -87,12 +103,23 @@ pub struct TierOutcome {
     pub depth: usize,
     /// Symmetry group size used.
     pub group_size: usize,
+    /// Enabled moves summed over expanded states before any ample-set
+    /// reduction; compare with `transitions` for the branching reduction.
+    pub enabled_moves: u64,
     /// Length of the minimal counterexample trace, when one was found.
     pub trace_len: Option<usize>,
+    /// Wall-clock milliseconds this tier took.
+    pub millis: u64,
 }
 
 impl TierOutcome {
-    fn of(tier: &'static str, messages: usize, flits: usize, result: &Exploration) -> TierOutcome {
+    fn of(
+        tier: &'static str,
+        messages: usize,
+        flits: usize,
+        result: &Exploration,
+        elapsed: Duration,
+    ) -> TierOutcome {
         TierOutcome {
             tier,
             messages,
@@ -102,22 +129,27 @@ impl TierOutcome {
             transitions: result.transitions,
             depth: result.depth,
             group_size: result.group_size,
+            enabled_moves: result.enabled_moves,
             trace_len: result.counterexample().map(|c| c.trace.len()),
+            millis: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
         }
     }
 
     /// One-line summary, the form campaign reports record.
     pub fn summary(&self) -> String {
         format!(
-            "{}: verdict={} states={} transitions={} depth={} group={} messages={}x{}f{}",
+            "{}: verdict={} states={} transitions={} enabled={} depth={} group={} \
+             messages={}x{}f ms={}{}",
             self.tier,
             self.verdict,
             self.states,
             self.transitions,
+            self.enabled_moves,
             self.depth,
             self.group_size,
             self.messages,
             self.flits,
+            self.millis,
             match self.trace_len {
                 Some(n) => format!(" trace={n}"),
                 None => String::new(),
@@ -196,6 +228,7 @@ pub fn explore_check(
     let mut specs = pressure_specs(&instance.meta, flits);
     specs.truncate(options.exhaustive_messages);
     let mut policy = policy_for(switching);
+    let tick = Instant::now();
     let exhaustive = explore_policy(
         net,
         routing,
@@ -212,6 +245,7 @@ pub fn explore_check(
         specs.len(),
         flits,
         &exhaustive,
+        tick.elapsed(),
     ));
     match &exhaustive.verdict {
         Verdict::BoundExceeded => violations.push(format!(
@@ -236,6 +270,76 @@ pub fn explore_check(
             }
         }
         Verdict::NoReachableDeadlock => {}
+    }
+
+    // POR / parallel cross-check: the reduced and sharded searches must
+    // reproduce the full sequential verdict exactly — same verdict label,
+    // same minimal depth, same counterexample length. The reduction proof
+    // (see genoc_explore::por) says they must; this checks that they do.
+    if options.cross_check_por && !matches!(exhaustive.verdict, Verdict::BoundExceeded) {
+        let variants: [(&'static str, ExploreOptions); 2] = [
+            (
+                "exhaustive-por",
+                ExploreOptions {
+                    max_states: options.max_states,
+                    por: true,
+                    ..ExploreOptions::default()
+                },
+            ),
+            (
+                "exhaustive-par",
+                ExploreOptions {
+                    max_states: options.max_states,
+                    por: true,
+                    jobs: 2,
+                    shards: 3,
+                    ..ExploreOptions::default()
+                },
+            ),
+        ];
+        for (tier, explore_options) in variants {
+            let tick = Instant::now();
+            let reduced = explore_policy(
+                net,
+                routing,
+                &instance.meta,
+                &specs,
+                policy.as_ref(),
+                &explore_options,
+            )?;
+            let outcome = TierOutcome::of(tier, specs.len(), flits, &reduced, tick.elapsed());
+            if outcome.verdict != exhaustive.verdict.label() {
+                violations.push(format!(
+                    "{tier} verdict {} disagrees with the full sequential verdict {}",
+                    outcome.verdict,
+                    exhaustive.verdict.label()
+                ));
+            }
+            if let (Some(cex), Some(full)) = (reduced.counterexample(), exhaustive.counterexample())
+            {
+                if cex.trace.len() != full.trace.len() {
+                    violations.push(format!(
+                        "{tier} counterexample length {} differs from the full search's {}",
+                        cex.trace.len(),
+                        full.trace.len()
+                    ));
+                }
+            }
+            if matches!(reduced.verdict, Verdict::Deadlock(_)) && reduced.depth != exhaustive.depth
+            {
+                violations.push(format!(
+                    "{tier} found its deadlock at depth {} but the full search found depth {}",
+                    reduced.depth, exhaustive.depth
+                ));
+            }
+            if reduced.states > exhaustive.states {
+                violations.push(format!(
+                    "{tier} stored {} states, more than the full search's {}",
+                    reduced.states, exhaustive.states
+                ));
+            }
+            tiers.push(outcome);
+        }
     }
 
     // Greedy cross-hunt on the same workload: the kernel's schedule is one
@@ -267,6 +371,7 @@ pub fn explore_check(
     if !instance.expect_acyclic {
         let flits = cap_flits(2 * instance.meta.capacity as usize);
         let specs = pressure_specs(&instance.meta, flits);
+        let tick = Instant::now();
         let pressure = explore_policy(
             net,
             routing,
@@ -275,10 +380,18 @@ pub fn explore_check(
             policy.as_ref(),
             &ExploreOptions {
                 max_states: options.pressure_states,
+                por: options.por,
+                jobs: options.jobs.max(1),
                 ..ExploreOptions::default()
             },
         )?;
-        tiers.push(TierOutcome::of("pressure", specs.len(), flits, &pressure));
+        tiers.push(TierOutcome::of(
+            "pressure",
+            specs.len(),
+            flits,
+            &pressure,
+            tick.elapsed(),
+        ));
         if let Some(cex) = pressure.counterexample() {
             counterexample_found = true;
             if cex.trace.len() != pressure.depth {
@@ -311,10 +424,44 @@ mod tests {
         let report =
             explore_check(&instance, SwitchingKind::Wormhole, &Default::default()).unwrap();
         assert!(report.holds(), "{:?}", report.violations);
-        assert_eq!(report.tiers.len(), 1, "acyclic: exhaustive tier only");
+        assert_eq!(
+            report.tiers.len(),
+            3,
+            "acyclic: exhaustive tier plus its two cross-checks"
+        );
         assert_eq!(report.tiers[0].verdict, "no-deadlock");
         assert!(!report.counterexample_found);
         assert!(report.states_explored() > 0);
+    }
+
+    #[test]
+    fn por_cross_check_records_reduced_and_full_counts() {
+        let instance = Instance::ring_shortest(4, 1);
+        let report =
+            explore_check(&instance, SwitchingKind::Wormhole, &Default::default()).unwrap();
+        assert!(report.holds(), "{:?}", report.violations);
+        let full = report
+            .tiers
+            .iter()
+            .find(|t| t.tier == "exhaustive")
+            .unwrap();
+        let por = report
+            .tiers
+            .iter()
+            .find(|t| t.tier == "exhaustive-por")
+            .unwrap();
+        let par = report
+            .tiers
+            .iter()
+            .find(|t| t.tier == "exhaustive-par")
+            .unwrap();
+        for reduced in [por, par] {
+            assert_eq!(reduced.verdict, full.verdict);
+            assert_eq!(reduced.trace_len, full.trace_len);
+            assert!(reduced.states <= full.states);
+        }
+        assert!(full.summary().contains("enabled="), "{}", full.summary());
+        assert!(full.summary().contains("ms="), "{}", full.summary());
     }
 
     #[test]

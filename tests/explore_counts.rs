@@ -32,7 +32,7 @@ fn explore_pin(pin: &Pin, symmetry: bool) -> Exploration {
     let options = ExploreOptions {
         max_states: 150_000,
         symmetry,
-        record_graph: false,
+        ..ExploreOptions::default()
     };
     explore(
         pin.instance.net.as_ref(),

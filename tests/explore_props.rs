@@ -58,7 +58,7 @@ fn assert_permutation_invariance(
         let options = ExploreOptions {
             max_states: 60_000,
             symmetry,
-            record_graph: false,
+            ..ExploreOptions::default()
         };
         let a = explore(net, routing, &instance.meta, specs, &AlwaysAdmit, &options)
             .map_err(|e| TestCaseError::fail(format!("explore: {e}")))?;
