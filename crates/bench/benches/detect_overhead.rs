@@ -12,10 +12,15 @@
 //!
 //! Medians land in `target/bench-results.json` via the criterion shim.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
 use genoc_bench::{uniform, xy_mesh};
+use genoc_core::blocking::block_event;
+use genoc_core::config::Config;
 use genoc_core::interpreter::Outcome;
-use genoc_detect::{AbortAndEvacuate, DetectionEngine, EngineOptions};
+use genoc_core::kernel::{Transition, TravelStatus};
+use genoc_core::switching::SwitchingPolicy;
+use genoc_core::trace::Trace;
+use genoc_detect::{AbortAndEvacuate, DetectionEngine, EngineOptions, ExactDetector};
 use genoc_routing::mixed::MixedXyYxRouting;
 use genoc_sim::workload::bit_complement;
 use genoc_sim::{simulate, simulate_hooked, SimOptions};
@@ -87,6 +92,64 @@ fn bench_clean_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The kernel-transition feed in isolation: drive the deadlock-free 8×8
+/// run, hand the detector only the travels that actually parked each step,
+/// and record how rarely the persistent id → travel-index map has to be
+/// rebuilt (a removal tax, not a per-call one — the win over re-deriving
+/// the map on every parking step).
+fn bench_kernel_feed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_overhead/kernel-feed-xy-8x8");
+    group.sample_size(10);
+    let (mesh, routing) = xy_mesh(8, 2);
+    let specs = uniform(64, 128, 4, 23);
+    let feed = || {
+        let mut cfg = Config::from_specs(&mesh, &routing, &specs).expect("workload is valid");
+        let mut policy = WormholePolicy::default();
+        let mut trace = Trace::new(false);
+        let mut detector = ExactDetector::new();
+        let mut calls = 0u64;
+        while !cfg.is_evacuated() {
+            policy.step(&mesh, &mut cfg, &mut trace).expect("clean run");
+            cfg.drain_arrived();
+            let transitions: Vec<Transition> = (0..cfg.travels().len())
+                .filter_map(|i| {
+                    block_event(&cfg, i).map(|e| Transition {
+                        msg: cfg.travel(i).id(),
+                        status: TravelStatus::Blocked(e.wants),
+                    })
+                })
+                .collect();
+            calls += 1;
+            assert!(
+                detector
+                    .apply_kernel_transitions(&cfg, &transitions)
+                    .is_none(),
+                "XY never deadlocks"
+            );
+        }
+        (calls, detector.index_rebuilds())
+    };
+    group.bench_function("incremental-map", |b| b.iter(|| black_box(feed())));
+    group.finish();
+    let (calls, rebuilds) = feed();
+    record_metric(
+        "detect_overhead/kernel-feed-xy-8x8/feed_calls",
+        calls as f64,
+    );
+    record_metric(
+        "detect_overhead/kernel-feed-xy-8x8/index_rebuilds",
+        rebuilds as f64,
+    );
+    println!(
+        "detect_overhead/kernel-feed-xy-8x8                    {rebuilds} map rebuilds over \
+         {calls} feed calls"
+    );
+    assert!(
+        rebuilds < calls,
+        "the persistent map must not rebuild on every call"
+    );
+}
+
 fn bench_time_to_detect(c: &mut Criterion) {
     let mut group = c.benchmark_group("time_to_detect/mixed-2x2-storm");
     group.sample_size(10);
@@ -146,5 +209,10 @@ fn bench_time_to_detect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clean_overhead, bench_time_to_detect);
+criterion_group!(
+    benches,
+    bench_clean_overhead,
+    bench_kernel_feed,
+    bench_time_to_detect
+);
 criterion_main!(benches);

@@ -19,7 +19,7 @@
 //! (see `criterion::record_metric`), which is what CI gates on — wall
 //! clock varies with the runner, the reduction ratio is deterministic.
 
-use criterion::{criterion_group, criterion_main, record_metric, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, median_ns, record_metric, Criterion, Throughput};
 use genoc_core::switching::SwitchingPolicy;
 use genoc_explore::{explore_policy, pressure_specs, Exploration, ExploreOptions, Verdict};
 use genoc_switching::wormhole::WormholePolicy;
@@ -54,7 +54,14 @@ fn bench_reduction(c: &mut Criterion) {
         ..ExploreOptions::default()
     };
     let full = run(&instance, 2, &base);
-    let por = run(&instance, 2, &ExploreOptions { por: true, ..base });
+    let por = run(
+        &instance,
+        2,
+        &ExploreOptions {
+            por: true,
+            ..base.clone()
+        },
+    );
     assert_eq!(
         full.depth, por.depth,
         "POR must preserve the max depth here"
@@ -65,8 +72,9 @@ fn bench_reduction(c: &mut Criterion) {
     group.throughput(Throughput::Elements(full.states as u64));
     group.bench_function("full", |b| b.iter(|| black_box(run(&instance, 2, &base))));
     group.throughput(Throughput::Elements(por.states as u64));
+    let por_options = ExploreOptions { por: true, ..base };
     group.bench_function("por", |b| {
-        b.iter(|| black_box(run(&instance, 2, &ExploreOptions { por: true, ..base })))
+        b.iter(|| black_box(run(&instance, 2, &por_options)))
     });
     group.finish();
 
@@ -111,8 +119,30 @@ fn bench_jobs_sweep(c: &mut Criterion) {
              => {rate:.0} states/s",
             result.states
         );
+        if let Some(median) = median_ns(&format!(
+            "explore_throughput/mesh-2x2-4msg4f-por/jobs-{jobs}"
+        )) {
+            record_metric(
+                format!("explore_throughput/mesh-2x2-4msg4f-por/jobs-{jobs}/states_per_sec"),
+                result.states as f64 / (median as f64 / 1e9),
+            );
+        }
     }
     group.finish();
+
+    // The scaling factor CI gates on: jobs-4 wall clock as a fraction of
+    // jobs-1 (< 1.0 means the pool scales; the gate requires ≤ 0.6 on
+    // multi-core runners).
+    let ratio = median_ns("explore_throughput/mesh-2x2-4msg4f-por/jobs-4")
+        .zip(median_ns("explore_throughput/mesh-2x2-4msg4f-por/jobs-1"))
+        .map(|(j4, j1)| j4 as f64 / j1.max(1) as f64);
+    if let Some(ratio) = ratio {
+        record_metric(
+            "explore_throughput/mesh-2x2-4msg4f-por/jobs4_over_jobs1",
+            ratio,
+        );
+        println!("explore_throughput/jobs/mesh-2x2-4msg4f jobs4/jobs1 median ratio {ratio:.3}");
+    }
 }
 
 criterion_group!(benches, bench_reduction, bench_jobs_sweep);

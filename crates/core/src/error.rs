@@ -58,6 +58,9 @@ pub enum Error {
     },
     /// A travel identifier was not found in the configuration.
     UnknownTravel(MsgId),
+    /// A disk-spill I/O operation of the explorer failed (file create,
+    /// read, or write under `--spill-dir`).
+    Spill(String),
 }
 
 impl fmt::Display for Error {
@@ -91,6 +94,7 @@ impl fmt::Display for Error {
                 "termination measure did not decrease on step {step} ({before} -> {after})"
             ),
             Error::UnknownTravel(id) => write!(f, "travel {id} not present in configuration"),
+            Error::Spill(msg) => write!(f, "spill I/O failed: {msg}"),
         }
     }
 }

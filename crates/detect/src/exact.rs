@@ -40,9 +40,17 @@ struct Edge {
 pub struct ExactDetector {
     /// Out-edge per message id index (`None` = not blocked on an owner).
     edges: Vec<Option<Edge>>,
-    /// Reusable id → travel-index scratch for the kernel-transition feed
-    /// (valid only within one `apply_kernel_transitions` call).
-    index_scratch: Vec<usize>,
+    /// Persistent id → travel-index map for the kernel-transition feed.
+    /// Entries are validated against the configuration on every use (an
+    /// id hit is proof of correctness, ids being unique among live
+    /// travels), so the map survives across calls and is rebuilt only
+    /// when a structural change — a travel removal shifting indices, or a
+    /// recovery going through [`reset`](ExactDetector::reset) — actually
+    /// falsified a lookup.
+    index_map: Vec<usize>,
+    /// How many times the index map was rebuilt (a removal/reset tax, not
+    /// a per-call one; exposed for the overhead benchmarks).
+    rebuilds: u64,
 }
 
 impl ExactDetector {
@@ -106,41 +114,32 @@ impl ExactDetector {
         cfg: &Config,
         transitions: &[Transition],
     ) -> Option<WaitCycle> {
-        // One dense id → travel-index map per call (only when some travel
-        // parked, and into a reused buffer) keeps the edge re-derivation
-        // O(travels + transitions) instead of a linear scan per transition.
-        let parked = transitions
-            .iter()
-            .any(|t| matches!(t.status, TravelStatus::Blocked(_)));
-        if parked {
-            let slots = cfg
-                .travels()
-                .iter()
-                .map(|t| t.id().index())
-                .max()
-                .map_or(0, |m| m + 1);
-            self.index_scratch.clear();
-            self.index_scratch.resize(slots, usize::MAX);
-            for (i, t) in cfg.travels().iter().enumerate() {
-                self.index_scratch[t.id().index()] = i;
-            }
-        }
+        // The id → travel-index map persists across calls; each lookup is
+        // validated in O(1) against the configuration, and the map is
+        // rebuilt (at most once per call) only when a removal shifted the
+        // indices under it. Steady-state cost is O(transitions), with no
+        // per-call O(travels) rebuild.
+        let mut rebuilt = false;
         let mut added = false;
         for tr in transitions {
             self.ensure(tr.msg);
             let new = match tr.status {
-                TravelStatus::Blocked(_) => self
-                    .index_scratch
-                    .get(tr.msg.index())
-                    .copied()
-                    .filter(|&i| i != usize::MAX)
-                    .and_then(|i| block_event(cfg, i))
-                    .and_then(|e| {
+                TravelStatus::Blocked(_) => {
+                    let mut index = self.lookup_valid(cfg, tr.msg);
+                    if index.is_none() && !rebuilt {
+                        // A parking travel is live, so a miss means the
+                        // map went stale: rebuild once and retry.
+                        self.rebuild_index(cfg);
+                        rebuilt = true;
+                        index = self.lookup_valid(cfg, tr.msg);
+                    }
+                    index.and_then(|i| block_event(cfg, i)).and_then(|e| {
                         e.on.map(|owner| Edge {
                             wants: e.wants,
                             on: owner,
                         })
-                    }),
+                    })
+                }
                 TravelStatus::Pending | TravelStatus::Active | TravelStatus::Delivered => None,
             };
             // A travel that parks may re-derive the same edge its *stale*
@@ -158,9 +157,44 @@ impl ExactDetector {
         }
     }
 
-    /// Clears the graph (used when recovery rebuilt the configuration).
+    /// A validated map lookup: a hit is authoritative (ids are unique
+    /// among live travels), a miss means absent-or-stale.
+    fn lookup_valid(&self, cfg: &Config, id: MsgId) -> Option<usize> {
+        self.index_map
+            .get(id.index())
+            .copied()
+            .filter(|&i| i != usize::MAX)
+            .filter(|&i| cfg.travels().get(i).is_some_and(|t| t.id() == id))
+    }
+
+    /// Re-derives the id → travel-index map from the configuration.
+    fn rebuild_index(&mut self, cfg: &Config) {
+        let slots = cfg
+            .travels()
+            .iter()
+            .map(|t| t.id().index())
+            .max()
+            .map_or(0, |m| m + 1);
+        self.index_map.clear();
+        self.index_map.resize(slots, usize::MAX);
+        for (i, t) in cfg.travels().iter().enumerate() {
+            self.index_map[t.id().index()] = i;
+        }
+        self.rebuilds += 1;
+    }
+
+    /// How many times the persistent index map had to be rebuilt so far —
+    /// the cost a travel removal, reroute, or resync pays; steady-state
+    /// steps pay none.
+    pub fn index_rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Clears the graph and invalidates the index map (used when recovery
+    /// rebuilt, rerouted, or resynced the configuration).
     pub fn reset(&mut self) {
         self.edges.iter_mut().for_each(|e| *e = None);
+        self.index_map.clear();
     }
 }
 
@@ -229,6 +263,51 @@ mod tests {
         let (detected, _, outcome) = drive(&mesh, &routing, &specs);
         assert_eq!(outcome, Outcome::Evacuated);
         assert_eq!(detected, None, "XY never deadlocks");
+    }
+
+    #[test]
+    fn kernel_feed_reuses_the_index_map_across_calls() {
+        let mesh = Mesh::new(2, 2, 1);
+        let routing = MixedXyYxRouting::new(&mesh);
+        let specs = bit_complement(&mesh, 4);
+        let mut cfg = Config::from_specs(&mesh, &routing, &specs).unwrap();
+        let mut policy = WormholePolicy::default();
+        let mut trace = Trace::new(false);
+        let mut detector = ExactDetector::new();
+        let mut steps = 0u64;
+        let mut cycle = None;
+        for _ in 0..10_000 {
+            if policy.is_deadlock(&mesh, &cfg) {
+                break;
+            }
+            policy.step(&mesh, &mut cfg, &mut trace).unwrap();
+            cfg.drain_arrived();
+            steps += 1;
+            // Synthesize the kernel's park notifications from the blocking
+            // predicate: every currently blocked travel parks this step.
+            let transitions: Vec<Transition> = (0..cfg.travels().len())
+                .filter_map(|i| {
+                    block_event(&cfg, i).map(|e| Transition {
+                        msg: cfg.travel(i).id(),
+                        status: TravelStatus::Blocked(e.wants),
+                    })
+                })
+                .collect();
+            if let Some(c) = detector.apply_kernel_transitions(&cfg, &transitions) {
+                cycle = Some(c);
+                break;
+            }
+        }
+        assert!(cycle.is_some(), "the storm's cycle must be detected");
+        let rebuilds = detector.index_rebuilds();
+        assert!(rebuilds >= 1, "the first park must build the map");
+        assert!(
+            rebuilds < steps,
+            "the map must persist across calls: {rebuilds} rebuilds in {steps} steps"
+        );
+        // A reset invalidates the map: the next park rebuilds exactly once.
+        detector.reset();
+        assert!(detector.index_map.is_empty());
     }
 
     #[test]

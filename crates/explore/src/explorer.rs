@@ -31,7 +31,7 @@ use crate::state::{StateArena, Workload};
 use crate::symmetry::slot_perms;
 
 /// Exploration parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreOptions {
     /// Maximum number of (canonical) states to discover before giving up
     /// with [`Verdict::BoundExceeded`].
@@ -56,10 +56,19 @@ pub struct ExploreOptions {
     /// Frontier shards for the parallel path; `0` means one per job. The
     /// verdict is independent of the shard count.
     pub shards: usize,
-    /// Approximate memory budget in bytes for interned states and edges;
-    /// exceeding it ends the search with [`Verdict::BoundExceeded`], like
-    /// `max_states`.
+    /// Approximate memory budget in bytes for interned states and edges.
+    /// Without a [`spill_dir`](ExploreOptions::spill_dir), exceeding it
+    /// ends the search with [`Verdict::BoundExceeded`], like `max_states`;
+    /// with one, cold arena segments and frontier blocks spill to disk and
+    /// the search continues.
     pub mem_limit: Option<usize>,
+    /// Directory for the disk-spill tier (see [`crate::spill`]). Setting it
+    /// routes the search through the parallel engine even at `jobs = 1`
+    /// (graph recording still forces the sequential path) and turns
+    /// [`mem_limit`](ExploreOptions::mem_limit) from a stop condition into
+    /// a spill trigger. Verdicts, depths, and stored-state counts are
+    /// invariant under spilling.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExploreOptions {
@@ -72,6 +81,28 @@ impl Default for ExploreOptions {
             jobs: 1,
             shards: 0,
             mem_limit: None,
+            spill_dir: None,
+        }
+    }
+}
+
+/// What stopped a [`Verdict::BoundExceeded`] search (see
+/// [`Exploration::bound`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoundReason {
+    /// [`ExploreOptions::max_states`] was reached.
+    States,
+    /// [`ExploreOptions::mem_limit`] was exceeded with no spill directory
+    /// configured.
+    Memory,
+}
+
+impl BoundReason {
+    /// Short machine-readable label (`state-bound`, `memory-bound`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundReason::States => "state-bound",
+            BoundReason::Memory => "memory-bound",
         }
     }
 }
@@ -149,6 +180,16 @@ pub struct Exploration {
     pub depth: usize,
     /// Size of the symmetry group used (1 = identity only).
     pub group_size: usize,
+    /// Peak resident bytes of the state store (arena + edges + frontier),
+    /// sampled at level/expansion granularity — the figure `--mem-limit`
+    /// bounds.
+    pub peak_bytes: usize,
+    /// Total bytes written to the disk-spill tier (0 without
+    /// [`ExploreOptions::spill_dir`]).
+    pub spilled_bytes: u64,
+    /// Why a [`Verdict::BoundExceeded`] search stopped; `None` for
+    /// conclusive verdicts.
+    pub bound: Option<BoundReason>,
     /// The recorded graph, if requested.
     pub graph: Option<StateGraph>,
 }
@@ -228,7 +269,9 @@ fn explore_with_perms(
     workload: Workload,
     perms: Vec<Vec<usize>>,
 ) -> Result<Exploration> {
-    if options.jobs > 1 && !options.record_graph {
+    // The spill tier lives in the parallel engine's level/block machinery,
+    // so a spill directory routes through it even single-threaded.
+    if (options.jobs > 1 || options.spill_dir.is_some()) && !options.record_graph {
         return crate::parallel::explore_parallel(
             net, routing, specs, admission, options, &workload, &perms,
         );
@@ -259,9 +302,12 @@ fn explore_with_perms(
     let mut ample = Vec::new();
     let mut ckey = Vec::new();
     let mut scratch = Vec::new();
-    let mut bounded = false;
+    let mut bounded = None;
+    let mut peak_bytes = 0usize;
 
     while let Some(id) = queue.pop_front() {
+        peak_bytes =
+            peak_bytes.max(table.bytes() + edges.len() * std::mem::size_of::<Option<Edge>>());
         let cfg = workload.decode(net, table.key(id))?;
         let at_depth = edges[id as usize].as_ref().map_or(0, |e| e.depth) as usize;
         depth = depth.max(at_depth);
@@ -287,6 +333,9 @@ fn explore_with_perms(
                     enabled_moves,
                     depth: at_depth,
                     group_size,
+                    peak_bytes,
+                    spilled_bytes: 0,
+                    bound: None,
                     graph,
                 });
             }
@@ -320,21 +369,28 @@ fn explore_with_perms(
             if let Some(g) = graph.as_mut() {
                 g.edges.push((id, mv, child_id));
             }
-            if table.len() >= options.max_states || over_mem_limit(options, &table, edges.len()) {
-                bounded = true;
+            if table.len() >= options.max_states {
+                bounded = Some(BoundReason::States);
+                break;
+            }
+            if over_mem_limit(options, &table, edges.len()) {
+                bounded = Some(BoundReason::Memory);
                 break;
             }
         }
-        if bounded {
+        if bounded.is_some() {
             break;
         }
     }
 
-    let verdict = if bounded || !queue.is_empty() {
+    peak_bytes = peak_bytes.max(table.bytes() + edges.len() * std::mem::size_of::<Option<Edge>>());
+    let verdict = if bounded.is_some() || !queue.is_empty() {
         Verdict::BoundExceeded
     } else {
         Verdict::NoReachableDeadlock
     };
+    let bound =
+        matches!(verdict, Verdict::BoundExceeded).then(|| bounded.unwrap_or(BoundReason::States));
     Ok(Exploration {
         verdict,
         states: table.len(),
@@ -342,6 +398,9 @@ fn explore_with_perms(
         enabled_moves,
         depth,
         group_size,
+        peak_bytes,
+        spilled_bytes: 0,
+        bound,
         graph,
     })
 }

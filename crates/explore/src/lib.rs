@@ -24,10 +24,14 @@
 //!   but never lie.
 //! - [`por`] prunes commuting interleavings with per-state ample sets
 //!   ([`ExploreOptions::por`]), and [`ExploreOptions::jobs`] runs the
-//!   search as a level-synchronized parallel sharded frontier — both
-//!   preserve verdicts and minimal counterexample depths while cutting
-//!   stored states and wall time by an order of magnitude on pressure
-//!   workloads.
+//!   search on a persistent-pool pipelined frontier (shard-bucketed
+//!   interning, batched work-stealing) — both preserve verdicts and
+//!   minimal counterexample depths while cutting stored states and wall
+//!   time by an order of magnitude on pressure workloads.
+//! - [`spill`] adds a disk tier: with [`ExploreOptions::spill_dir`] set,
+//!   a run that outgrows [`ExploreOptions::mem_limit`] streams cold
+//!   frontier levels and arena segments through temp files instead of
+//!   stopping, with byte-identical observables.
 //!
 //! # Examples
 //!
@@ -65,15 +69,17 @@ pub mod explorer;
 pub mod export;
 mod parallel;
 pub mod por;
+pub mod spill;
 pub mod state;
 pub mod symmetry;
 
 pub use crate::explorer::{
-    explore, explore_policy, explore_workload, replay, Counterexample, Exploration, ExploreOptions,
-    StateGraph, StateStatus, Verdict,
+    explore, explore_policy, explore_workload, replay, BoundReason, Counterexample, Exploration,
+    ExploreOptions, StateGraph, StateStatus, Verdict,
 };
 pub use crate::export::{to_aut, to_dot};
 pub use crate::por::AmpleSelector;
+pub use crate::spill::{SpillDir, SpillFile};
 pub use crate::state::{StateArena, Workload};
 pub use crate::symmetry::{candidate_node_perms, lift_node_perm, slot_perms};
 

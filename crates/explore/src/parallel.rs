@@ -1,117 +1,341 @@
-//! Level-synchronized parallel BFS over a sharded frontier.
+//! Pipelined parallel BFS over a sharded frontier with a disk-spill tier.
 //!
-//! With [`ExploreOptions::jobs`] > 1 the explorer hash-partitions canonical
-//! states across shards (`shard = hash(key) % shards`, each shard owning its
-//! own [`StateArena`] seen-set and edge store) and walks the state space one
-//! BFS level at a time:
+//! With [`ExploreOptions::jobs`] > 1 (or a spill directory configured) the
+//! explorer hash-partitions canonical states across shards
+//! (`shard = hash(key) % shards`, each shard owning its own [`StateArena`]
+//! seen-set and edge store) and walks the state space one BFS level at a
+//! time on a **persistent worker pool**: one `std::thread::scope` per run,
+//! not per level. The coordinator participates as worker 0 and hands each
+//! phase to the helpers through an epoch counter + condvar pair, so a level
+//! costs two lock-handoffs instead of two thread-spawn storms.
 //!
-//! 1. **Expand** — the level's states are dealt round-robin onto per-worker
-//!    deques and expanded by `std::thread::scope` workers with work-stealing
-//!    handoff (the campaign executor's pattern: pop your own front, steal
-//!    the longest victim's back). Each state's successors — canonicalized,
-//!    hashed, ample-reduced when POR is on — are recorded *per level slot*,
-//!    so the outcome is independent of which worker expanded what.
-//! 2. **Resolve** — if any state of the level was a deadlock, the one with
-//!    the lexicographically least canonical key wins (a deterministic
-//!    tie-break), and its parent chain is folded back into a concrete
-//!    counterexample. Level synchronization makes the trace depth-minimal,
-//!    exactly as in the sequential search.
-//! 3. **Intern** — shards are split across workers; each walks the level's
-//!    recorded successors in slot order and interns those hashing to its
-//!    shards, appending fresh states to the next level. Shard-local order
-//!    is again deterministic, so verdicts, depths, and state counts are
-//!    invariant under both the job count and the shard count.
+//! A level is a sequence of *blocks* (one per shard of the previous level),
+//! each carrying its states' global ids **and packed keys**, so expansion
+//! never touches the arenas:
+//!
+//! 1. **Expand sweep** — every block's slots are dealt round-robin onto
+//!    per-worker steal queues and expanded with *batched* work-stealing
+//!    (grab up to [`STEAL_BATCH`] slots per lock; steal half the longest
+//!    victim's queue from the back). Each successor — canonicalized,
+//!    hashed, ample-reduced when POR is on — is appended to the expanding
+//!    worker's **per-shard bucket**, tagged with its `(slot, child)`
+//!    coordinates. Deadlocked slots are recorded with their keys.
+//! 2. **Resolve** — after the whole level expanded (and *before* anything
+//!    is interned, so stored-state counts are schedule-independent), the
+//!    deadlock with the lexicographically least canonical key wins and its
+//!    parent chain is folded back into a concrete counterexample. Level
+//!    synchronization makes the trace depth-minimal, exactly as in the
+//!    sequential search.
+//! 3. **Intern sweep** — shards are claimed off an atomic cursor; the one
+//!    worker owning shard `s` merges only the buckets tagged `s` (an
+//!    `O(successors / shards)` read, not a scan of every result), sorts
+//!    them by `(slot, child)` — which reproduces the sequential visit
+//!    order exactly — and interns, appending fresh states (ids *and*
+//!    keys) to the shard's slice of the next level.
+//!
+//! Verdicts, minimal counterexample depths, and stored-state counts are
+//! invariant under the job count, the shard count, and spilling: the
+//! per-level successor multiset does not depend on how it was partitioned,
+//! and the sorted intern order fixes every tie deterministically.
+//!
+//! When [`ExploreOptions::mem_limit`] is exceeded and a
+//! [`spill_dir`](ExploreOptions::spill_dir) is configured (see
+//! [`crate::spill`]), cold data moves to disk instead of stopping the
+//! search: full arena key segments spill per shard, harvested expansion
+//! buckets spill per block, and sealed frontier blocks spill their keys,
+//! each streaming back exactly where it is consumed.
 //!
 //! Global state handles pack `(local, shard)` as `local * shards + shard`,
 //! which keeps parent pointers `u32`-sized across shards.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
 
 use genoc_core::error::{Error, Result};
-use genoc_core::moves::{Move, MoveEnumerator};
+use genoc_core::moves::{Move, MoveEnumerator, MoveKind};
 use genoc_core::network::Network;
 use genoc_core::routing::RoutingFunction;
 use genoc_core::spec::MessageSpec;
 use genoc_core::step::HeadAdmission;
+use genoc_core::MsgId;
 
-use crate::explorer::{concretize_trace, Edge, Exploration, ExploreOptions, Verdict};
+use crate::explorer::{concretize_trace, BoundReason, Edge, Exploration, ExploreOptions, Verdict};
 use crate::por::AmpleSelector;
+use crate::spill::{SpillDir, SpillFile};
 use crate::state::{StateArena, Workload};
 
-/// One frontier shard: the seen-set and parent edges of the states it owns.
+/// Slots grabbed (or stolen) per steal-queue lock acquisition.
+const STEAL_BATCH: usize = 64;
+
+/// One frontier shard: the seen-set, parent edges, and the fresh states the
+/// current intern sweep appended (drained into the next level's block).
 struct Shard {
     arena: StateArena,
     edges: Vec<Option<Edge>>,
+    fresh_gids: Vec<u32>,
+    fresh_keys: Vec<u16>,
+    /// The shard's arena spill file, created on first spill.
+    spill: Option<SpillFile>,
 }
 
-/// Expansion record of one level slot.
-enum Expansion {
-    /// No enabled moves: evacuated or deadlocked.
-    Terminal { deadlock: bool },
-    /// Successors, parallel arrays; `keys` holds `moves.len()` packed keys.
-    Children {
-        /// Enabled moves before ample reduction.
-        full: usize,
-        moves: Vec<Move>,
-        perms: Vec<Option<Box<[usize]>>>,
-        hashes: Vec<u64>,
+/// One successor recorded during expansion, destined for the shard its
+/// hash selects. `(slot, child)` are its coordinates in the sequential
+/// visit order of the level: slot = position of the parent in the level,
+/// child = index within the parent's (ample-reduced) move list.
+struct SuccEntry {
+    slot: u32,
+    child: u32,
+    /// Global id of the parent state.
+    parent: u32,
+    mv: Move,
+    hash: u64,
+    perm: Option<Box<[usize]>>,
+}
+
+/// A run of successor entries plus their packed keys (entry `i`'s key at
+/// `i × stride`).
+#[derive(Default)]
+struct Bucket {
+    entries: Vec<SuccEntry>,
+    keys: Vec<u16>,
+}
+
+/// A deadlocked state of the current level (evacuated terminals are not
+/// recorded — they contribute nothing to any observable).
+struct Terminal {
+    gid: u32,
+    key: Box<[u16]>,
+}
+
+/// Per-worker mutable state, harvested by the coordinator between phases.
+struct WorkerLocal {
+    /// One bucket per shard, filled during the expand phase.
+    buckets: Vec<Bucket>,
+    deadlocks: Vec<Terminal>,
+    enabled: u64,
+    transitions: u64,
+}
+
+fn new_buckets(shard_count: usize) -> Vec<Bucket> {
+    (0..shard_count).map(|_| Bucket::default()).collect()
+}
+
+/// Where a frontier block's packed keys live.
+enum KeyStore {
+    Ram(Vec<u16>),
+    Spilled { offset: u64 },
+}
+
+/// One block of the current level: global ids (always resident) plus keys.
+struct LevelBlock {
+    gids: Vec<u32>,
+    keys: KeyStore,
+}
+
+/// Harvested expansion output of one block.
+enum BlockOut {
+    /// `[worker][shard]` buckets; each consumed by exactly one intern
+    /// worker (hence the per-bucket mutex).
+    Ram(Vec<Vec<Mutex<Bucket>>>),
+    /// Per-shard `(offset, bytes, entries)` chunks in the bucket spill
+    /// file.
+    Spilled { shards: Vec<(u64, u32, u32)> },
+}
+
+/// What the pool is currently doing; owned data for the active phase.
+enum PhaseData {
+    Idle,
+    Expand {
+        /// Level slot of the block's first state.
+        base: u32,
+        gids: Vec<u32>,
         keys: Vec<u16>,
+    },
+    Intern {
+        blocks: Vec<BlockOut>,
     },
 }
 
-/// Per-worker deques with work-stealing handoff, after the campaign
-/// executor: a worker drains its own queue front-first and steals from the
-/// back of the longest other queue when empty.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    Expand,
+    Intern,
+}
+
+/// Epoch handshake between the coordinator and the helper workers.
+struct JobState {
+    epoch: u64,
+    kind: PhaseKind,
+    /// Helpers still working on the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+/// Per-worker deques with batched work-stealing handoff, after the
+/// campaign executor: a worker drains up to [`STEAL_BATCH`] slots from its
+/// own queue front per lock, and when empty steals half the longest other
+/// queue's back (again capped at one batch).
 struct StealQueues {
-    queues: Vec<Mutex<VecDeque<usize>>>,
+    queues: Vec<Mutex<VecDeque<u32>>>,
 }
 
 impl StealQueues {
-    fn new(workers: usize, items: usize) -> StealQueues {
-        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
-        for i in 0..items {
-            queues[i % workers].push_back(i);
-        }
+    fn new(workers: usize) -> StealQueues {
         StealQueues {
-            queues: queues.into_iter().map(Mutex::new).collect(),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         }
     }
 
-    fn next(&self, w: usize) -> Option<usize> {
-        if let Some(i) = self.queues[w]
-            .lock()
-            .expect("steal queue poisoned")
-            .pop_front()
+    /// Deals slots `0..items` round-robin across the queues.
+    fn fill(&self, items: u32) {
+        let n = self.queues.len() as u32;
+        for (w, queue) in self.queues.iter().enumerate() {
+            let mut queue = queue.lock().expect("steal queue poisoned");
+            queue.clear();
+            let mut i = w as u32;
+            while i < items {
+                queue.push_back(i);
+                i += n;
+            }
+        }
+    }
+
+    /// Refills `out` with the next batch of slots; `false` when the level
+    /// is drained.
+    fn pop_batch(&self, w: usize, out: &mut Vec<u32>) -> bool {
+        out.clear();
         {
-            return Some(i);
+            let mut queue = self.queues[w].lock().expect("steal queue poisoned");
+            if !queue.is_empty() {
+                for _ in 0..STEAL_BATCH {
+                    match queue.pop_front() {
+                        Some(i) => out.push(i),
+                        None => break,
+                    }
+                }
+                return true;
+            }
         }
         loop {
             let mut best: Option<(usize, usize)> = None;
-            for (v, q) in self.queues.iter().enumerate() {
+            for (v, queue) in self.queues.iter().enumerate() {
                 if v == w {
                     continue;
                 }
-                let len = q.lock().expect("steal queue poisoned").len();
+                let len = queue.lock().expect("steal queue poisoned").len();
                 if len > 0 && best.is_none_or(|(l, _)| len > l) {
                     best = Some((len, v));
                 }
             }
-            let (_, v) = best?;
-            if let Some(i) = self.queues[v]
-                .lock()
-                .expect("steal queue poisoned")
-                .pop_back()
-            {
-                return Some(i);
+            let Some((_, v)) = best else {
+                return false;
+            };
+            let mut queue = self.queues[v].lock().expect("steal queue poisoned");
+            let take = queue.len().div_ceil(2).min(STEAL_BATCH);
+            for _ in 0..take {
+                match queue.pop_back() {
+                    Some(i) => out.push(i),
+                    None => break,
+                }
+            }
+            if !out.is_empty() {
+                return true;
             }
         }
+    }
+}
+
+/// Everything the pool shares: problem data, the phase handshake, shards,
+/// and per-worker state.
+struct Pool<'a> {
+    net: &'a dyn Network,
+    workload: &'a Workload,
+    perms: &'a [Vec<usize>],
+    admission: &'a dyn HeadAdmission,
+    por: bool,
+    stride: usize,
+    shard_count: usize,
+    job: Mutex<JobState>,
+    ready: Condvar,
+    done: Condvar,
+    abort: AtomicBool,
+    error: Mutex<Option<Error>>,
+    phase: RwLock<PhaseData>,
+    shards: Vec<Mutex<Shard>>,
+    workers: Vec<Mutex<WorkerLocal>>,
+    queues: StealQueues,
+    /// Shard cursor for the intern phase.
+    cursor: AtomicUsize,
+    /// Path of the bucket spill file, for intern-side read handles.
+    bucket_path: Option<PathBuf>,
+}
+
+/// Per-worker scratch (reused across all levels of the run).
+struct WorkerScratch<'a> {
+    enumerator: MoveEnumerator<'a>,
+    selector: Option<AmpleSelector>,
+    moves: Vec<Move>,
+    ample: Vec<Move>,
+    ckey: Vec<u16>,
+    kscratch: Vec<u16>,
+    batch: Vec<u32>,
+    /// Merge target for the intern sweep's per-(block, shard) gather.
+    merge: Bucket,
+    /// Sort permutation over `merge.entries`.
+    order: Vec<u32>,
+    io: Vec<u8>,
+    /// Lazily opened read handle on the bucket spill file.
+    bucket_read: Option<SpillFile>,
+}
+
+impl<'a> WorkerScratch<'a> {
+    fn new(pool: &Pool<'a>) -> WorkerScratch<'a> {
+        WorkerScratch {
+            enumerator: MoveEnumerator::new(pool.admission),
+            selector: pool
+                .por
+                .then(|| AmpleSelector::new(pool.workload, pool.net.port_count())),
+            moves: Vec::new(),
+            ample: Vec::new(),
+            ckey: Vec::new(),
+            kscratch: Vec::new(),
+            batch: Vec::with_capacity(STEAL_BATCH),
+            merge: Bucket::default(),
+            order: Vec::new(),
+            io: Vec::new(),
+            bucket_read: None,
+        }
+    }
+}
+
+/// The coordinator's disk-spill handles (see [`crate::spill`]).
+struct SpillState {
+    dir: SpillDir,
+    buckets: Option<SpillFile>,
+    frontier: Option<SpillFile>,
+}
+
+impl SpillState {
+    fn buckets_file(&mut self) -> Result<&mut SpillFile> {
+        if self.buckets.is_none() {
+            self.buckets = Some(self.dir.file("buckets.bin")?);
+        }
+        Ok(self.buckets.as_mut().expect("just created"))
+    }
+
+    fn frontier_file(&mut self) -> Result<&mut SpillFile> {
+        if self.frontier.is_none() {
+            self.frontier = Some(self.dir.file("frontier.bin")?);
+        }
+        Ok(self.frontier.as_mut().expect("just created"))
     }
 }
 
 /// The parallel counterpart of the sequential search in `explorer.rs`:
 /// same verdicts, same minimal counterexample depths, state counts
-/// invariant under `jobs` and `shards`.
+/// invariant under `jobs`, `shards`, and spilling.
 pub(crate) fn explore_parallel(
     net: &dyn Network,
     routing: &dyn RoutingFunction,
@@ -127,188 +351,187 @@ pub(crate) fn explore_parallel(
     } else {
         options.shards
     };
-    let group_size = perms.len();
     let por = options.por && admission.kind().is_some();
-
     let root_key = workload.initial_key();
     let stride = root_key.len();
-    let mut shards: Vec<Shard> = (0..shard_count)
-        .map(|_| Shard {
-            arena: StateArena::new(stride),
-            edges: Vec::new(),
+
+    let mut spill = match &options.spill_dir {
+        Some(root) => Some(SpillState {
+            dir: SpillDir::create(root)?,
+            buckets: None,
+            frontier: None,
+        }),
+        None => None,
+    };
+
+    let mut shards: Vec<Mutex<Shard>> = (0..shard_count)
+        .map(|_| {
+            Mutex::new(Shard {
+                arena: StateArena::new(stride),
+                edges: Vec::new(),
+                fresh_gids: Vec::new(),
+                fresh_keys: Vec::new(),
+                spill: None,
+            })
         })
         .collect();
     let root_hash = StateArena::hash_key(&root_key);
     let root_shard = (root_hash % shard_count as u64) as usize;
-    shards[root_shard].arena.intern_hashed(root_hash, &root_key);
-    shards[root_shard].edges.push(None);
-    let mut level: Vec<u32> = vec![global_id(0, root_shard, shard_count)];
+    {
+        let root = shards[root_shard].get_mut().expect("shard poisoned");
+        root.arena.intern_hashed(root_hash, &root_key);
+        root.edges.push(None);
+    }
+    let level = vec![LevelBlock {
+        gids: vec![global_id(0, root_shard, shard_count)],
+        keys: KeyStore::Ram(root_key.into_vec()),
+    }];
 
+    let pool = Pool {
+        net,
+        workload,
+        perms,
+        admission,
+        por,
+        stride,
+        shard_count,
+        job: Mutex::new(JobState {
+            epoch: 0,
+            kind: PhaseKind::Expand,
+            active: 0,
+            shutdown: false,
+        }),
+        ready: Condvar::new(),
+        done: Condvar::new(),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+        phase: RwLock::new(PhaseData::Idle),
+        shards,
+        workers: (0..jobs)
+            .map(|_| {
+                Mutex::new(WorkerLocal {
+                    buckets: new_buckets(shard_count),
+                    deadlocks: Vec::new(),
+                    enabled: 0,
+                    transitions: 0,
+                })
+            })
+            .collect(),
+        queues: StealQueues::new(jobs),
+        cursor: AtomicUsize::new(0),
+        bucket_path: spill.as_ref().map(|sp| sp.dir.path().join("buckets.bin")),
+    };
+
+    std::thread::scope(|scope| {
+        for w in 1..jobs {
+            let pool = &pool;
+            scope.spawn(move || worker_loop(pool, w));
+        }
+        let result = coordinate(&pool, routing, specs, options, level, &mut spill);
+        let mut job = pool.job.lock().expect("pool state poisoned");
+        job.shutdown = true;
+        drop(job);
+        pool.ready.notify_all();
+        result
+    })
+}
+
+/// The coordinator: drives the level loop, participates in every phase as
+/// worker 0, harvests per-worker output between phases, and manages the
+/// disk-spill tier.
+fn coordinate(
+    pool: &Pool<'_>,
+    routing: &dyn RoutingFunction,
+    specs: &[MessageSpec],
+    options: &ExploreOptions,
+    mut level: Vec<LevelBlock>,
+    spill: &mut Option<SpillState>,
+) -> Result<Exploration> {
+    let group_size = pool.perms.len();
+    let mut scratch = WorkerScratch::new(pool);
     let mut transitions = 0u64;
     let mut enabled_moves = 0u64;
     let mut depth = 0usize;
+    let mut peak_bytes = 0usize;
 
     loop {
-        // Phase 1: expand every state of the level, results by level slot.
-        let results: Vec<Mutex<Option<Expansion>>> =
-            (0..level.len()).map(|_| Mutex::new(None)).collect();
-        let first_error: Mutex<Option<Error>> = Mutex::new(None);
-        let queues = StealQueues::new(jobs, level.len());
-        std::thread::scope(|scope| {
-            for w in 0..jobs {
-                let shards = &shards;
-                let results = &results;
-                let queues = &queues;
-                let first_error = &first_error;
-                let level = &level;
-                scope.spawn(move || {
-                    let enumerator = MoveEnumerator::new(admission);
-                    let mut selector = por.then(|| AmpleSelector::new(workload, net.port_count()));
-                    let mut moves: Vec<Move> = Vec::new();
-                    let mut ample: Vec<Move> = Vec::new();
-                    let mut ckey: Vec<u16> = Vec::new();
-                    let mut scratch: Vec<u16> = Vec::new();
-                    while let Some(slot) = queues.next(w) {
-                        let gid = level[slot];
-                        let (local, shard) = split_id(gid, shard_count);
-                        let expanded = expand_one(
-                            net,
-                            workload,
-                            perms,
-                            &enumerator,
-                            selector.as_mut(),
-                            shards[shard].arena.key(local),
-                            &mut moves,
-                            &mut ample,
-                            &mut ckey,
-                            &mut scratch,
-                        );
-                        match expanded {
-                            Ok(expansion) => {
-                                *results[slot].lock().expect("result slot poisoned") =
-                                    Some(expansion);
-                            }
-                            Err(e) => {
-                                let mut guard = first_error.lock().expect("error slot poisoned");
-                                guard.get_or_insert(e);
-                                return;
-                            }
-                        }
-                    }
-                });
+        // ---- Expand sweep: every block, whole level, nothing interned ----
+        let mut outs: Vec<BlockOut> = Vec::with_capacity(level.len());
+        let mut deadlocks: Vec<Terminal> = Vec::new();
+        let mut base = 0u32;
+        for block in std::mem::take(&mut level) {
+            let LevelBlock { gids, keys } = block;
+            let states = gids.len();
+            let keys = load_keys(keys, states * pool.stride, spill)?;
+            pool.queues.fill(states as u32);
+            *pool.phase.write().expect("phase data poisoned") =
+                PhaseData::Expand { base, gids, keys };
+            run_phase(pool, PhaseKind::Expand, &mut scratch);
+            *pool.phase.write().expect("phase data poisoned") = PhaseData::Idle;
+            check_error(pool)?;
+            let mut per_worker: Vec<Vec<Mutex<Bucket>>> = Vec::with_capacity(pool.workers.len());
+            for worker in &pool.workers {
+                let mut worker = worker.lock().expect("worker state poisoned");
+                let buckets = std::mem::replace(&mut worker.buckets, new_buckets(pool.shard_count));
+                per_worker.push(buckets.into_iter().map(Mutex::new).collect());
+                deadlocks.append(&mut worker.deadlocks);
+                enabled_moves += std::mem::take(&mut worker.enabled);
+                transitions += std::mem::take(&mut worker.transitions);
             }
-        });
-        if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
-            return Err(e);
+            outs.push(BlockOut::Ram(per_worker));
+            base += states as u32;
+            let resident = resident_bytes(pool) + outs_bytes(&outs);
+            peak_bytes = peak_bytes.max(resident);
+            if let (Some(limit), Some(sp)) = (options.mem_limit, spill.as_mut()) {
+                if resident >= limit {
+                    spill_outs(pool, &mut outs, sp)?;
+                }
+            }
         }
-        let results: Vec<Expansion> = results
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every level slot is expanded")
-            })
-            .collect();
 
-        // Phase 2: level accounting and the deterministic deadlock choice.
-        let mut deadlock: Option<u32> = None;
-        for (slot, r) in results.iter().enumerate() {
-            match r {
-                Expansion::Terminal { deadlock: true } => {
-                    let gid = level[slot];
-                    let better = deadlock.is_none_or(|best| {
-                        key_of(&shards, gid, shard_count) < key_of(&shards, best, shard_count)
-                    });
-                    if better {
-                        deadlock = Some(gid);
-                    }
-                }
-                Expansion::Terminal { deadlock: false } => {}
-                Expansion::Children { full, moves, .. } => {
-                    enabled_moves += *full as u64;
-                    transitions += moves.len() as u64;
-                }
-            }
-        }
-        let states = shards.iter().map(|s| s.arena.len()).sum::<usize>();
-        if let Some(gid) = deadlock {
-            let mut chain = Vec::new();
-            let mut at = gid;
-            loop {
-                let (local, shard) = split_id(at, shard_count);
-                let Some(edge) = shards[shard].edges[local as usize].as_ref() else {
-                    break;
-                };
-                chain.push((edge.mv, edge.perm.as_deref()));
-                at = edge.parent;
-            }
-            chain.reverse();
-            let cex = concretize_trace(net, routing, specs, workload, &chain)?;
+        // ---- Resolve: the whole level is expanded, nothing of it interned,
+        // so a deadlock here leaves stored counts = levels 0..=depth exactly
+        // as the level-synchronized search always has.
+        if let Some(best) = deadlocks.into_iter().min_by(|a, b| a.key.cmp(&b.key)) {
+            let chain = parent_chain(pool, best.gid);
+            let chain_refs: Vec<(Move, Option<&[usize]>)> =
+                chain.iter().map(|(mv, p)| (*mv, p.as_deref())).collect();
+            let cex = concretize_trace(pool.net, routing, specs, pool.workload, &chain_refs)?;
             return Ok(Exploration {
                 verdict: Verdict::Deadlock(cex),
-                states,
+                states: count_states(pool),
                 transitions,
                 enabled_moves,
                 depth,
                 group_size,
+                peak_bytes,
+                spilled_bytes: spilled_total(pool, spill),
+                bound: None,
                 graph: None,
             });
         }
 
-        // Phase 3: intern the level's successors, shards split over workers.
-        let next: Vec<Vec<u32>> = std::thread::scope(|scope| {
-            let chunk = shards.len().div_ceil(jobs);
-            let mut handles = Vec::new();
-            for (c, shard_chunk) in shards.chunks_mut(chunk).enumerate() {
-                let results = &results;
-                let level = &level;
-                handles.push(scope.spawn(move || {
-                    let mut out: Vec<Vec<u32>> = Vec::with_capacity(shard_chunk.len());
-                    for (o, shard) in shard_chunk.iter_mut().enumerate() {
-                        let s = c * chunk + o;
-                        let mut fresh_ids = Vec::new();
-                        for (slot, r) in results.iter().enumerate() {
-                            let Expansion::Children {
-                                moves,
-                                perms: cperms,
-                                hashes,
-                                keys,
-                                ..
-                            } = r
-                            else {
-                                continue;
-                            };
-                            for (i, &hash) in hashes.iter().enumerate() {
-                                if hash % shard_count as u64 != s as u64 {
-                                    continue;
-                                }
-                                let key = &keys[i * stride..(i + 1) * stride];
-                                let (local, fresh) = shard.arena.intern_hashed(hash, key);
-                                if fresh {
-                                    shard.edges.push(Some(Edge {
-                                        parent: level[slot],
-                                        mv: moves[i],
-                                        perm: cperms[i].clone(),
-                                        depth: 0,
-                                    }));
-                                    fresh_ids.push(global_id(local, s, shard_count));
-                                }
-                            }
-                        }
-                        out.push(fresh_ids);
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("intern worker panicked"))
-                .collect()
-        });
+        // ---- Intern sweep: shards claimed off the cursor, blocks in order.
+        pool.cursor.store(0, Ordering::SeqCst);
+        *pool.phase.write().expect("phase data poisoned") = PhaseData::Intern { blocks: outs };
+        run_phase(pool, PhaseKind::Intern, &mut scratch);
+        *pool.phase.write().expect("phase data poisoned") = PhaseData::Idle;
+        check_error(pool)?;
 
-        level = next.into_iter().flatten().collect();
-        if level.is_empty() {
-            let states = shards.iter().map(|s| s.arena.len()).sum();
+        // ---- Assemble the next level from the shards' fresh slices.
+        let mut next: Vec<LevelBlock> = Vec::new();
+        for shard in &pool.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            if shard.fresh_gids.is_empty() {
+                continue;
+            }
+            next.push(LevelBlock {
+                gids: std::mem::take(&mut shard.fresh_gids),
+                keys: KeyStore::Ram(std::mem::take(&mut shard.fresh_keys)),
+            });
+        }
+        let states = count_states(pool);
+        if next.is_empty() {
             return Ok(Exploration {
                 verdict: Verdict::NoReachableDeadlock,
                 states,
@@ -316,16 +539,16 @@ pub(crate) fn explore_parallel(
                 enabled_moves,
                 depth,
                 group_size,
+                peak_bytes,
+                spilled_bytes: spilled_total(pool, spill),
+                bound: None,
                 graph: None,
             });
         }
         depth += 1;
-        let states = shards.iter().map(|s| s.arena.len()).sum::<usize>();
-        let bytes: usize = shards
-            .iter()
-            .map(|s| s.arena.bytes() + s.edges.len() * std::mem::size_of::<Option<Edge>>())
-            .sum();
-        if states >= options.max_states || options.mem_limit.is_some_and(|l| bytes >= l) {
+        let mut resident = resident_bytes(pool) + frontier_bytes(&next);
+        peak_bytes = peak_bytes.max(resident);
+        if states >= options.max_states {
             return Ok(Exploration {
                 verdict: Verdict::BoundExceeded,
                 states,
@@ -333,10 +556,316 @@ pub(crate) fn explore_parallel(
                 enabled_moves,
                 depth,
                 group_size,
+                peak_bytes,
+                spilled_bytes: spilled_total(pool, spill),
+                bound: Some(BoundReason::States),
                 graph: None,
             });
         }
+        if let Some(limit) = options.mem_limit {
+            if resident >= limit {
+                match spill.as_mut() {
+                    Some(sp) => {
+                        // Tier 1: cold (full) arena segments, per shard.
+                        for (s, shard) in pool.shards.iter().enumerate() {
+                            let mut shard = shard.lock().expect("shard poisoned");
+                            if shard.spill.is_none() {
+                                shard.spill = Some(sp.dir.file(&format!("arena-{s}.bin"))?);
+                            }
+                            let Shard { arena, spill, .. } = &mut *shard;
+                            arena.spill_cold(spill.as_mut().expect("just created"))?;
+                        }
+                        resident = resident_bytes(pool) + frontier_bytes(&next);
+                        // Tier 2: the next level's key blocks.
+                        if resident >= limit {
+                            spill_frontier(&mut next, sp)?;
+                        }
+                    }
+                    None => {
+                        return Ok(Exploration {
+                            verdict: Verdict::BoundExceeded,
+                            states,
+                            transitions,
+                            enabled_moves,
+                            depth,
+                            group_size,
+                            peak_bytes,
+                            spilled_bytes: 0,
+                            bound: Some(BoundReason::Memory),
+                            graph: None,
+                        });
+                    }
+                }
+            }
+        }
+        level = next;
     }
+}
+
+/// Runs one phase to completion: bump the epoch, work as worker 0, wait
+/// for the helpers.
+fn run_phase(pool: &Pool<'_>, kind: PhaseKind, scratch: &mut WorkerScratch<'_>) {
+    let helpers = pool.workers.len() - 1;
+    {
+        let mut job = pool.job.lock().expect("pool state poisoned");
+        job.kind = kind;
+        job.active = helpers;
+        job.epoch += 1;
+    }
+    pool.ready.notify_all();
+    do_work(pool, 0, kind, scratch);
+    let mut job = pool.job.lock().expect("pool state poisoned");
+    while job.active > 0 {
+        job = pool.done.wait(job).expect("pool state poisoned");
+    }
+}
+
+/// A helper worker: wait for an epoch, work the phase, report done; repeat
+/// until shutdown.
+fn worker_loop(pool: &Pool<'_>, w: usize) {
+    let mut scratch = WorkerScratch::new(pool);
+    let mut seen = 0u64;
+    loop {
+        let kind = {
+            let mut job = pool.job.lock().expect("pool state poisoned");
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.epoch != seen {
+                    seen = job.epoch;
+                    break job.kind;
+                }
+                job = pool.ready.wait(job).expect("pool state poisoned");
+            }
+        };
+        do_work(pool, w, kind, &mut scratch);
+        let mut job = pool.job.lock().expect("pool state poisoned");
+        job.active -= 1;
+        if job.active == 0 {
+            drop(job);
+            pool.done.notify_all();
+        }
+    }
+}
+
+fn do_work(pool: &Pool<'_>, w: usize, kind: PhaseKind, scratch: &mut WorkerScratch<'_>) {
+    if pool.abort.load(Ordering::Relaxed) {
+        return;
+    }
+    let phase = pool.phase.read().expect("phase data poisoned");
+    match (kind, &*phase) {
+        (PhaseKind::Expand, PhaseData::Expand { base, gids, keys }) => {
+            expand_work(pool, w, *base, gids, keys, scratch);
+        }
+        (PhaseKind::Intern, PhaseData::Intern { blocks }) => {
+            intern_work(pool, blocks, scratch);
+        }
+        _ => {}
+    }
+}
+
+/// Records `e` as the run's error and tells every worker to wind down.
+fn fail(pool: &Pool<'_>, e: Error) {
+    pool.error
+        .lock()
+        .expect("error slot poisoned")
+        .get_or_insert(e);
+    pool.abort.store(true, Ordering::Relaxed);
+}
+
+fn check_error(pool: &Pool<'_>) -> Result<()> {
+    if pool.abort.load(Ordering::Relaxed) {
+        if let Some(e) = pool.error.lock().expect("error slot poisoned").take() {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Expand-phase work loop: batched pop/steal, successors into the worker's
+/// per-shard buckets.
+fn expand_work(
+    pool: &Pool<'_>,
+    w: usize,
+    base: u32,
+    gids: &[u32],
+    keys: &[u16],
+    scratch: &mut WorkerScratch<'_>,
+) {
+    let mut local = pool.workers[w].lock().expect("worker state poisoned");
+    let mut batch = std::mem::take(&mut scratch.batch);
+    while pool.queues.pop_batch(w, &mut batch) {
+        if pool.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        for &i in &batch {
+            let i = i as usize;
+            let key = &keys[i * pool.stride..(i + 1) * pool.stride];
+            if let Err(e) = expand_one(pool, gids[i], base + i as u32, key, scratch, &mut local) {
+                fail(pool, e);
+                break;
+            }
+        }
+    }
+    scratch.batch = batch;
+}
+
+/// Expands one canonical state: enumerate, optionally ample-reduce, apply,
+/// canonicalize, hash, and bucket every successor by its owning shard.
+fn expand_one(
+    pool: &Pool<'_>,
+    gid: u32,
+    slot: u32,
+    key: &[u16],
+    scratch: &mut WorkerScratch<'_>,
+    local: &mut WorkerLocal,
+) -> Result<()> {
+    let cfg = pool.workload.decode(pool.net, key)?;
+    scratch.moves.clear();
+    scratch.enumerator.push_moves(&cfg, &mut scratch.moves);
+    if scratch.moves.is_empty() {
+        if !cfg.is_evacuated() {
+            local.deadlocks.push(Terminal {
+                gid,
+                key: key.into(),
+            });
+        }
+        return Ok(());
+    }
+    local.enabled += scratch.moves.len() as u64;
+    let reduced = scratch
+        .selector
+        .as_mut()
+        .is_some_and(|sel| sel.select(&cfg, &scratch.moves, &mut scratch.ample));
+    let expand: &[Move] = if reduced {
+        &scratch.ample
+    } else {
+        &scratch.moves
+    };
+    local.transitions += expand.len() as u64;
+    for (child, &mv) in expand.iter().enumerate() {
+        let mut next = cfg.clone();
+        scratch.enumerator.apply(&mut next, mv)?;
+        let child_key = next.position_key();
+        let perm = pool.workload.canonicalize_into(
+            &child_key,
+            pool.perms,
+            &mut scratch.ckey,
+            &mut scratch.kscratch,
+        );
+        let identity = perm.iter().enumerate().all(|(j, &s)| j == s);
+        let hash = StateArena::hash_key(&scratch.ckey);
+        let bucket = &mut local.buckets[(hash % pool.shard_count as u64) as usize];
+        bucket.entries.push(SuccEntry {
+            slot,
+            child: child as u32,
+            parent: gid,
+            mv,
+            hash,
+            perm: (!identity).then(|| perm.into_boxed_slice()),
+        });
+        bucket.keys.extend_from_slice(&scratch.ckey);
+    }
+    Ok(())
+}
+
+/// Intern-phase work loop: claim shards off the cursor; for each, merge and
+/// intern every block's bucket for that shard in block order.
+fn intern_work(pool: &Pool<'_>, blocks: &[BlockOut], scratch: &mut WorkerScratch<'_>) {
+    loop {
+        let s = pool.cursor.fetch_add(1, Ordering::Relaxed);
+        if s >= pool.shard_count || pool.abort.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut shard = pool.shards[s].lock().expect("shard poisoned");
+        if let Err(e) = intern_shard(pool, &mut shard, s, blocks, scratch) {
+            fail(pool, e);
+            return;
+        }
+    }
+}
+
+/// Interns every successor of the level owned by shard `s`. Blocks are
+/// processed in level order and each block's entries sorted by
+/// `(slot, child)`, so interning follows the sequential visit order exactly
+/// — parent-edge winners, fresh ids, and the next level's order are all
+/// schedule-independent.
+fn intern_shard(
+    pool: &Pool<'_>,
+    shard: &mut Shard,
+    s: usize,
+    blocks: &[BlockOut],
+    scratch: &mut WorkerScratch<'_>,
+) -> Result<()> {
+    let stride = pool.stride;
+    let WorkerScratch {
+        merge,
+        order,
+        io,
+        bucket_read,
+        ..
+    } = scratch;
+    for block in blocks {
+        merge.entries.clear();
+        merge.keys.clear();
+        match block {
+            BlockOut::Ram(workers) => {
+                for buckets in workers {
+                    let mut bucket = buckets[s].lock().expect("bucket poisoned");
+                    merge.entries.append(&mut bucket.entries);
+                    merge.keys.append(&mut bucket.keys);
+                }
+            }
+            BlockOut::Spilled { shards } => {
+                let (offset, bytes, count) = shards[s];
+                if count == 0 {
+                    continue;
+                }
+                if bucket_read.is_none() {
+                    let path = pool
+                        .bucket_path
+                        .as_ref()
+                        .expect("spilled buckets without a spill path");
+                    *bucket_read = Some(SpillFile::open_read(path)?);
+                }
+                let reader = bucket_read.as_mut().expect("just opened");
+                reader.read_bytes(offset, bytes as usize, io)?;
+                decode_chunk(io, count as usize, stride, merge)?;
+            }
+        }
+        let n = merge.entries.len();
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by_key(|&i| {
+            let e = &merge.entries[i as usize];
+            (e.slot, e.child)
+        });
+        let Shard {
+            arena,
+            edges,
+            fresh_gids,
+            fresh_keys,
+            spill,
+        } = shard;
+        for &i in order.iter() {
+            let i = i as usize;
+            let key = &merge.keys[i * stride..(i + 1) * stride];
+            let entry = &mut merge.entries[i];
+            let (local, fresh) = arena.intern_spilled(entry.hash, key, spill.as_mut())?;
+            if fresh {
+                edges.push(Some(Edge {
+                    parent: entry.parent,
+                    mv: entry.mv,
+                    perm: entry.perm.take(),
+                    depth: 0,
+                }));
+                fresh_gids.push(global_id(local, s, pool.shard_count));
+                fresh_keys.extend_from_slice(key);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn global_id(local: u32, shard: usize, shard_count: usize) -> u32 {
@@ -347,57 +876,265 @@ fn split_id(gid: u32, shard_count: usize) -> (u32, usize) {
     (gid / shard_count as u32, (gid as usize) % shard_count)
 }
 
-fn key_of(shards: &[Shard], gid: u32, shard_count: usize) -> &[u16] {
-    let (local, shard) = split_id(gid, shard_count);
-    shards[shard].arena.key(local)
+/// Walks the parent edges from `gid` to the root, cloning the (move, perm)
+/// pairs out of the shard locks.
+fn parent_chain(pool: &Pool<'_>, gid: u32) -> Vec<(Move, Option<Box<[usize]>>)> {
+    let mut chain = Vec::new();
+    let mut at = gid;
+    loop {
+        let (local, shard) = split_id(at, pool.shard_count);
+        let shard = pool.shards[shard].lock().expect("shard poisoned");
+        let Some(edge) = shard.edges[local as usize].as_ref() else {
+            break;
+        };
+        chain.push((edge.mv, edge.perm.clone()));
+        at = edge.parent;
+    }
+    chain.reverse();
+    chain
 }
 
-/// Expands one canonical state: enumerate, optionally ample-reduce, apply,
-/// canonicalize, and hash every successor.
-#[allow(clippy::too_many_arguments)]
-fn expand_one(
-    net: &dyn Network,
-    workload: &Workload,
-    perms: &[Vec<usize>],
-    enumerator: &MoveEnumerator<'_>,
-    selector: Option<&mut AmpleSelector>,
-    key: &[u16],
-    moves: &mut Vec<Move>,
-    ample: &mut Vec<Move>,
-    ckey: &mut Vec<u16>,
-    scratch: &mut Vec<u16>,
-) -> Result<Expansion> {
-    let cfg = workload.decode(net, key)?;
-    moves.clear();
-    enumerator.push_moves(&cfg, moves);
-    if moves.is_empty() {
-        return Ok(Expansion::Terminal {
-            deadlock: !cfg.is_evacuated(),
+fn count_states(pool: &Pool<'_>) -> usize {
+    pool.shards
+        .iter()
+        .map(|s| s.lock().expect("shard poisoned").arena.len())
+        .sum()
+}
+
+/// Resident bytes of the permanent state store (arenas, edges, fresh
+/// slices) — what `--mem-limit` bounds together with the transient
+/// [`outs_bytes`]/[`frontier_bytes`].
+fn resident_bytes(pool: &Pool<'_>) -> usize {
+    pool.shards
+        .iter()
+        .map(|s| {
+            let s = s.lock().expect("shard poisoned");
+            s.arena.bytes()
+                + s.edges.len() * std::mem::size_of::<Option<Edge>>()
+                + s.fresh_gids.len() * std::mem::size_of::<u32>()
+                + s.fresh_keys.len() * std::mem::size_of::<u16>()
+        })
+        .sum()
+}
+
+fn outs_bytes(outs: &[BlockOut]) -> usize {
+    outs.iter()
+        .map(|o| match o {
+            BlockOut::Ram(workers) => workers
+                .iter()
+                .flat_map(|buckets| buckets.iter())
+                .map(|b| {
+                    let b = b.lock().expect("bucket poisoned");
+                    b.entries.len() * std::mem::size_of::<SuccEntry>()
+                        + b.keys.len() * std::mem::size_of::<u16>()
+                })
+                .sum(),
+            BlockOut::Spilled { .. } => 0,
+        })
+        .sum()
+}
+
+fn frontier_bytes(blocks: &[LevelBlock]) -> usize {
+    blocks
+        .iter()
+        .map(|b| {
+            b.gids.len() * std::mem::size_of::<u32>()
+                + match &b.keys {
+                    KeyStore::Ram(keys) => keys.len() * std::mem::size_of::<u16>(),
+                    KeyStore::Spilled { .. } => 0,
+                }
+        })
+        .sum()
+}
+
+fn spilled_total(pool: &Pool<'_>, spill: &Option<SpillState>) -> u64 {
+    let arenas: u64 = pool
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("shard poisoned").arena.spilled_bytes())
+        .sum();
+    arenas
+        + spill.as_ref().map_or(0, |sp| {
+            sp.buckets.as_ref().map_or(0, SpillFile::len)
+                + sp.frontier.as_ref().map_or(0, SpillFile::len)
+        })
+}
+
+/// Materializes a block's keys, streaming them back from the frontier
+/// spill file if the block was spilled.
+fn load_keys(store: KeyStore, len: usize, spill: &mut Option<SpillState>) -> Result<Vec<u16>> {
+    match store {
+        KeyStore::Ram(keys) => Ok(keys),
+        KeyStore::Spilled { offset } => {
+            let sp = spill
+                .as_mut()
+                .expect("spilled frontier without spill state");
+            let file = sp.frontier_file()?;
+            let mut keys = Vec::new();
+            file.read_u16s(offset, len, &mut keys)?;
+            Ok(keys)
+        }
+    }
+}
+
+/// Spills every still-resident harvested block: per shard, the workers'
+/// buckets are merged and serialized as one chunk.
+fn spill_outs(pool: &Pool<'_>, outs: &mut [BlockOut], sp: &mut SpillState) -> Result<()> {
+    let stride = pool.stride;
+    let file = sp.buckets_file()?;
+    let mut buf = Vec::new();
+    let mut merged = Bucket::default();
+    for out in outs.iter_mut() {
+        let BlockOut::Ram(workers) = out else {
+            continue;
+        };
+        let mut shards = Vec::with_capacity(pool.shard_count);
+        for s in 0..pool.shard_count {
+            merged.entries.clear();
+            merged.keys.clear();
+            for buckets in workers.iter() {
+                let mut bucket = buckets[s].lock().expect("bucket poisoned");
+                merged.entries.append(&mut bucket.entries);
+                merged.keys.append(&mut bucket.keys);
+            }
+            buf.clear();
+            encode_bucket(&merged, stride, &mut buf);
+            let offset = file.append_bytes(&buf)?;
+            shards.push((
+                offset,
+                u32::try_from(buf.len()).expect("bucket chunk exceeds u32 bytes"),
+                merged.entries.len() as u32,
+            ));
+        }
+        *out = BlockOut::Spilled { shards };
+    }
+    Ok(())
+}
+
+/// Spills the keys of every still-resident next-level block.
+fn spill_frontier(blocks: &mut [LevelBlock], sp: &mut SpillState) -> Result<()> {
+    let file = sp.frontier_file()?;
+    for block in blocks.iter_mut() {
+        if let KeyStore::Ram(keys) = &block.keys {
+            if keys.is_empty() {
+                continue;
+            }
+            let offset = file.append_u16s(keys)?;
+            block.keys = KeyStore::Spilled { offset };
+        }
+    }
+    Ok(())
+}
+
+// ---- Bucket chunk codec (little-endian, no framing) ----
+//
+// Per entry: slot u32 · child u32 · parent u32 · msg u32 · flit u32 ·
+// kind u8 · hash u64 · perm_len u16 (u16::MAX = identity) · perm u16s ·
+// key (stride u16s).
+
+fn encode_bucket(bucket: &Bucket, stride: usize, buf: &mut Vec<u8>) {
+    for (i, e) in bucket.entries.iter().enumerate() {
+        buf.extend_from_slice(&e.slot.to_le_bytes());
+        buf.extend_from_slice(&e.child.to_le_bytes());
+        buf.extend_from_slice(&e.parent.to_le_bytes());
+        buf.extend_from_slice(&(e.mv.msg.index() as u32).to_le_bytes());
+        buf.extend_from_slice(&(e.mv.flit as u32).to_le_bytes());
+        buf.push(match e.mv.kind {
+            MoveKind::Enter => 0,
+            MoveKind::Advance => 1,
+            MoveKind::Eject => 2,
+        });
+        buf.extend_from_slice(&e.hash.to_le_bytes());
+        match &e.perm {
+            None => buf.extend_from_slice(&u16::MAX.to_le_bytes()),
+            Some(perm) => {
+                debug_assert!(perm.len() < usize::from(u16::MAX), "permutation too long");
+                buf.extend_from_slice(&(perm.len() as u16).to_le_bytes());
+                for &s in perm.iter() {
+                    buf.extend_from_slice(&(s as u16).to_le_bytes());
+                }
+            }
+        }
+        for &k in &bucket.keys[i * stride..(i + 1) * stride] {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+}
+
+/// Cursor over a bucket chunk's bytes.
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let chunk = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or_else(|| Error::Spill("bucket chunk truncated".into()))?;
+        self.at += n;
+        Ok(chunk)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+}
+
+fn decode_chunk(bytes: &[u8], count: usize, stride: usize, out: &mut Bucket) -> Result<()> {
+    let mut d = Decoder { bytes, at: 0 };
+    for _ in 0..count {
+        let slot = d.u32()?;
+        let child = d.u32()?;
+        let parent = d.u32()?;
+        let msg = d.u32()?;
+        let flit = d.u32()?;
+        let kind = match d.take(1)?[0] {
+            0 => MoveKind::Enter,
+            1 => MoveKind::Advance,
+            2 => MoveKind::Eject,
+            k => return Err(Error::Spill(format!("bad move kind {k} in bucket chunk"))),
+        };
+        let hash = d.u64()?;
+        let perm_len = d.u16()?;
+        let perm = if perm_len == u16::MAX {
+            None
+        } else {
+            let raw = d.take(usize::from(perm_len) * 2)?;
+            Some(
+                raw.chunks_exact(2)
+                    .map(|c| usize::from(u16::from_le_bytes([c[0], c[1]])))
+                    .collect::<Box<[usize]>>(),
+            )
+        };
+        let key_raw = d.take(stride * 2)?;
+        out.keys.extend(
+            key_raw
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]])),
+        );
+        out.entries.push(SuccEntry {
+            slot,
+            child,
+            parent,
+            mv: Move {
+                msg: MsgId::from_index(msg as usize),
+                flit: flit as usize,
+                kind,
+            },
+            hash,
+            perm,
         });
     }
-    let full = moves.len();
-    let reduced = selector.is_some_and(|sel| sel.select(&cfg, moves, ample));
-    let expand: &[Move] = if reduced { ample } else { moves };
-    let mut out_moves = Vec::with_capacity(expand.len());
-    let mut out_perms = Vec::with_capacity(expand.len());
-    let mut hashes = Vec::with_capacity(expand.len());
-    let mut keys = Vec::with_capacity(expand.len() * key.len());
-    for &mv in expand {
-        let mut child = cfg.clone();
-        enumerator.apply(&mut child, mv)?;
-        let child_key = child.position_key();
-        let perm = workload.canonicalize_into(&child_key, perms, ckey, scratch);
-        let identity = perm.iter().enumerate().all(|(j, &s)| j == s);
-        out_moves.push(mv);
-        out_perms.push((!identity).then(|| perm.into_boxed_slice()));
-        hashes.push(StateArena::hash_key(ckey));
-        keys.extend_from_slice(ckey);
-    }
-    Ok(Expansion::Children {
-        full,
-        moves: out_moves,
-        perms: out_perms,
-        hashes,
-        keys,
-    })
+    Ok(())
 }

@@ -36,6 +36,8 @@ use genoc_core::spec::MessageSpec;
 use genoc_core::travel::{FlitPos, Travel};
 use genoc_core::PortId;
 
+use crate::spill::SpillFile;
+
 /// Static per-workload data: the all-pending travel templates and the
 /// per-slot layout of the flattened key.
 pub struct Workload {
@@ -227,24 +229,57 @@ const EMPTY: u32 = u32::MAX;
 /// frontier) still probes uniformly.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Target byte size of one key segment: the spill granularity.
+const SEG_BYTES: usize = 256 * 1024;
+
+/// One fixed-capacity run of packed keys. All segments but the open tail
+/// hold exactly `seg_states` keys; only *full* segments ever spill, so a
+/// spilled segment is immutable on disk.
+enum Segment {
+    /// Keys resident in memory.
+    Resident(Vec<u16>),
+    /// Keys written to the shard's spill file at this byte offset.
+    Spilled {
+        /// Byte offset of the segment's packed keys in the spill file.
+        offset: u64,
+    },
+}
+
 /// Hash-consed state arena: canonical key → dense `u32` handle.
 ///
 /// All keys of a workload share one `stride` (one `u16` per flit), so the
-/// arena stores them contiguously in a single flat buffer — `key(id)` is a
-/// slice at `id × stride` — and membership goes through an open-addressed
-/// table of handles (linear probing, ⅞ max load). Compared to a
-/// `HashMap<Box<[u16]>, u32>` this stores each key once instead of twice
-/// and replaces two per-state allocations with amortized none.
+/// arena stores them contiguously in fixed-size segments — `key(id)` is a
+/// slice at `(id % seg_states) × stride` of segment `id / seg_states` —
+/// and membership goes through an open-addressed table of handles (linear
+/// probing, ⅞ max load). Compared to a `HashMap<Box<[u16]>, u32>` this
+/// stores each key once instead of twice and replaces two per-state
+/// allocations with amortized none.
+///
+/// Each state's hash is stored alongside (`hashes`), so index growth and
+/// probe rejection never touch key data: only a *hash-equal* probe compares
+/// keys. That is what makes the disk tier cheap — cold full segments can
+/// [`spill`](StateArena::spill_cold) to a [`SpillFile`] and are streamed
+/// back (one-segment cache) only on the rare colliding compare.
 pub struct StateArena {
     stride: usize,
-    /// Flat key storage, `len() × stride` entries.
-    data: Vec<u16>,
+    /// Keys per segment (fixed per arena, targeting [`SEG_BYTES`]).
+    seg_states: usize,
+    /// Key storage; all but the last segment are full.
+    segments: Vec<Segment>,
     /// Interned state count (kept separately: `stride` may be zero).
     count: usize,
-    /// Open-addressed index of handles into `data`; power-of-two length.
+    /// Per-state [`hash_key`](StateArena::hash_key) hashes.
+    hashes: Vec<u64>,
+    /// Open-addressed index of handles; power-of-two length.
     index: Vec<u32>,
     /// `index.len().ilog2()`: probes take the hash's top `bits` bits.
     bits: u32,
+    /// Most recently streamed-back cold segment, `(segment, keys)`.
+    cache: Option<(usize, Vec<u16>)>,
+    /// States whose segment lives on disk.
+    spilled_states: usize,
+    /// Total bytes ever written to the spill file.
+    spilled_bytes: u64,
 }
 
 impl StateArena {
@@ -253,10 +288,15 @@ impl StateArena {
         let bits = 4;
         StateArena {
             stride,
-            data: Vec::new(),
+            seg_states: (SEG_BYTES / (stride.max(1) * mem::size_of::<u16>())).max(1),
+            segments: Vec::new(),
             count: 0,
+            hashes: Vec::new(),
             index: vec![EMPTY; 1 << bits],
             bits,
+            cache: None,
+            spilled_states: 0,
+            spilled_bytes: 0,
         }
     }
 
@@ -270,10 +310,24 @@ impl StateArena {
         self.count == 0
     }
 
-    /// Approximate resident bytes (key buffer + index), the quantity the
-    /// explorer's `--mem-limit` bounds.
+    /// Resident bytes (in-memory keys + hashes + index + segment cache),
+    /// the quantity the explorer's `--mem-limit` bounds. Deliberately
+    /// length-based rather than capacity-based so the figure is identical
+    /// across schedules.
     pub fn bytes(&self) -> usize {
-        self.data.capacity() * mem::size_of::<u16>() + self.index.capacity() * mem::size_of::<u32>()
+        let cached = self
+            .cache
+            .as_ref()
+            .map_or(0, |(_, data)| data.len() * mem::size_of::<u16>());
+        (self.count - self.spilled_states) * self.stride * mem::size_of::<u16>()
+            + self.count * mem::size_of::<u64>()
+            + self.index.len() * mem::size_of::<u32>()
+            + cached
+    }
+
+    /// Total bytes this arena has written to its spill file.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes
     }
 
     /// The workload-independent FNV-1a hash of a key, shared with the
@@ -307,7 +361,37 @@ impl StateArena {
     /// [`intern`](StateArena::intern) with a precomputed
     /// [`hash_key`](StateArena::hash_key) hash, for callers that already
     /// hashed the key to pick a shard.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if a key compare lands on a spilled segment —
+    /// arenas that spill must intern through
+    /// [`intern_spilled`](StateArena::intern_spilled).
     pub fn intern_hashed(&mut self, hash: u64, key: &[u16]) -> (u32, bool) {
+        self.intern_spilled(hash, key, None)
+            .expect("an arena without a spill file cannot fail to intern")
+    }
+
+    /// [`intern_hashed`](StateArena::intern_hashed) against an arena whose
+    /// cold segments may live in `spill`: a hash-colliding compare against
+    /// a spilled key streams its segment back through the one-segment
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Spill`](genoc_core::error::Error::Spill) when reading a
+    /// spilled segment back fails.
+    ///
+    /// # Panics
+    ///
+    /// As [`intern_hashed`](StateArena::intern_hashed); also if a compare
+    /// needs a spilled segment and `spill` is `None`.
+    pub fn intern_spilled(
+        &mut self,
+        hash: u64,
+        key: &[u16],
+        mut spill: Option<&mut SpillFile>,
+    ) -> Result<(u32, bool)> {
         assert_eq!(key.len(), self.stride, "key length must match the stride");
         if (self.count + 1) * 8 > self.index.len() * 7 {
             self.grow();
@@ -319,21 +403,114 @@ impl StateArena {
                 EMPTY => {
                     let id = u32::try_from(self.count).expect("state count exceeds u32");
                     assert!(id != EMPTY, "state count exceeds u32");
-                    self.data.extend_from_slice(key);
+                    self.push_key(key);
+                    self.hashes.push(hash);
                     self.count += 1;
                     self.index[slot] = id;
-                    return (id, true);
+                    return Ok((id, true));
                 }
-                id if self.key(id) == key => return (id, false),
-                _ => slot = (slot + 1) & mask,
+                id => {
+                    if self.hashes[id as usize] == hash
+                        && self.key_eq(id, key, spill.as_deref_mut())?
+                    {
+                        return Ok((id, false));
+                    }
+                    slot = (slot + 1) & mask;
+                }
             }
         }
     }
 
+    /// Appends a key to the open tail segment, opening a new one when full.
+    fn push_key(&mut self, key: &[u16]) {
+        if self.stride == 0 {
+            return;
+        }
+        let cap = self.seg_states * self.stride;
+        let room = matches!(self.segments.last(), Some(Segment::Resident(d)) if d.len() < cap);
+        if !room {
+            self.segments.push(Segment::Resident(Vec::new()));
+        }
+        let Some(Segment::Resident(tail)) = self.segments.last_mut() else {
+            unreachable!("push_key just ensured a resident tail");
+        };
+        tail.extend_from_slice(key);
+    }
+
     /// The key of a state handle.
+    ///
+    /// # Panics
+    ///
+    /// If the key's segment was spilled and is not in the read cache; use
+    /// [`intern_spilled`](StateArena::intern_spilled) for spilled arenas.
+    /// Explorers only call `key` on arenas that never spill (the frontier
+    /// carries its own key copies).
     pub fn key(&self, id: u32) -> &[u16] {
-        let at = id as usize * self.stride;
-        &self.data[at..at + self.stride]
+        if self.stride == 0 {
+            return &[];
+        }
+        let seg = id as usize / self.seg_states;
+        let at = (id as usize % self.seg_states) * self.stride;
+        match &self.segments[seg] {
+            Segment::Resident(data) => &data[at..at + self.stride],
+            Segment::Spilled { .. } => match &self.cache {
+                Some((cached, data)) if *cached == seg => &data[at..at + self.stride],
+                _ => panic!("key {id} lives in a spilled segment"),
+            },
+        }
+    }
+
+    /// Compares a stored key against `key`, streaming its segment back from
+    /// `spill` (through the one-segment cache) if it was spilled.
+    fn key_eq(&mut self, id: u32, key: &[u16], spill: Option<&mut SpillFile>) -> Result<bool> {
+        if self.stride == 0 {
+            return Ok(true);
+        }
+        let seg = id as usize / self.seg_states;
+        let at = (id as usize % self.seg_states) * self.stride;
+        if let Segment::Resident(data) = &self.segments[seg] {
+            return Ok(&data[at..at + self.stride] == key);
+        }
+        if self.cache.as_ref().is_none_or(|(cached, _)| *cached != seg) {
+            let Segment::Spilled { offset } = self.segments[seg] else {
+                unreachable!("the resident case returned above");
+            };
+            let spill = spill.expect("spilled segment compared without its spill file");
+            // Spilled segments are always full.
+            let mut data = self.cache.take().map(|(_, d)| d).unwrap_or_default();
+            spill.read_u16s(offset, self.seg_states * self.stride, &mut data)?;
+            self.cache = Some((seg, data));
+        }
+        let (_, data) = self.cache.as_ref().expect("cache was just filled");
+        Ok(&data[at..at + self.stride] == key)
+    }
+
+    /// Spills every full resident segment to `spill` and frees its memory;
+    /// returns the bytes freed. The open tail segment stays resident (it is
+    /// still growing), as does the index — only key payloads move to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Spill`](genoc_core::error::Error::Spill) on write failure.
+    pub fn spill_cold(&mut self, spill: &mut SpillFile) -> Result<usize> {
+        let mut freed = self
+            .cache
+            .take()
+            .map_or(0, |(_, d)| d.len() * mem::size_of::<u16>());
+        for (i, seg) in self.segments.iter_mut().enumerate() {
+            if (i + 1) * self.seg_states > self.count {
+                continue; // the open tail: not yet full
+            }
+            if let Segment::Resident(data) = seg {
+                let offset = spill.append_u16s(data)?;
+                let bytes = data.len() * mem::size_of::<u16>();
+                freed += bytes;
+                self.spilled_bytes += bytes as u64;
+                self.spilled_states += data.len() / self.stride;
+                *seg = Segment::Spilled { offset };
+            }
+        }
+        Ok(freed)
     }
 
     fn grow(&mut self) {
@@ -341,13 +518,14 @@ impl StateArena {
         let len = 1usize << self.bits;
         let mut index = vec![EMPTY; len];
         let mask = len - 1;
-        for id in 0..self.count as u32 {
-            let hash = Self::hash_key(self.key(id));
-            let mut slot = (hash.wrapping_mul(FIB) >> (64 - self.bits)) as usize;
+        for id in 0..self.count {
+            // Stored hashes make growth independent of key residence: a
+            // rehash never reads (possibly spilled) key data.
+            let mut slot = (self.hashes[id].wrapping_mul(FIB) >> (64 - self.bits)) as usize;
             while index[slot] != EMPTY {
                 slot = (slot + 1) & mask;
             }
-            index[slot] = id;
+            index[slot] = id as u32;
         }
         self.index = index;
     }
@@ -425,6 +603,43 @@ mod tests {
             assert_eq!(arena.key(id), key, "growth must not lose keys");
             assert_eq!(arena.intern(&key), (id, false));
         }
+    }
+
+    #[test]
+    fn spilled_segments_still_deduplicate_and_membership_survives() {
+        use crate::spill::SpillDir;
+        let dir = SpillDir::create(&std::env::temp_dir()).unwrap();
+        let mut file = dir.file("arena-test.bin").unwrap();
+        let mut arena = StateArena::new(3);
+        // Force small segments so the spill path actually triggers.
+        arena.seg_states = 64;
+        let keys: Vec<[u16; 3]> = (0..500u16)
+            .map(|v| [v, v.wrapping_mul(31), v ^ 0x5a5a])
+            .collect();
+        for key in &keys {
+            assert!(arena.intern(key).1);
+        }
+        let resident_before = arena.bytes();
+        let freed = arena.spill_cold(&mut file).unwrap();
+        assert!(freed > 0, "full segments must spill");
+        assert!(arena.spilled_bytes() > 0);
+        assert!(arena.bytes() < resident_before);
+        // Every key still deduplicates (hash short-circuit or a cached
+        // segment read), and re-interning stays stable across a growth.
+        for (id, key) in keys.iter().enumerate() {
+            let (got, fresh) = arena
+                .intern_spilled(StateArena::hash_key(key), key, Some(&mut file))
+                .unwrap();
+            assert_eq!((got, fresh), (id as u32, false));
+        }
+        for v in 500..2000u16 {
+            let key = [v, v.wrapping_mul(31), v ^ 0x5a5a];
+            let (_, fresh) = arena
+                .intern_spilled(StateArena::hash_key(&key), &key, Some(&mut file))
+                .unwrap();
+            assert!(fresh, "new keys must stay fresh after spilling");
+        }
+        assert_eq!(arena.len(), 2000);
     }
 
     #[test]

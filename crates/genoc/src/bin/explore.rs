@@ -18,6 +18,8 @@
 //!   --por <on|off>           partial-order reduction             [default: off]
 //!   --jobs <N>               worker threads for the frontier       [default: 1]
 //!   --mem-limit <BYTES>      stop past this state-storage size (k/m/g suffix)
+//!   --spill-dir <path>       with --mem-limit: spill cold state to disk here
+//!                            instead of stopping
 //!   --aut <path>             write the state graph in Aldebaran (.aut) format
 //!   --dot <path>             write the state graph as Graphviz DOT
 //! ```
@@ -25,9 +27,13 @@
 //! Exit status distinguishes the outcomes so scripts can gate precisely:
 //! `0` is an exhaustive deadlock-freedom proof, `1` a reachable deadlock
 //! (with its minimal trace printed), `2` a bound or memory-limit stop —
-//! explicitly *not* a proof — and `3` a usage or harness error. The
-//! `--aut`/`--dot` exports work on partial spaces too: a graph cut short
-//! by the bound is still a valid (under-approximate) LTS.
+//! explicitly *not* a proof, and the INCONCLUSIVE line on stderr says
+//! which of the two limits stopped the search — and `3` a usage or
+//! harness error. The summary line reports throughput (states/second)
+//! and the peak resident frontier bytes; a spilling run also reports how
+//! many bytes went to disk. The `--aut`/`--dot` exports work on partial
+//! spaces too: a graph cut short by the bound is still a valid
+//! (under-approximate) LTS.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +53,7 @@ struct Args {
     por: bool,
     jobs: usize,
     mem_limit: Option<usize>,
+    spill_dir: Option<PathBuf>,
     aut: Option<PathBuf>,
     dot: Option<PathBuf>,
 }
@@ -82,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         por: false,
         jobs: 1,
         mem_limit: None,
+        spill_dir: None,
         aut: None,
         dot: None,
     };
@@ -148,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
                     parse_bytes(&value("--mem-limit")?).map_err(|e| format!("--mem-limit: {e}"))?,
                 );
             }
+            "--spill-dir" => args.spill_dir = Some(PathBuf::from(value("--spill-dir")?)),
             "--aut" => args.aut = Some(PathBuf::from(value("--aut")?)),
             "--dot" => args.dot = Some(PathBuf::from(value("--dot")?)),
             "--help" | "-h" => {
@@ -155,7 +164,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: explore [--routing LABEL] [--width N] [--height N] [--capacity N] \
                             [--switching wormhole|vct|store-forward] [--flits N] [--messages N] \
                             [--bound N] [--symmetry on|off] [--por on|off] [--jobs N] \
-                            [--mem-limit BYTES] [--aut PATH] [--dot PATH]"
+                            [--mem-limit BYTES] [--spill-dir PATH] [--aut PATH] [--dot PATH]"
                         .into(),
                 );
             }
@@ -220,6 +229,12 @@ fn main() -> ExitCode {
     if record_graph && args.jobs > 1 {
         eprintln!("note: graph export forces the sequential frontier; --jobs ignored");
     }
+    if record_graph && args.spill_dir.is_some() {
+        eprintln!("note: graph export forces the sequential frontier; --spill-dir ignored");
+    }
+    if args.spill_dir.is_some() && args.mem_limit.is_none() {
+        eprintln!("note: --spill-dir only takes effect together with --mem-limit");
+    }
     let options = ExploreOptions {
         max_states: args.bound,
         symmetry: args.symmetry,
@@ -227,8 +242,10 @@ fn main() -> ExitCode {
         por: args.por,
         jobs: args.jobs,
         mem_limit: args.mem_limit,
+        spill_dir: args.spill_dir.clone(),
         ..ExploreOptions::default()
     };
+    let start = std::time::Instant::now();
     let result = match explore_policy(
         instance.net.as_ref(),
         instance.routing.as_ref(),
@@ -243,6 +260,7 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_ERROR);
         }
     };
+    let wall = start.elapsed();
 
     println!(
         "{} · {} · {} message(s) × {} flit(s)",
@@ -267,6 +285,16 @@ fn main() -> ExitCode {
             String::new()
         }
     );
+    println!(
+        "wall {wall:.2?} · {:.0} states/s · peak resident {} bytes{}",
+        result.states as f64 / wall.as_secs_f64().max(1e-9),
+        result.peak_bytes,
+        if result.spilled_bytes > 0 {
+            format!(" · spilled {} bytes", result.spilled_bytes)
+        } else {
+            String::new()
+        }
+    );
     match &result.verdict {
         Verdict::NoReachableDeadlock => {
             println!("verdict: no reachable deadlock (exhaustive within the bound)");
@@ -281,20 +309,28 @@ fn main() -> ExitCode {
             }
         }
         Verdict::BoundExceeded => {
+            let memory_bound = result.bound == Some(genoc::explore::BoundReason::Memory);
+            let (what, fix) = if memory_bound {
+                (
+                    format!(
+                        "memory-bound: state storage outgrew --mem-limit {} bytes",
+                        args.mem_limit.unwrap_or(0)
+                    ),
+                    "raise --mem-limit or add --spill-dir to keep searching on disk",
+                )
+            } else {
+                (
+                    format!(
+                        "state-bound: stopped at the --bound {} state cap",
+                        args.bound
+                    ),
+                    "raise --bound to finish",
+                )
+            };
             eprintln!(
-                "verdict: INCONCLUSIVE — the search stopped at {} states (bound {}{}); \
-                 this is NOT a deadlock-freedom proof, raise --bound{} to finish",
+                "verdict: INCONCLUSIVE ({what}) — the search stopped at {} states; \
+                 this is NOT a deadlock-freedom proof, {fix}",
                 result.states,
-                args.bound,
-                match args.mem_limit {
-                    Some(limit) => format!(", mem-limit {limit} bytes"),
-                    None => String::new(),
-                },
-                if args.mem_limit.is_some() {
-                    "/--mem-limit"
-                } else {
-                    ""
-                }
             );
         }
     }

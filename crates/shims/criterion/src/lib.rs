@@ -18,7 +18,15 @@
 //! per-benchmark medians into `target/bench-results.json` (see
 //! [`write_results_json`], invoked by [`criterion_main!`]), so perf
 //! trajectories can be accumulated across runs and uploaded as CI
-//! artifacts.
+//! artifacts. Each entry carries the sample min/max next to the median, so
+//! a gate reading the file can tell a stable measurement from a noisy one.
+//!
+//! Two knobs tune sampling without touching bench code:
+//! `GENOC_BENCH_SAMPLE_FLOOR` raises every benchmark's sample count to at
+//! least the given value (noisy CI runners want more samples than the
+//! `sample_size(1)` a slow local sweep configures), and benches can read
+//! their own recorded timings back through [`median_ns`] to derive ratio
+//! metrics (e.g. a jobs-4 vs jobs-1 scaling factor) for [`record_metric`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -195,8 +203,42 @@ impl Bencher {
     }
 }
 
+/// One benchmark's timing summary: median, fastest and slowest sample, and
+/// the sample count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BenchEntry {
+    name: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
 /// Results collected by this bench binary, for [`write_results_json`].
-static RESULTS: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
+static RESULTS: Mutex<Vec<BenchEntry>> = Mutex::new(Vec::new());
+
+/// The per-iteration median (in nanoseconds) this binary recorded for the
+/// benchmark named `group/label`, if it ran. Lets a bench derive ratio
+/// metrics from its own timings — e.g. the jobs-4 / jobs-1 scaling factor —
+/// and publish them via [`record_metric`].
+pub fn median_ns(name: &str) -> Option<u128> {
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e.median_ns)
+}
+
+/// The sample floor configured via `GENOC_BENCH_SAMPLE_FLOOR`, if any:
+/// every benchmark collects at least this many samples regardless of its
+/// configured `sample_size`.
+fn sample_floor() -> Option<usize> {
+    std::env::var("GENOC_BENCH_SAMPLE_FLOOR")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Non-time observables recorded by this bench binary (counts, ratios),
 /// for the `"metrics"` section of `bench-results.json`.
@@ -248,28 +290,32 @@ pub fn write_results_json() {
     let path = target_dir().join("bench-results.json");
     // Merge with entries from previously run bench binaries: keep every
     // existing benchmark and metric this binary did not re-measure.
-    let mut entries: Vec<(String, u128, usize)> = Vec::new();
+    let mut entries: Vec<BenchEntry> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         entries = parse_results_json(&existing);
         metrics = parse_metrics_json(&existing);
     }
-    for (name, median, samples) in results.iter() {
-        entries.retain(|(n, _, _)| n != name);
-        entries.push((name.clone(), *median, *samples));
+    for entry in results.iter() {
+        entries.retain(|e| e.name != entry.name);
+        entries.push(entry.clone());
     }
     for (name, value) in recorded.iter() {
         metrics.retain(|(n, _)| n != name);
         metrics.push((name.clone(), *value));
     }
-    entries.sort();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
     metrics.sort_by(|a, b| a.0.cmp(&b.0));
     let mut json = String::from("{\n  \"benches\": {\n");
-    for (i, (name, median, samples)) in entries.iter().enumerate() {
+    for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         json.push_str(&format!(
-            "    \"{}\": {{ \"median_ns\": {median}, \"samples\": {samples} }}{comma}\n",
-            json_escape(name)
+            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {} }}{comma}\n",
+            json_escape(&e.name),
+            e.median_ns,
+            e.min_ns,
+            e.max_ns,
+            e.samples
         ));
     }
     json.push_str("  },\n  \"metrics\": {\n");
@@ -286,8 +332,9 @@ pub fn write_results_json() {
 }
 
 /// Parses the exact format emitted by [`write_results_json`] (one benchmark
-/// per line); anything unrecognised is skipped.
-fn parse_results_json(s: &str) -> Vec<(String, u128, usize)> {
+/// per line); anything unrecognised is skipped. Entries written before the
+/// spread fields existed fall back to `min_ns = max_ns = median_ns`.
+fn parse_results_json(s: &str) -> Vec<BenchEntry> {
     let mut out = Vec::new();
     for line in s.lines() {
         let line = line.trim();
@@ -309,11 +356,13 @@ fn parse_results_json(s: &str) -> Vec<(String, u128, usize)> {
                 })
         };
         if let (Some(median), Some(samples)) = (field("median_ns"), field("samples")) {
-            out.push((
-                name.replace("\\\"", "\"").replace("\\\\", "\\"),
-                median,
-                samples as usize,
-            ));
+            out.push(BenchEntry {
+                name: name.replace("\\\"", "\"").replace("\\\\", "\\"),
+                median_ns: median,
+                min_ns: field("min_ns").unwrap_or(median),
+                max_ns: field("max_ns").unwrap_or(median),
+                samples: samples as usize,
+            });
         }
     }
     out
@@ -352,7 +401,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: sample_size.max(sample_floor().unwrap_or(1)),
     };
     f(&mut bencher);
     let full = if group.is_empty() {
@@ -366,11 +415,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
     bencher.samples.sort();
     let median = bencher.samples[bencher.samples.len() / 2];
-    RESULTS.lock().expect("bench results poisoned").push((
-        full.clone(),
-        median.as_nanos(),
-        bencher.samples.len(),
-    ));
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push(BenchEntry {
+            name: full.clone(),
+            median_ns: median.as_nanos(),
+            min_ns: bencher.samples[0].as_nanos(),
+            max_ns: bencher.samples[bencher.samples.len() - 1].as_nanos(),
+            samples: bencher.samples.len(),
+        });
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => {
             format!(", {:.0} elem/s", n as f64 / median.as_secs_f64())
@@ -440,25 +494,41 @@ mod tests {
                 .lock()
                 .unwrap()
                 .iter()
-                .any(|(name, _, _)| name == "shim/sum/64"),
+                .any(|e| e.name == "shim/sum/64"),
             "benchmarks must register their medians"
         );
+        assert!(
+            median_ns("shim/sum/64").is_some(),
+            "recorded medians must be readable back"
+        );
+        assert!(median_ns("no/such/bench").is_none());
     }
 
     #[test]
     fn results_json_round_trips() {
+        let entry = |name: &str, median: u128, min: u128, max: u128, samples: usize| BenchEntry {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples,
+        };
         let entries = vec![
-            ("a/b".to_string(), 125u128, 10usize),
-            ("weird \"name\"".to_string(), 7, 5),
+            entry("a/b", 125, 100, 150, 10),
+            entry("weird \"name\"", 7, 7, 9, 5),
             // A name containing the name/value delimiter itself.
-            ("tricky\": { name".to_string(), 1, 2),
+            entry("tricky\": { name", 1, 1, 1, 2),
         ];
         let mut json = String::from("{\n  \"benches\": {\n");
-        for (i, (name, median, samples)) in entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
             json.push_str(&format!(
-                "    \"{}\": {{ \"median_ns\": {median}, \"samples\": {samples} }}{comma}\n",
-                json_escape(name)
+                "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {} }}{comma}\n",
+                json_escape(&e.name),
+                e.median_ns,
+                e.min_ns,
+                e.max_ns,
+                e.samples
             ));
         }
         json.push_str("  }\n}\n");
@@ -466,6 +536,18 @@ mod tests {
         assert!(
             parse_metrics_json(&json).is_empty(),
             "bench entries must not parse as metrics"
+        );
+    }
+
+    #[test]
+    fn results_json_without_spread_fields_still_parses() {
+        let json = "{\n  \"benches\": {\n    \"old/entry\": { \"median_ns\": 42, \"samples\": 3 }\n  }\n}\n";
+        let parsed = parse_results_json(json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            (parsed[0].min_ns, parsed[0].max_ns),
+            (42, 42),
+            "legacy entries default the spread to the median"
         );
     }
 

@@ -96,14 +96,26 @@ fn por_and_parallel_match_full_bfs_on_every_oracle_cell() {
             deadlock_cells += 1;
         }
         for (label, options) in [
-            ("por", ExploreOptions { por: true, ..base }),
-            ("jobs=2", ExploreOptions { jobs: 2, ..base }),
+            (
+                "por",
+                ExploreOptions {
+                    por: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "jobs=2",
+                ExploreOptions {
+                    jobs: 2,
+                    ..base.clone()
+                },
+            ),
             (
                 "jobs=3 shards=5",
                 ExploreOptions {
                     jobs: 3,
                     shards: 5,
-                    ..base
+                    ..base.clone()
                 },
             ),
             (
@@ -112,7 +124,18 @@ fn por_and_parallel_match_full_bfs_on_every_oracle_cell() {
                     por: true,
                     jobs: 2,
                     shards: 3,
-                    ..base
+                    ..base.clone()
+                },
+            ),
+            // A spilling run under a punitive memory budget must still be
+            // observationally sequential: residence is not an observable.
+            (
+                "jobs=2 spill",
+                ExploreOptions {
+                    jobs: 2,
+                    mem_limit: Some(32 * 1024),
+                    spill_dir: Some(std::env::temp_dir()),
+                    ..base.clone()
                 },
             ),
         ] {
@@ -216,27 +239,37 @@ fn explore_with(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-    /// Worker and shard counts are scheduling knobs: with POR off, every
-    /// observable outcome — verdict, state count, transition count, depth,
-    /// trace length — is identical to the sequential search's.
+    /// Worker and shard counts are scheduling knobs, and disk spill is a
+    /// residence knob: with POR off, every observable outcome — verdict,
+    /// state count, transition count, depth, trace length — is identical to
+    /// the sequential search's.
     #[test]
     fn jobs_and_shards_never_change_the_outcome(
         specs in workload_strategy(4, 4, 3),
         jobs in 2usize..5,
         shards in 0usize..7,
+        spill_draw in 0usize..2,
     ) {
+        let spill = spill_draw == 1;
         let instance = Instance::ring_shortest(4, 1);
         let base = ExploreOptions { max_states: 60_000, ..ExploreOptions::default() };
         let seq = explore_with(&instance, &specs, &base)?;
         prop_assert_ne!(seq.verdict.label(), "bound", "draws must enumerate completely");
-        let par = explore_with(&instance, &specs, &ExploreOptions { jobs, shards, ..base })?;
+        let par = explore_with(&instance, &specs, &ExploreOptions {
+            jobs,
+            shards,
+            // A punitive budget so spilling runs actually spill.
+            mem_limit: spill.then_some(16 * 1024),
+            spill_dir: spill.then(std::env::temp_dir),
+            ..base.clone()
+        })?;
         prop_assert_eq!(seq.verdict.label(), par.verdict.label());
         prop_assert_eq!(seq.depth, par.depth);
         if seq.counterexample().is_none() {
             prop_assert_eq!(
                 (seq.states, seq.transitions),
                 (par.states, par.transitions),
-                "jobs={} shards={} changed the explored space", jobs, shards
+                "jobs={} shards={} spill={} changed the explored space", jobs, shards, spill
             );
         }
         prop_assert_eq!(
@@ -246,14 +279,16 @@ proptest! {
     }
 
     /// The ample-set reduction may prune states but never the answer: the
-    /// verdict and the minimal counterexample depth survive any jobs/shards
-    /// combination stacked on top of POR.
+    /// verdict and the minimal counterexample depth survive any
+    /// jobs/shards/spill combination stacked on top of POR.
     #[test]
     fn por_preserves_the_verdict_under_any_sharding(
         specs in workload_strategy(4, 4, 3),
         jobs in 1usize..4,
         shards in 0usize..5,
+        spill_draw in 0usize..2,
     ) {
+        let spill = spill_draw == 1;
         let instance = Instance::mesh_mixed(2, 2, 1);
         let base = ExploreOptions { max_states: 60_000, ..ExploreOptions::default() };
         let seq = explore_with(&instance, &specs, &base)?;
@@ -261,7 +296,14 @@ proptest! {
         let por = explore_with(
             &instance,
             &specs,
-            &ExploreOptions { por: true, jobs, shards, ..base },
+            &ExploreOptions {
+                por: true,
+                jobs,
+                shards,
+                mem_limit: spill.then_some(16 * 1024),
+                spill_dir: spill.then(std::env::temp_dir),
+                ..base.clone()
+            },
         )?;
         prop_assert_eq!(seq.verdict.label(), por.verdict.label());
         prop_assert!(por.states <= seq.states);

@@ -1,0 +1,167 @@
+//! Disk spill must be invisible to every verdict-facing observable.
+//!
+//! The spill tier (`--mem-limit` + `--spill-dir`) changes only where bytes
+//! live, never which states exist: on every deadlocking oracle cell a run
+//! under a punitive memory budget must report the same verdict, the same
+//! minimal counterexample depth and trace, and the same stored-state count
+//! as the identical all-in-RAM run. The suite drives the same cells as
+//! `explore_por.rs` plus the cyclic comparators at full pressure, and
+//! additionally checks the `BoundReason` split: without a spill directory a
+//! breached memory budget is a *memory*-bound stop, with one the search
+//! keeps going.
+
+use genoc::prelude::*;
+use genoc_explore::BoundReason;
+
+fn policy_for(switching: SwitchingKind) -> Box<dyn SwitchingPolicy> {
+    match switching {
+        SwitchingKind::Wormhole => Box::new(WormholePolicy::default()),
+        SwitchingKind::VirtualCutThrough => Box::new(VirtualCutThroughPolicy::new()),
+        SwitchingKind::StoreForward => Box::new(StoreForwardPolicy::new()),
+    }
+}
+
+#[test]
+fn spilling_runs_match_all_in_ram_runs_on_every_deadlocking_cell() {
+    let cells = ScenarioMatrix::oracle().expand();
+    let comparators = [
+        (Instance::ring_shortest(4, 1), SwitchingKind::Wormhole),
+        (Instance::mesh_mixed(2, 2, 1), SwitchingKind::Wormhole),
+    ];
+    let sweep = cells
+        .iter()
+        .map(|cell| {
+            let instance = Instance::from_meta(&cell.meta)
+                .unwrap_or_else(|e| panic!("{}: construction failed: {e}", cell.name()));
+            (instance, cell.switching, 3usize)
+        })
+        .chain(
+            comparators
+                .into_iter()
+                .map(|(instance, switching)| (instance, switching, 0)),
+        );
+    let mut deadlock_cells = 0usize;
+    let mut spilled_runs = 0usize;
+    for (instance, switching, truncate) in sweep {
+        if !instance.deterministic {
+            continue;
+        }
+        let flits = if switching.requires_whole_packet_buffering() {
+            2usize.min(instance.meta.capacity as usize).max(1)
+        } else {
+            2
+        };
+        let mut specs = pressure_specs(&instance.meta, flits);
+        if truncate > 0 {
+            specs.truncate(truncate);
+        }
+        let policy = policy_for(switching);
+        let run = |options: &ExploreOptions| {
+            explore_policy(
+                instance.net.as_ref(),
+                instance.routing.as_ref(),
+                &instance.meta,
+                &specs,
+                policy.as_ref(),
+                options,
+            )
+            .unwrap_or_else(|e| panic!("{}: exploration failed: {e}", instance.name))
+        };
+        let ram_options = ExploreOptions {
+            max_states: 200_000,
+            jobs: 2,
+            ..ExploreOptions::default()
+        };
+        let ram = run(&ram_options);
+        if ram.counterexample().is_none() {
+            continue;
+        }
+        deadlock_cells += 1;
+        let spilling = run(&ExploreOptions {
+            // A budget far below any cell's working set: every level spills.
+            mem_limit: Some(8 * 1024),
+            spill_dir: Some(std::env::temp_dir()),
+            ..ram_options.clone()
+        });
+        if spilling.spilled_bytes > 0 {
+            spilled_runs += 1;
+        }
+        assert_eq!(
+            spilling.verdict.label(),
+            ram.verdict.label(),
+            "{}: spilling changed the verdict",
+            instance.name
+        );
+        assert_eq!(
+            (spilling.states, spilling.depth),
+            (ram.states, ram.depth),
+            "{}: spilling changed the stored-state count or the minimal depth",
+            instance.name
+        );
+        assert_eq!(
+            spilling.counterexample().map(|c| c.trace.len()),
+            ram.counterexample().map(|c| c.trace.len()),
+            "{}: spilling changed the minimal counterexample",
+            instance.name
+        );
+    }
+    assert!(
+        deadlock_cells >= 2,
+        "only {deadlock_cells} deadlocking cells reached the comparison"
+    );
+    assert!(
+        spilled_runs >= 1,
+        "no run under the punitive budget ever spilled — the tier is untested"
+    );
+}
+
+#[test]
+fn memory_bound_stops_are_labelled_and_spill_lifts_them() {
+    let instance = Instance::mesh_mixed(2, 2, 1);
+    let specs = pressure_specs(&instance.meta, 2);
+    let run = |options: &ExploreOptions| {
+        explore(
+            instance.net.as_ref(),
+            instance.routing.as_ref(),
+            &instance.meta,
+            &specs,
+            &genoc_core::step::AlwaysAdmit,
+            options,
+        )
+        .expect("exploration failed")
+    };
+    let base = ExploreOptions {
+        max_states: 200_000,
+        jobs: 2,
+        mem_limit: Some(8 * 1024),
+        ..ExploreOptions::default()
+    };
+    // Without a spill directory the budget is a hard stop, labelled as such.
+    let stopped = run(&base);
+    assert!(matches!(stopped.verdict, Verdict::BoundExceeded));
+    assert_eq!(stopped.bound, Some(BoundReason::Memory));
+    assert_eq!(stopped.bound.unwrap().label(), "memory-bound");
+    // With one, the same budget only moves bytes to disk.
+    let spilled = run(&ExploreOptions {
+        spill_dir: Some(std::env::temp_dir()),
+        ..base.clone()
+    });
+    assert!(
+        !matches!(spilled.verdict, Verdict::BoundExceeded),
+        "the spill tier must lift the memory bound"
+    );
+    assert_eq!(spilled.bound, None);
+    assert!(
+        spilled.spilled_bytes > 0,
+        "nothing spilled under the budget"
+    );
+    assert!(spilled.peak_bytes > 0);
+    // A state-count stop keeps its own label.
+    let state_bound = run(&ExploreOptions {
+        max_states: 50,
+        mem_limit: None,
+        ..base
+    });
+    assert!(matches!(state_bound.verdict, Verdict::BoundExceeded));
+    assert_eq!(state_bound.bound, Some(BoundReason::States));
+}
